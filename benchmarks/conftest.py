@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every module here regenerates one experiment row from DESIGN.md
+(paper artifact -> measured reproduction).  Benchmarks both *time* the
+operation under ``pytest-benchmark`` and *assert* the paper's claim, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+gate.  Human-readable tables print with ``-s``; EXPERIMENTS.md records
+the reference numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple], headers: tuple) -> None:
+    """Print an aligned table (visible with ``pytest -s``)."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return report

@@ -1,0 +1,136 @@
+"""T-ACC -- the zero-accuracy-loss claim (Sections 1, 2 and 5).
+
+"There is no loss of accuracy as is the case in [3]": the privately
+constructed dissimilarity matrix must equal the trusted-aggregator
+matrix bit-for-bit, and clustering outputs must be identical -- across
+attribute types, linkage methods and protocol modes.  The sanitization
+baseline is run alongside to exhibit the accuracy-vs-privacy trade-off
+the paper's approach avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.centralized import centralized_pipeline
+from repro.baselines.sanitization import RotationSanitizer
+from repro.clustering.linkage import agglomerative
+from repro.clustering.quality import adjusted_rand_index
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.datasets import bird_flu, customer_segmentation, gaussian_numeric
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.types import LinkageMethod
+
+DATASETS = {
+    "gaussian_numeric": gaussian_numeric(per_cluster=8),
+    "bird_flu": bird_flu(per_cluster=5),
+    "customer_mixed": customer_segmentation(per_segment=6),
+}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_private_matrix_equals_centralized(name, table):
+    ds = DATASETS[name]
+    session = ClusteringSession(
+        SessionConfig(num_clusters=ds.num_clusters), ds.partitions
+    )
+    private = session.final_matrix()
+    central, _, _, _ = centralized_pipeline(ds.partitions)
+    max_diff = float(np.abs(private.condensed - central.condensed).max())
+    table(
+        f"T-ACC: matrix exactness on {name}",
+        [(name, ds.index.total_objects, max_diff)],
+        ("dataset", "objects", "max |private - central|"),
+    )
+    assert private.allclose(central, atol=0.0)
+
+
+@pytest.mark.parametrize("linkage", list(LinkageMethod))
+def test_clustering_identical_for_every_linkage(linkage):
+    ds = DATASETS["gaussian_numeric"]
+    session = ClusteringSession(
+        SessionConfig(num_clusters=ds.num_clusters, linkage=linkage),
+        ds.partitions,
+    )
+    result = session.run()
+    _, _, central_labels, index = centralized_pipeline(
+        ds.partitions, linkage=linkage, num_clusters=ds.num_clusters
+    )
+    private_labels = result.labels_for(list(index.refs()))
+    assert adjusted_rand_index(central_labels, private_labels) == 1.0
+
+
+def test_per_pair_mode_also_exact():
+    ds = DATASETS["customer_mixed"]
+    suite = ProtocolSuiteConfig(batch_numeric=False)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=ds.num_clusters, suite=suite), ds.partitions
+    )
+    central, _, _, _ = centralized_pipeline(ds.partitions)
+    assert session.final_matrix().allclose(central, atol=0.0)
+
+
+def test_sanitization_loses_accuracy_where_protocol_does_not(table):
+    """The contrast the paper draws against the sanitization family."""
+    ds = DATASETS["gaussian_numeric"]
+    truth = ds.labels_in_global_order()
+
+    session = ClusteringSession(
+        SessionConfig(num_clusters=ds.num_clusters), ds.partitions
+    )
+    private_labels = session.run().labels_for(list(ds.index.refs()))
+    _, _, central_labels, _ = centralized_pipeline(
+        ds.partitions, num_clusters=ds.num_clusters
+    )
+    ari_protocol_vs_central = adjusted_rand_index(central_labels, private_labels)
+
+    rows = [("paper protocol", "exact", f"{ari_protocol_vs_central:.3f}")]
+    from repro.data.partition import merge_partitions
+
+    pooled, _ = merge_partitions(ds.partitions)
+    degradations = []
+    for noise in (0.5, 2.0, 8.0, 32.0):
+        sanitized = RotationSanitizer(noise_scale=noise, seed=7).sanitize(pooled)
+        data = np.asarray([[float(v) for v in r] for r in sanitized.rows])
+        square = np.linalg.norm(data[:, None] - data[None, :], axis=2)
+        labels = agglomerative(
+            DissimilarityMatrix.from_square(square), "average"
+        ).cut_at_k(ds.num_clusters)
+        ari = adjusted_rand_index(central_labels, labels)
+        degradations.append(ari)
+        rows.append((f"sanitized noise={noise}", "approximate", f"{ari:.3f}"))
+    table(
+        "T-ACC: protocol vs sanitization (ARI against centralized clustering)",
+        rows,
+        ("pipeline", "fidelity", "ARI"),
+    )
+    assert ari_protocol_vs_central == 1.0
+    assert min(degradations) < 1.0  # sanitization does lose accuracy
+    assert degradations[-1] <= degradations[0] + 1e-9 or degradations[-1] < 1.0
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_bench_private_pipeline(benchmark):
+    ds = DATASETS["gaussian_numeric"]
+
+    def run():
+        session = ClusteringSession(
+            SessionConfig(num_clusters=ds.num_clusters), ds.partitions
+        )
+        return session.final_matrix()
+
+    matrix = benchmark(run)
+    assert matrix.num_objects == ds.index.total_objects
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_bench_centralized_pipeline(benchmark):
+    ds = DATASETS["gaussian_numeric"]
+
+    def run():
+        return centralized_pipeline(ds.partitions)[0]
+
+    matrix = benchmark(run)
+    assert matrix.num_objects == ds.index.total_objects

@@ -1,0 +1,91 @@
+"""T-ALPHA -- alphanumeric protocol communication costs (Section 4.2).
+
+Paper claims: DHJ transmits O(n^2 + n*p); DHK transmits O(m^2 + m*q*n*p)
+(n, m = input counts; p, q = string lengths).  Measured wire bytes over
+sweeps in each variable must show the claimed exponents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_costs import (
+    fit_loglog_slope,
+    measure_alphanumeric_protocol,
+)
+
+COUNTS = [4, 8, 16, 32]
+#: Lengths start at 32 so string content dominates per-message framing;
+#: below that the measured slope reflects constant overhead, not the
+#: O(n*p) term under test.
+LENGTHS = [32, 64, 128, 256]
+LENGTHS_QUAD = [16, 32, 64, 128]
+
+
+def test_initiator_masked_strings_linear_in_count(table):
+    costs = [
+        measure_alphanumeric_protocol(n, 4, length=16)["initiator_masked"]
+        for n in COUNTS
+    ]
+    slope = fit_loglog_slope(COUNTS, costs)
+    table(
+        "T-ALPHA: DHJ masked strings, n sweep (O(n*p) term)",
+        list(zip(COUNTS, costs)),
+        ("n", "measured bytes"),
+    )
+    assert 0.75 < slope < 1.25, f"slope {slope}"
+
+
+def test_initiator_masked_strings_linear_in_length():
+    costs = [
+        measure_alphanumeric_protocol(8, 4, length=p)["initiator_masked"]
+        for p in LENGTHS
+    ]
+    slope = fit_loglog_slope(LENGTHS, costs)
+    assert 0.75 < slope < 1.25, f"slope {slope}"
+
+
+def test_responder_ccms_quadratic_in_count(table):
+    costs = [
+        measure_alphanumeric_protocol(n, n, length=12)["responder_matrix"]
+        for n in COUNTS
+    ]
+    slope = fit_loglog_slope(COUNTS, costs)
+    table(
+        "T-ALPHA: DHK intermediary CCMs, n=m sweep (O(m*n) factor)",
+        list(zip(COUNTS, costs)),
+        ("n=m", "measured bytes"),
+    )
+    assert 1.7 < slope < 2.3, f"slope {slope}"
+
+
+def test_responder_ccms_quadratic_in_length(table):
+    """p and q both scale with `length`, so the m*q*n*p term is
+    quadratic in the common string length."""
+    costs = [
+        measure_alphanumeric_protocol(4, 4, length=p)["responder_matrix"]
+        for p in LENGTHS_QUAD
+    ]
+    slope = fit_loglog_slope(LENGTHS_QUAD, costs)
+    table(
+        "T-ALPHA: DHK intermediary CCMs, length sweep (O(q*p) factor)",
+        list(zip(LENGTHS_QUAD, costs)),
+        ("length", "measured bytes"),
+    )
+    assert 1.7 < slope < 2.3, f"slope {slope}"
+
+
+def test_ccm_cells_cost_one_byte_each():
+    """Honest wire realism: a CCM cell is a single uint8 on the wire, so
+    the dominant term's constant is ~1 byte per q*p cell pair."""
+    n = m = 4
+    length = 32
+    result = measure_alphanumeric_protocol(n, m, length=length)
+    cells_lower_bound = n * m * (0.8 * length) ** 2  # indels shrink strings
+    assert result["responder_matrix"] >= cells_lower_bound
+
+
+@pytest.mark.benchmark(group="comm-alphanumeric")
+def test_bench_alphanumeric_protocol_run(benchmark):
+    result = benchmark(measure_alphanumeric_protocol, 8, 8, 16)
+    assert result["grand_total"] > 0

@@ -1,0 +1,92 @@
+"""T-NUM -- numeric protocol communication costs (paper Section 4.1).
+
+Paper claims: initiator DHJ transmits O(n^2 + n) (local dissimilarity
+matrix + masked vector); responder DHK transmits O(m^2 + m*n) (local
+matrix + comparison matrix).  We measure real wire bytes over a size
+sweep and assert the log-log slopes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_costs import (
+    CostModel,
+    fit_loglog_slope,
+    measure_numeric_protocol,
+)
+
+SIZES = [8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: measure_numeric_protocol(n, n) for n in SIZES}
+
+
+def test_initiator_local_matrix_quadratic(sweep, table):
+    costs = [sweep[n]["initiator_local_matrix"] for n in SIZES]
+    slope = fit_loglog_slope(SIZES, costs)
+    model = CostModel()
+    table(
+        "T-NUM: DHJ local dissimilarity matrix (O(n^2) term)",
+        [
+            (n, c, int(model.local_matrix_entries(n) * model.float_bytes))
+            for n, c in zip(SIZES, costs)
+        ],
+        ("n", "measured bytes", "model bytes"),
+    )
+    assert 1.8 < slope < 2.2, f"slope {slope}"
+
+
+def test_initiator_masked_vector_linear(table):
+    results = {n: measure_numeric_protocol(n, 8) for n in SIZES}
+    costs = [results[n]["initiator_masked"] for n in SIZES]
+    slope = fit_loglog_slope(SIZES, costs)
+    table(
+        "T-NUM: DHJ masked vector (O(n) term)",
+        [(n, c) for n, c in zip(SIZES, costs)],
+        ("n", "measured bytes"),
+    )
+    assert 0.75 < slope < 1.25, f"slope {slope}"
+
+
+def test_responder_matrix_bilinear(sweep, table):
+    costs = [sweep[n]["responder_matrix"] for n in SIZES]
+    slope = fit_loglog_slope(SIZES, costs)
+    table(
+        "T-NUM: DHK comparison matrix (O(m*n) term, m=n sweep)",
+        [(n, c) for n, c in zip(SIZES, costs)],
+        ("n=m", "measured bytes"),
+    )
+    assert 1.8 < slope < 2.2, f"slope {slope}"
+
+
+def test_responder_matrix_linear_in_each_factor():
+    """Fix n, sweep m: the m*n term must become linear."""
+    ms = [8, 16, 32, 64]
+    costs = [measure_numeric_protocol(8, m)["responder_matrix"] for m in ms]
+    slope = fit_loglog_slope(ms, costs)
+    assert 0.8 < slope < 1.2, f"slope {slope}"
+
+
+def test_per_pair_mitigation_cost(table):
+    """The Section 4.1 mitigation turns DHJ's O(n) upload into O(m*n)."""
+    rows = []
+    for n in [8, 16, 32]:
+        batch = measure_numeric_protocol(n, n, batch=True)["initiator_masked"]
+        per_pair = measure_numeric_protocol(n, n, batch=False)["initiator_masked"]
+        rows.append((n, batch, per_pair, f"{per_pair / batch:.1f}x"))
+    table(
+        "T-NUM: batch vs unique-randoms mitigation (DHJ upload)",
+        rows,
+        ("n=m", "batch bytes", "per-pair bytes", "factor"),
+    )
+    n_last, batch_last, per_pair_last, _ = rows[-1]
+    assert per_pair_last > (n_last / 2) * batch_last / 2
+
+
+@pytest.mark.benchmark(group="comm-numeric")
+def test_bench_numeric_protocol_run(benchmark):
+    result = benchmark(measure_numeric_protocol, 32, 32)
+    assert result["grand_total"] > 0

@@ -1,0 +1,133 @@
+"""T-EAVES -- channel security requirement (Section 4.1).
+
+Paper: "the channel between DHJ and DHK must be secured ... this
+channel [DHK -> TP] must be secured as well", with an explicit
+candidate-set analysis for each eavesdropper.  We run both attacks on
+both channel configurations and report recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.eavesdrop import (
+    initiator_eavesdrop_responder_values,
+    tp_eavesdrop_initiator_candidates,
+    tp_eavesdrop_responder_candidates,
+)
+from repro.core import labels as label_grammar
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.exceptions import ChannelError
+from repro.network.channel import Eavesdropper
+from repro.types import AttributeType
+
+TRUTH_J = [13, 42, 7, 99]
+TRUTH_K = [20, 5, 64]
+
+
+def _run_session(secure: bool):
+    schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+    partitions = {
+        "J": DataMatrix(schema, [[v] for v in TRUTH_J]),
+        "K": DataMatrix(schema, [[v] for v in TRUTH_K]),
+    }
+    suite = ProtocolSuiteConfig(secure_channels=secure)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=6, suite=suite), partitions
+    )
+    tap = Eavesdropper("mallory")
+    session.network.attach_tap("J", "K", tap)
+    session.network.attach_tap("K", "TP", tap)
+    session.execute_protocol()
+    return session, tap
+
+
+def test_insecure_channels_leak_everything(table):
+    session, tap = _run_session(secure=False)
+    vector_frame = next(f for f in tap.frames if f.kind == "masked_vector")
+    matrix_frame = next(f for f in tap.frames if f.kind == "comparison_matrix")
+
+    rng_jt = session.third_party.secret_with("J").prng(
+        label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+    )
+    x_candidates = tp_eavesdrop_initiator_candidates(vector_frame, rng_jt, 64)
+    y_candidates = tp_eavesdrop_responder_candidates(
+        matrix_frame, x_candidates, rng_jt, 64
+    )
+    holder = session.holders["J"]
+    rng_jk = holder.secret_with("K").prng(
+        label_grammar.numeric_jk("v", "J", "K"), "hash_drbg"
+    )
+    rng_jt_j = holder.secret_with("TP").prng(
+        label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+    )
+    exact_y = initiator_eavesdrop_responder_values(
+        matrix_frame, TRUTH_J, rng_jk, rng_jt_j, 64
+    )
+
+    rows = [
+        (
+            "TP on DHJ->DHK: x candidates",
+            "2 per value, truth included",
+            all(x in pair for x, pair in zip(TRUTH_J, x_candidates)),
+        ),
+        (
+            "TP: y candidate sets",
+            "<= 4 per value, truth included",
+            all(y in c and len(c) <= 4 for y, c in zip(TRUTH_K, y_candidates)),
+        ),
+        (
+            "DHJ on DHK->TP: exact y recovery",
+            "exact",
+            exact_y == TRUTH_K,
+        ),
+    ]
+    table(
+        "T-EAVES: attacks on INSECURE channels",
+        rows,
+        ("attack", "paper prediction", "holds"),
+    )
+    assert all(bool(r[2]) for r in rows)
+
+
+def test_secured_channels_stop_both_attacks(table):
+    _session, tap = _run_session(secure=True)
+    blocked = 0
+    for frame in tap.frames:
+        assert frame.sealed
+        try:
+            frame.try_read_payload()
+        except ChannelError:
+            blocked += 1
+    table(
+        "T-EAVES: attacks on SECURED channels",
+        [("frames captured", len(tap.frames)), ("frames decodable", len(tap.frames) - blocked)],
+        ("quantity", "count"),
+    )
+    assert blocked == len(tap.frames) > 0
+
+
+def test_security_overhead_is_modest(table):
+    insecure, _ = _run_session(secure=False)
+    secure, _ = _run_session(secure=True)
+    i_bytes = insecure.total_bytes()
+    s_bytes = secure.total_bytes()
+    table(
+        "T-EAVES: price of securing the channels",
+        [(i_bytes, s_bytes, f"{(s_bytes - i_bytes) / i_bytes * 100:.1f}%")],
+        ("insecure bytes", "secured bytes", "overhead"),
+    )
+    assert s_bytes > i_bytes
+    assert (s_bytes - i_bytes) / i_bytes < 1.0  # well under 2x on this workload
+
+
+@pytest.mark.benchmark(group="eavesdrop")
+def test_bench_tapped_session(benchmark):
+    def run():
+        session, tap = _run_session(secure=False)
+        return len(tap.frames)
+
+    frames = benchmark(run)
+    assert frames > 0

@@ -1,0 +1,64 @@
+"""FIG13 -- membership-list publication (paper Figure 13).
+
+Runs the full three-site session on the engineered dataset and checks
+the published table matches the paper's: membership lists only,
+site-qualified ids, no distances leaked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.datasets import figure13_toy
+
+EXPECTED_MEMBERSHIP = {
+    frozenset({"A1", "A3", "B4", "C3"}),
+    frozenset({"B2", "B3", "C1", "C2"}),
+    frozenset({"A2", "B1"}),
+}
+
+
+def test_figure13_membership_reproduced(table):
+    ds = figure13_toy()
+    session = ClusteringSession(SessionConfig(num_clusters=3), ds.partitions)
+    result = session.run()
+    published = {
+        frozenset(
+            f"{m.site}{m.local_id + 1}" for m in cluster.members
+        )  # 1-based, as printed in the paper
+        for cluster in result.clusters
+    }
+    rows = [
+        (f"Cluster{c.cluster_id + 1}", c.format_members())
+        for c in result.clusters
+    ]
+    table("FIG13: published clustering result", rows, ("cluster", "members"))
+    assert published == EXPECTED_MEMBERSHIP
+
+
+def test_publication_contains_no_distances():
+    """Section 5: dissimilarity matrices stay secret; the published
+    payload carries memberships and aggregate quality only."""
+    ds = figure13_toy()
+    session = ClusteringSession(SessionConfig(num_clusters=3), ds.partitions)
+    result = session.run()
+    payload = result.to_payload()
+    assert set(payload) == {"clusters", "quality", "linkage", "num_objects"}
+    # quality is per-cluster aggregate, not pairwise data
+    assert len(payload["quality"]) == len(payload["clusters"])
+
+
+@pytest.mark.benchmark(group="fig13-session")
+def test_bench_full_session(benchmark):
+    ds = figure13_toy()
+
+    def run():
+        session = ClusteringSession(
+            SessionConfig(num_clusters=3), ds.partitions
+        )
+        return session.run()
+
+    result = benchmark(run)
+    assert len(result.clusters) == 3

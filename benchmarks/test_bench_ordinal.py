@@ -1,0 +1,144 @@
+"""X-ORD -- ordered & hierarchical categorical attributes (extension).
+
+Section 4.3 leaves these "more complex distance functions" as future
+work.  Both extensions are validated for exactness against cleartext
+references and their communication shapes measured: ordinals ride the
+numeric protocol (O(n^2+n) / O(m^2+mn)), taxonomy paths ride the
+deterministic-encryption scheme (O(n * depth) per holder).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.data.matrix import DataMatrix
+from repro.data.partition import GlobalIndex
+from repro.data.synthetic import categorical_column
+from repro.distance.local import local_dissimilarity
+from repro.ext.ordinal import OrdinalScale
+from repro.ext.taxonomy import Taxonomy, third_party_taxonomy_matrix
+from repro.network.serialization import serialized_size
+
+SEVERITY = OrdinalScale(["none", "mild", "moderate", "severe", "critical"])
+
+DISEASE_TAXONOMY = Taxonomy(
+    {
+        "disease": None,
+        "viral": "disease",
+        "influenza": "viral",
+        "h5n1": "influenza",
+        "h1n1": "influenza",
+        "corona": "viral",
+        "bacterial": "disease",
+        "strep": "bacterial",
+    }
+)
+
+
+def test_ordinal_exactness_through_numeric_protocol(table):
+    values = categorical_column(14, SEVERITY.categories, seed=1)
+    # Guarantee both extremes so span-normalisation aligns with Fig. 11.
+    values[0], values[1] = "none", "critical"
+    spec = SEVERITY.attribute_spec("severity")
+    partitions = {
+        "A": DataMatrix([spec], [[r] for r in SEVERITY.encode_column(values[:8])]),
+        "B": DataMatrix([spec], [[r] for r in SEVERITY.encode_column(values[8:])]),
+    }
+    session = ClusteringSession(SessionConfig(num_clusters=2), partitions)
+    reference = local_dissimilarity(values, SEVERITY.distance)
+    exact = session.final_matrix().allclose(reference, atol=1e-12)
+    table(
+        "X-ORD: ordinal ranks through the unchanged numeric protocol",
+        [("severity scale, 14 objects, 2 sites", exact)],
+        ("workload", "private == cleartext reference"),
+    )
+    assert exact
+
+
+def test_taxonomy_exactness(table):
+    enc = DeterministicEncryptor(b"k" * 32)
+    col_a = ["h5n1", "strep", "corona"]
+    col_b = ["h1n1", "influenza"]
+    columns = {
+        "A": DISEASE_TAXONOMY.encrypt_column(enc, "dx", col_a),
+        "B": DISEASE_TAXONOMY.encrypt_column(enc, "dx", col_b),
+    }
+    matrix = third_party_taxonomy_matrix(columns, GlobalIndex({"A": 3, "B": 2}))
+    reference = local_dissimilarity(col_a + col_b, DISEASE_TAXONOMY.distance)
+    exact = matrix.allclose(reference)
+    table(
+        "X-ORD: taxonomy path metric from ciphertext prefixes",
+        [("disease taxonomy, 5 objects, 2 sites", exact)],
+        ("workload", "private == cleartext reference"),
+    )
+    assert exact
+
+
+def test_taxonomy_cost_linear_in_n_and_depth(table):
+    enc = DeterministicEncryptor(b"k" * 32)
+    rows = []
+    for n in (8, 16, 32):
+        column = DISEASE_TAXONOMY.encrypt_column(enc, "dx", ["h5n1"] * n)
+        rows.append((n, 4, serialized_size(column)))
+    table(
+        "X-ORD: taxonomy holder upload (O(n * depth), depth 4)",
+        rows,
+        ("objects", "depth", "bytes"),
+    )
+    sizes = [r[2] for r in rows]
+    assert abs(sizes[1] / sizes[0] - 2.0) < 0.2
+    assert abs(sizes[2] / sizes[1] - 2.0) < 0.2
+
+
+def test_flat_categorical_is_special_case():
+    """A depth-1 taxonomy reproduces the paper's 0/1 metric exactly --
+    the extension strictly generalises Section 4.3."""
+    flat = Taxonomy({"red": None, "blue": None, "green": None})
+    assert flat.distance("red", "red") == 0
+    assert flat.distance("red", "blue") == 2  # path metric scale: 2 per mismatch
+    # Normalising by the max (2) recovers the paper's 0/1 distance.
+    enc = DeterministicEncryptor(b"k" * 32)
+    columns = {
+        "A": flat.encrypt_column(enc, "c", ["red", "blue"]),
+        "B": flat.encrypt_column(enc, "c", ["red"]),
+    }
+    matrix = third_party_taxonomy_matrix(columns, GlobalIndex({"A": 2, "B": 1}))
+    normalized = matrix.normalized()
+    assert normalized[1, 0] == 1.0
+    assert normalized[2, 0] == 0.0
+
+
+@pytest.mark.benchmark(group="ordinal-taxonomy")
+def test_bench_taxonomy_matrix(benchmark):
+    enc = DeterministicEncryptor(b"k" * 32)
+    values = categorical_column(
+        40, ["h5n1", "h1n1", "corona", "strep", "influenza"], seed=2
+    )
+    columns = {
+        "A": DISEASE_TAXONOMY.encrypt_column(enc, "dx", values[:20]),
+        "B": DISEASE_TAXONOMY.encrypt_column(enc, "dx", values[20:]),
+    }
+    index = GlobalIndex({"A": 20, "B": 20})
+
+    matrix = benchmark(third_party_taxonomy_matrix, columns, index)
+    assert matrix.num_objects == 40
+
+
+@pytest.mark.benchmark(group="ordinal-taxonomy")
+def test_bench_ordinal_session(benchmark):
+    values = categorical_column(24, SEVERITY.categories, seed=3)
+    spec = SEVERITY.attribute_spec("severity")
+    partitions = {
+        "A": DataMatrix([spec], [[r] for r in SEVERITY.encode_column(values[:12])]),
+        "B": DataMatrix([spec], [[r] for r in SEVERITY.encode_column(values[12:])]),
+    }
+
+    def run():
+        session = ClusteringSession(SessionConfig(num_clusters=2), partitions)
+        return session.final_matrix()
+
+    matrix = benchmark(run)
+    assert matrix.num_objects == 24

@@ -1,0 +1,101 @@
+"""T-SCALE -- end-to-end costs vs centralized computation (Section 6).
+
+Paper: "the communication costs of our protocols are parallel to the
+computation costs of the operations in case of centralized data" -- i.e.
+total bytes scale like the number of pairwise comparisons a centralized
+computation performs (Theta(N^2) for N global objects), not worse.  We
+sweep total objects and holder counts and fit the slope of total bytes
+against pairwise-comparison counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_costs import fit_loglog_slope
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.partition import horizontal_partition
+from repro.data.synthetic import integer_clusters
+from repro.types import AttributeType
+
+SUITE = ProtocolSuiteConfig(secure_channels=False)
+
+
+def _session(total: int, holders: int, seed: int = 0) -> ClusteringSession:
+    rows, _ = integer_clusters([total], dim=1, separation=0, spread=1000, seed=seed)
+    schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+    matrix = DataMatrix(schema, rows)
+    sites = [chr(ord("A") + i) for i in range(holders)]
+    partitions = horizontal_partition(matrix, sites)
+    return ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=seed, suite=SUITE), partitions
+    )
+
+
+def test_total_bytes_track_pairwise_comparisons(table):
+    totals = [16, 32, 64, 128]
+    rows = []
+    pair_counts = []
+    byte_counts = []
+    for total in totals:
+        session = _session(total, holders=2)
+        session.execute_protocol()
+        pairs = total * (total - 1) // 2
+        pair_counts.append(pairs)
+        byte_counts.append(session.total_bytes())
+        rows.append((total, pairs, session.total_bytes()))
+    slope = fit_loglog_slope(pair_counts, byte_counts)
+    table(
+        "T-SCALE: session bytes vs centralized comparison count (k=2)",
+        rows,
+        ("objects", "pairwise comparisons", "total bytes"),
+    )
+    # Parallel costs: bytes grow linearly in the comparison count.
+    assert 0.85 < slope < 1.15, f"slope {slope}"
+
+
+def test_holder_count_does_not_change_asymptotics(table):
+    total = 60
+    rows = []
+    counts = []
+    for holders in (2, 3, 5, 6):
+        session = _session(total, holders=holders)
+        session.execute_protocol()
+        counts.append(session.total_bytes())
+        rows.append((holders, total, session.total_bytes()))
+    table(
+        "T-SCALE: total bytes vs holder count (fixed 60 objects)",
+        rows,
+        ("holders", "objects", "total bytes"),
+    )
+    # Every cross pair is compared exactly once regardless of k, so the
+    # spread stays within a small constant factor.
+    assert max(counts) / min(counts) < 1.6
+
+
+def test_every_cross_pair_compared_once():
+    """C(k,2) protocol runs per attribute, no duplicated blocks."""
+    session = _session(30, holders=3)
+    session.execute_protocol()
+    matrix = session.final_matrix()
+    # Dissimilarity complete: every off-diagonal entry of the integer
+    # workload is filled (values drawn from a wide range, ties unlikely
+    # to be zero except self-pairs).
+    import numpy as np
+
+    zero_fraction = float((matrix.condensed == 0).mean())
+    assert zero_fraction < 0.05
+
+
+@pytest.mark.benchmark(group="session-scale")
+@pytest.mark.parametrize("holders", [2, 4])
+def test_bench_session_by_holders(benchmark, holders):
+    def run():
+        session = _session(40, holders=holders, seed=holders)
+        session.execute_protocol()
+        return session.total_bytes()
+
+    total = benchmark(run)
+    assert total > 0

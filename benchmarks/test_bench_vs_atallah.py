@@ -1,0 +1,99 @@
+"""T-EDIT -- CCM protocol vs Atallah et al. [8] (Section 2's rejection).
+
+"[The Atallah et al.] algorithm is not feasible for clustering private
+data due to high communication costs."  Both secure edit-distance
+protocols run here on identical string pairs; wire bytes are measured
+off real serialized messages (Paillier ciphertexts vs uint8 CCM cells).
+The shape that must hold: Atallah costs orders of magnitude more, and
+the gap *grows* with string length (O(n*m) ciphertexts vs O(n*m) bytes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_costs import measure_alphanumeric_protocol
+from repro.baselines.atallah import AtallahEditDistance
+from repro.crypto.prng import make_prng
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.synthetic import dna_clusters
+from repro.distance.edit import edit_distance
+
+#: 512-bit keys keep the benchmark quick; the paper-era 1024-bit keys
+#: double every ciphertext, widening the reported gap further.
+KEY_BITS = 512
+
+LENGTHS = [4, 8, 16]
+
+
+def _pair(length: int, seed: int = 0) -> tuple[str, str]:
+    sequences, _ = dna_clusters([2], length=length, seed=seed)
+    return sequences[0], sequences[1]
+
+
+@pytest.fixture(scope="module")
+def atallah():
+    return AtallahEditDistance(
+        DNA_ALPHABET, make_prng("alice"), make_prng("bob"), key_bits=KEY_BITS
+    )
+
+
+def _ccm_bytes_per_comparison(length: int) -> float:
+    result = measure_alphanumeric_protocol(1, 1, length=length)
+    return result["initiator_masked"] + result["responder_matrix"]
+
+
+def test_gap_is_orders_of_magnitude(atallah, table):
+    rows = []
+    gaps = []
+    for length in LENGTHS:
+        source, target = _pair(length)
+        result = atallah.compute(source, target)
+        assert result.distance == edit_distance(source, target)
+        ccm_bytes = _ccm_bytes_per_comparison(length)
+        gap = result.traffic.total_bytes / max(1.0, ccm_bytes)
+        gaps.append(gap)
+        rows.append(
+            (
+                length,
+                int(ccm_bytes),
+                result.traffic.total_bytes,
+                result.traffic.ciphertexts,
+                f"{gap:.0f}x",
+            )
+        )
+    table(
+        f"T-EDIT: bytes per private comparison (Paillier {KEY_BITS}-bit)",
+        rows,
+        ("string len", "CCM protocol B", "Atallah B", "ciphertexts", "gap"),
+    )
+    assert all(g > 50 for g in gaps), gaps
+    assert gaps[-1] > gaps[0], "gap must widen with string length"
+
+
+def test_both_protocols_agree_on_distance(atallah):
+    for length in LENGTHS:
+        source, target = _pair(length, seed=3)
+        assert atallah.compute(source, target).distance == edit_distance(
+            source, target
+        )
+
+
+@pytest.mark.benchmark(group="vs-atallah")
+def test_bench_atallah_comparison(benchmark):
+    proto = AtallahEditDistance(
+        DNA_ALPHABET, make_prng("a2"), make_prng("b2"), key_bits=256
+    )
+    source, target = _pair(8, seed=5)
+
+    def run():
+        return proto.compute(source, target)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.distance == edit_distance(source, target)
+
+
+@pytest.mark.benchmark(group="vs-atallah")
+def test_bench_ccm_comparison(benchmark):
+    result = benchmark(measure_alphanumeric_protocol, 1, 1, 8)
+    assert result["grand_total"] > 0

@@ -1,0 +1,150 @@
+"""Executable security analysis: the attacks of Section 4.1 and their
+defences.
+
+Three demonstrations:
+1. an eavesdropper on *unsecured* channels recovers private inputs
+   exactly as the paper's analysis predicts,
+2. securing the channels (the paper's requirement) blinds the same
+   eavesdropper completely,
+3. the third party's frequency-analysis attack succeeds against the
+   batched numeric protocol over a small value domain, and collapses
+   under the paper's own mitigation (unique randoms per pair).
+
+Run:  python examples/attack_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AttributeSpec,
+    AttributeType,
+    ClusteringSession,
+    DataMatrix,
+    SessionConfig,
+)
+from repro.attacks.eavesdrop import (
+    initiator_eavesdrop_responder_values,
+    tp_eavesdrop_initiator_candidates,
+)
+from repro.attacks.frequency import FrequencyAttack
+from repro.core import labels as label_grammar
+from repro.core.config import ProtocolSuiteConfig
+from repro.core.numeric import (
+    initiator_mask_batch,
+    responder_matrix_batch,
+)
+from repro.crypto.prng import make_prng
+from repro.exceptions import ChannelError
+from repro.network.channel import Eavesdropper
+
+SECRET_J = [13, 42, 7]
+SECRET_K = [20, 5]
+
+
+def _tapped_session(secure: bool):
+    schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+    partitions = {
+        "J": DataMatrix(schema, [[v] for v in SECRET_J]),
+        "K": DataMatrix(schema, [[v] for v in SECRET_K]),
+    }
+    suite = ProtocolSuiteConfig(secure_channels=secure)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=3, suite=suite), partitions
+    )
+    tap = Eavesdropper("mallory")
+    session.network.attach_tap("J", "K", tap)
+    session.network.attach_tap("K", "TP", tap)
+    session.execute_protocol()
+    return session, tap
+
+
+def demo_eavesdropping_insecure() -> None:
+    print("=" * 70)
+    print("1. Eavesdropping on UNSECURED channels (paper Section 4.1)")
+    print("=" * 70)
+    session, tap = _tapped_session(secure=False)
+    vector_frame = next(f for f in tap.frames if f.kind == "masked_vector")
+    matrix_frame = next(f for f in tap.frames if f.kind == "comparison_matrix")
+
+    rng_jt = session.third_party.secret_with("J").prng(
+        label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+    )
+    candidates = tp_eavesdrop_initiator_candidates(vector_frame, rng_jt, 64)
+    print(f"  DHJ's secret inputs:        {SECRET_J}")
+    print(f"  TP's candidate pairs:       {candidates}")
+    print("  -> the paper's prediction: x is (x''-r) or (r-x''); truth is")
+    print("     always one of the two candidates.")
+
+    holder = session.holders["J"]
+    rng_jk = holder.secret_with("K").prng(
+        label_grammar.numeric_jk("v", "J", "K"), "hash_drbg"
+    )
+    rng_jt_j = holder.secret_with("TP").prng(
+        label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+    )
+    recovered = initiator_eavesdrop_responder_values(
+        matrix_frame, SECRET_J, rng_jk, rng_jt_j, 64
+    )
+    print(f"  DHK's secret inputs:        {SECRET_K}")
+    print(f"  DHJ recovers them EXACTLY:  {recovered}")
+    print()
+
+
+def demo_eavesdropping_secured() -> None:
+    print("=" * 70)
+    print("2. Same attacks with SECURED channels (the paper's requirement)")
+    print("=" * 70)
+    _session, tap = _tapped_session(secure=True)
+    blocked = 0
+    for frame in tap.frames:
+        try:
+            frame.try_read_payload()
+        except ChannelError:
+            blocked += 1
+    print(f"  frames captured: {len(tap.frames)}")
+    print(f"  frames the eavesdropper could decode: {len(tap.frames) - blocked}")
+    print("  -> authenticated encryption reduces the tap to traffic analysis.")
+    print()
+
+
+def demo_frequency_attack() -> None:
+    print("=" * 70)
+    print("3. The TP's frequency-analysis attack on batched comparisons")
+    print("=" * 70)
+    rng = np.random.default_rng(5)
+    domain = (0, 9)
+    values_j = [int(v) for v in rng.integers(0, 10, size=6)]
+    values_k = [int(v) for v in rng.integers(0, 10, size=8)]
+
+    rng_jk, rng_jt = make_prng("jk"), make_prng("jt")
+    masked = initiator_mask_batch(values_j, rng_jk, rng_jt, 64)
+    matrix = responder_matrix_batch(values_k, masked, make_prng("jk"))
+    tp_rng = make_prng("jt")
+    residuals = []
+    for row in matrix:
+        residuals.append([entry - tp_rng.next_bits(64) for entry in row])
+        tp_rng.reset()
+
+    outcome = FrequencyAttack(*domain).run(
+        np.asarray(residuals, dtype=object).astype(np.int64)
+    )
+    print(f"  DHK's secret vector: {tuple(values_k)}")
+    print(f"  TP recovers:         {outcome.recovered}")
+    rate = outcome.exact_recovery_rate(values_k)
+    print(f"  exact recovery rate: {rate:.0%}  (batch mode, domain {domain})")
+    print("  -> mitigation: ProtocolSuiteConfig(batch_numeric=False) uses a")
+    print("     unique random per pair; see benchmarks/test_bench_freq_attack.py")
+    print("     for the measured collapse of this attack.")
+    print()
+
+
+def main() -> None:
+    demo_eavesdropping_insecure()
+    demo_eavesdropping_secured()
+    demo_frequency_attack()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Cross-company customer segmentation over mixed attribute types.
+
+Two companies hold disjoint customer bases (horizontal partitions) with
+numeric (age, spend), categorical (plan) and alphanumeric (visit
+pattern) attributes -- exercising all three comparison protocols of the
+paper in a single session.  It also demonstrates Section 5's
+per-holder weighting: "Every data holder can impose a different weight
+vector", receiving its own clustering of the joint customer base.
+
+Run:  python examples/customer_segmentation.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusteringSession, SessionConfig
+from repro.clustering.quality import adjusted_rand_index
+from repro.data.datasets import customer_segmentation
+
+
+def main() -> None:
+    dataset = customer_segmentation(
+        num_companies=2, per_segment=10, num_segments=3, seed=23
+    )
+    print("Schema (agreed by all parties in advance, Section 3):")
+    for spec in dataset.schema:
+        extra = ""
+        if spec.alphabet is not None:
+            extra = f", alphabet size {spec.alphabet.size}"
+        print(f"  {spec.name}: {spec.attr_type.value}{extra}")
+    print()
+
+    # Company A cares mostly about spend; company B about behaviour.
+    config = SessionConfig(
+        num_clusters=3,
+        linkage="average",
+        master_seed=23,
+        per_holder_weights={
+            "A": [0.5, 3.0, 0.5, 0.5],
+            "B": [0.5, 0.5, 0.5, 3.0],
+        },
+    )
+    session = ClusteringSession(config, dataset.partitions)
+    per_holder = session.run_per_holder()
+
+    truth = dataset.labels_in_global_order()
+    refs = list(dataset.index.refs())
+    for site, result in sorted(per_holder.items()):
+        predicted = result.labels_for(refs)
+        ari = adjusted_rand_index(truth, predicted)
+        print(f"Company {site}'s result (its own weight vector):")
+        print(result.format_figure13())
+        print(f"  segment recovery (ARI): {ari:.3f}")
+        print()
+
+    print(f"Total protocol traffic: {session.total_bytes():,} bytes")
+
+
+if __name__ == "__main__":
+    main()

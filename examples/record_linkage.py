@@ -1,0 +1,74 @@
+"""Private record linkage -- the application Sections 1 and 6 point to.
+
+Two organisations suspect they share customers but cannot exchange
+records.  The paper's protocols give the third party exactly the
+cross-site distance block it needs to link records, without either side
+revealing a value.  Matching runs on the privately-built dissimilarity
+matrix; results name record *ids*, not contents.
+
+Run:  python examples/record_linkage.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AttributeSpec,
+    AttributeType,
+    ClusteringSession,
+    DataMatrix,
+    SessionConfig,
+)
+from repro.apps.linkage import private_record_linkage
+from repro.data.alphabet import PRINTABLE_ALPHABET
+
+
+def main() -> None:
+    schema = [
+        AttributeSpec("name", AttributeType.ALPHANUMERIC, alphabet=PRINTABLE_ALPHABET),
+        AttributeSpec("birth_year", AttributeType.NUMERIC, precision=0),
+    ]
+    # Three true shared entities (with typos/transcription noise) plus
+    # distractors on both sides.
+    bank = DataMatrix(
+        schema,
+        [
+            ["Jane Doe", 1984],
+            ["Johann Weiss", 1972],
+            ["Maria Rossi", 1990],
+            ["Arthur Pendragon", 1960],
+        ],
+    )
+    insurer = DataMatrix(
+        schema,
+        [
+            ["Jane  Do", 1984],       # typo'd duplicate of bank record 0
+            ["Maria Rosi", 1990],      # typo'd duplicate of bank record 2
+            ["Johan Weiss", 1972],     # typo'd duplicate of bank record 1
+            ["Lancelot du Lac", 1955],
+        ],
+    )
+
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=31),
+        {"BANK": bank, "INS": insurer},
+    )
+    matrix = session.final_matrix()
+
+    matches = private_record_linkage(
+        matrix, session.index, "BANK", "INS", threshold=0.35, strategy="optimal"
+    )
+    print("Linked record pairs (ids only -- neither side saw the other's data):")
+    for match in matches:
+        print(
+            f"  {match.left} <-> {match.right}   distance={match.distance:.4f}"
+        )
+    print()
+    expected = {(0, 0), (2, 1), (1, 2)}
+    found = {(m.left.local_id, m.right.local_id) for m in matches}
+    print(f"True duplicates found: {len(found & expected)}/3, "
+          f"false links: {len(found - expected)}")
+    print(f"Total protocol traffic: {session.total_bytes():,} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro -- reproduction of İnan et al., *Privacy Preserving Clustering on
+Horizontally Partitioned Data* (ICDE Workshops 2006).
+
+The library lets ``k >= 2`` data holders, each owning a horizontal
+partition of a data matrix, jointly construct the global dissimilarity
+matrix of their objects with the help of a semi-trusted third party --
+without revealing any private attribute value -- and then cluster it.
+
+Quickstart
+----------
+>>> from repro import (
+...     AttributeSpec, AttributeType, DataMatrix,
+...     ClusteringSession, SessionConfig,
+... )
+>>> schema = [AttributeSpec("age", AttributeType.NUMERIC)]
+>>> hospital_a = DataMatrix.from_rows(schema, [[34], [71]])
+>>> hospital_b = DataMatrix.from_rows(schema, [[38], [67]])
+>>> session = ClusteringSession(
+...     SessionConfig(num_clusters=2),
+...     {"A": hospital_a, "B": hospital_b},
+... )
+>>> result = session.run()
+>>> sorted(len(c.members) for c in result.clusters)
+[2, 2]
+
+See ``examples/`` for end-to-end scenarios (bird-flu DNA clustering,
+customer segmentation, private record linkage) and ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from repro.types import AttributeType, LinkageMethod, ProtocolRole
+from repro.exceptions import (
+    AttackError,
+    ChannelError,
+    ClusteringError,
+    ConfigurationError,
+    CryptoError,
+    IntegrityError,
+    KeyAgreementError,
+    PartitionError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+)
+from repro.data import AttributeSpec, DataMatrix, Schema, Taxonomy, horizontal_partition
+from repro.distance import DissimilarityMatrix
+from repro.core import (
+    ClusteringResult,
+    ClusteringSession,
+    ProtocolSuiteConfig,
+    SessionConfig,
+)
+from repro.clustering import (
+    Dendrogram,
+    agglomerative,
+    cut_at_k,
+    fcluster_by_height,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # enums / roles
+    "AttributeType",
+    "LinkageMethod",
+    "ProtocolRole",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SchemaError",
+    "PartitionError",
+    "ProtocolError",
+    "ChannelError",
+    "IntegrityError",
+    "CryptoError",
+    "KeyAgreementError",
+    "ClusteringError",
+    "AttackError",
+    # data
+    "AttributeSpec",
+    "Schema",
+    "DataMatrix",
+    "Taxonomy",
+    "horizontal_partition",
+    # distance
+    "DissimilarityMatrix",
+    # core protocol/session
+    "ClusteringSession",
+    "SessionConfig",
+    "ProtocolSuiteConfig",
+    "ClusteringResult",
+    # clustering
+    "Dendrogram",
+    "agglomerative",
+    "cut_at_k",
+    "fcluster_by_height",
+]

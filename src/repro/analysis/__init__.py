@@ -1,0 +1,26 @@
+"""Communication-cost models and empirical fits.
+
+The paper's evaluation consists of per-protocol cost analyses (the
+"Analysis of communication costs and privacy" subsections).  This
+package turns them into checkable artefacts:
+
+* :mod:`repro.analysis.comm_costs` -- the analytic O(.) formulas with
+  explicit constants, plus tooling that fits log-log slopes to measured
+  byte counts so the benchmarks can assert the claimed exponents.
+"""
+
+from repro.analysis.comm_costs import (
+    CostModel,
+    fit_loglog_slope,
+    measure_numeric_protocol,
+    measure_alphanumeric_protocol,
+    measure_categorical_protocol,
+)
+
+__all__ = [
+    "CostModel",
+    "fit_loglog_slope",
+    "measure_numeric_protocol",
+    "measure_alphanumeric_protocol",
+    "measure_categorical_protocol",
+]

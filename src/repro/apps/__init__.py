@@ -1,0 +1,25 @@
+"""Applications beyond clustering.
+
+The paper's protocols produce a generic pairwise-distance structure
+usable for "database joins, record linkage and other operations that
+require pair-wise comparison of individual private data objects"
+(Section 1) and "record linkage and outlier detection problems"
+(Section 6).  These modules are those applications, built purely on the
+privately constructed dissimilarity matrix:
+
+* :mod:`repro.apps.linkage` -- private record linkage across two sites,
+* :mod:`repro.apps.outliers` -- distance-based outlier detection.
+"""
+
+from repro.apps.linkage import LinkageMatch, private_record_linkage
+from repro.apps.outliers import OutlierReport, knn_outliers
+from repro.apps.sessions import run_private_linkage, run_private_outlier_detection
+
+__all__ = [
+    "LinkageMatch",
+    "private_record_linkage",
+    "OutlierReport",
+    "knn_outliers",
+    "run_private_linkage",
+    "run_private_outlier_detection",
+]

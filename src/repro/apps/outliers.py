@@ -1,0 +1,78 @@
+"""Distance-based outlier detection on the private dissimilarity matrix.
+
+The second application Section 6 names.  We implement the classic
+k-nearest-neighbour distance criterion (Knorr-Ng / Ramaswamy style):
+an object's outlier score is the distance to its k-th nearest neighbour;
+the top-scoring objects -- or those above a threshold -- are flagged.
+Everything reads only the dissimilarity matrix, so the third party can
+run it with zero additional information over what clustering already
+required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.partition import GlobalIndex, ObjectRef
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OutlierReport:
+    """Scores and flags for every object.
+
+    Attributes
+    ----------
+    scores:
+        k-NN distance per object, in global order.
+    flagged:
+        Object references flagged as outliers, sorted by descending score.
+    k:
+        The neighbourhood size used.
+    """
+
+    scores: tuple[float, ...]
+    flagged: tuple[ObjectRef, ...]
+    k: int
+
+
+def knn_outliers(
+    matrix: DissimilarityMatrix,
+    index: GlobalIndex,
+    k: int = 3,
+    top_n: int | None = None,
+    threshold: float | None = None,
+) -> OutlierReport:
+    """Flag outliers by k-th-nearest-neighbour distance.
+
+    Exactly one of ``top_n`` / ``threshold`` selects the flagging rule:
+    the ``top_n`` highest scorers, or every object whose score exceeds
+    ``threshold``.
+    """
+    n = matrix.num_objects
+    if not 1 <= k < n:
+        raise ConfigurationError(f"k must be in [1, {n - 1}], got {k}")
+    if (top_n is None) == (threshold is None):
+        raise ConfigurationError("provide exactly one of top_n or threshold")
+    if top_n is not None and not 0 <= top_n <= n:
+        raise ConfigurationError(f"top_n must be in [0, {n}], got {top_n}")
+
+    square = matrix.to_square()
+    np.fill_diagonal(square, np.inf)
+    sorted_rows = np.sort(square, axis=1)
+    scores = sorted_rows[:, k - 1]
+
+    if threshold is not None:
+        flagged_positions = [i for i in range(n) if scores[i] > threshold]
+    else:
+        order = np.argsort(-scores, kind="stable")
+        flagged_positions = [int(i) for i in order[:top_n]]
+    flagged_positions.sort(key=lambda i: (-scores[i], i))
+    return OutlierReport(
+        scores=tuple(float(s) for s in scores),
+        flagged=tuple(index.ref_at(i) for i in flagged_positions),
+        k=k,
+    )

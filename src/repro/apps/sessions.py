@@ -1,0 +1,66 @@
+"""One-call pipelines for the non-clustering applications.
+
+The record linkage and outlier detection applications (Sections 1 and 6)
+both consist of "run the paper's construction, then consume the matrix".
+These helpers package that sequence so application code never touches
+protocol internals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.apps.linkage import LinkageMatch, private_record_linkage
+from repro.apps.outliers import OutlierReport, knn_outliers
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.matrix import DataMatrix
+from repro.exceptions import ConfigurationError
+
+
+def run_private_linkage(
+    partitions: Mapping[str, DataMatrix],
+    threshold: float,
+    strategy: str = "optimal",
+    config: SessionConfig | None = None,
+) -> tuple[list[LinkageMatch], ClusteringSession]:
+    """Privately link the records of exactly two sites.
+
+    Builds the global dissimilarity matrix with the paper's protocols,
+    then matches the cross-site block.  Returns the matches plus the
+    session (for traffic inspection).
+    """
+    if len(partitions) != 2:
+        raise ConfigurationError(
+            f"record linkage needs exactly two sites, got {len(partitions)}"
+        )
+    config = config or SessionConfig(num_clusters=2)
+    session = ClusteringSession(config, partitions)
+    matrix = session.final_matrix()
+    site_a, site_b = session.index.sites
+    matches = private_record_linkage(
+        matrix, session.index, site_a, site_b, threshold, strategy
+    )
+    return matches, session
+
+
+def run_private_outlier_detection(
+    partitions: Mapping[str, DataMatrix],
+    k: int = 3,
+    top_n: int | None = None,
+    threshold: float | None = None,
+    config: SessionConfig | None = None,
+) -> tuple[OutlierReport, ClusteringSession]:
+    """Privately flag outliers across all sites' pooled objects.
+
+    Same protocol run as clustering; the TP scores each object by its
+    k-NN distance in the final matrix.  Returns the report plus the
+    session.
+    """
+    config = config or SessionConfig(num_clusters=2)
+    session = ClusteringSession(config, partitions)
+    matrix = session.final_matrix()
+    report = knn_outliers(
+        matrix, session.index, k=k, top_n=top_n, threshold=threshold
+    )
+    return report, session

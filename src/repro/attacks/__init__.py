@@ -1,0 +1,33 @@
+"""Attack harnesses: the paper's security analysis, executable.
+
+Section 4.1 makes three concrete security claims; each is implemented
+here as an attack whose success/failure the benchmarks measure:
+
+* :mod:`repro.attacks.frequency` -- the third party's frequency-analysis
+  attack on *batched* numeric comparisons, and its collapse under the
+  paper's own mitigation (unique randoms per pair),
+* :mod:`repro.attacks.eavesdrop` -- recovery of private inputs from
+  unsecured channels (TP listening on DHJ->DHK, DHJ listening on
+  DHK->TP), impossible once channels are sealed,
+* :mod:`repro.attacks.language` -- the language-statistics attack the
+  paper's Section 6 names as open future work, plus the
+  ``fresh_string_masks`` defence that closes it.
+"""
+
+from repro.attacks.eavesdrop import (
+    initiator_eavesdrop_responder_values,
+    tp_eavesdrop_initiator_candidates,
+    tp_eavesdrop_responder_candidates,
+)
+from repro.attacks.frequency import FrequencyAttack, FrequencyAttackOutcome
+from repro.attacks.language import LanguageAttackOutcome, LanguageStatisticsAttack
+
+__all__ = [
+    "FrequencyAttack",
+    "FrequencyAttackOutcome",
+    "tp_eavesdrop_initiator_candidates",
+    "tp_eavesdrop_responder_candidates",
+    "initiator_eavesdrop_responder_values",
+    "LanguageStatisticsAttack",
+    "LanguageAttackOutcome",
+]

@@ -1,0 +1,139 @@
+"""Eavesdropping attacks on unsecured channels (paper Section 4.1).
+
+"We now explain the reason why the channels must be secured.  TP can
+predict the values of both x and y if he listens [to] the channel between
+DHJ and DHK.  Notice that x'' = r +- x and TP knows the value of r.
+Therefore he infers that the value of x is either (x'' - r) or (r - x'').
+For each possible value of x, y can take two values: either
+(x - |x - y|) or (x + |x - y|) ...  Another threat is eavesdropping by
+DHJ on the channel between DHK and TP.  This channel carries the message
+m = r +- (x - y) and DHJ knows the values of both r and x."
+
+Each function below takes frames captured by a
+:class:`repro.network.channel.Eavesdropper` and the attacker's legitimate
+knowledge, and returns the recovered candidates.  On sealed channels
+frame decoding raises, so the same harness demonstrates the defence.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prng import ReseedablePRNG
+from repro.exceptions import AttackError
+from repro.network.channel import TappedFrame
+
+
+def _masked_vector_payload(frame: TappedFrame) -> list[int]:
+    payload = frame.try_read_payload()
+    try:
+        return list(payload["values"])
+    except (TypeError, KeyError):
+        raise AttackError(
+            f"frame of kind {frame.kind!r} is not a batch masked vector"
+        ) from None
+
+
+def _comparison_matrix_payload(frame: TappedFrame) -> list[list[int]]:
+    payload = frame.try_read_payload()
+    try:
+        return [list(row) for row in payload["matrix"]]
+    except (TypeError, KeyError):
+        raise AttackError(
+            f"frame of kind {frame.kind!r} is not a comparison matrix"
+        ) from None
+
+
+def tp_eavesdrop_initiator_candidates(
+    frame: TappedFrame,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[tuple[int, int]]:
+    """TP's attack on the DHJ -> DHK link (batch mode).
+
+    The TP shares ``rng_JT`` with DHJ, so it regenerates each mask ``r``
+    and narrows DHJ's n-th input to ``{x''_n - r_n, r_n - x''_n}``.
+    Returns one candidate pair per initiator value; the true value is
+    always one of the two.
+    """
+    masked = _masked_vector_payload(frame)
+    rng_jt.reset()
+    candidates = []
+    for value in masked:
+        mask = rng_jt.next_bits(mask_bits)
+        candidates.append((value - mask, mask - value))
+    rng_jt.reset()
+    return candidates
+
+
+def tp_eavesdrop_responder_candidates(
+    matrix_frame: TappedFrame,
+    initiator_candidates: list[tuple[int, int]],
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[set[int]]:
+    """TP's follow-up on the DHK -> TP content it legitimately receives.
+
+    With ``x`` narrowed to two candidates and ``|x - y|`` recoverable
+    from the comparison matrix, each responder value ``y_m`` lies in
+    ``{x_hat - d, x_hat + d}`` over both ``x`` candidates -- the paper's
+    "for each possible value of x, y can take two values".  Returns the
+    candidate set per responder object (from the first column).
+    """
+    matrix = _comparison_matrix_payload(matrix_frame)
+    if not matrix or not matrix[0]:
+        raise AttackError("empty comparison matrix")
+    if not initiator_candidates:
+        raise AttackError("no initiator candidates supplied")
+    results: list[set[int]] = []
+    for row in matrix:
+        rng_jt.reset()
+        mask = rng_jt.next_bits(mask_bits)
+        distance = abs(row[0] - mask)
+        x_pair = initiator_candidates[0]
+        candidates = {x_pair[0] - distance, x_pair[0] + distance,
+                      x_pair[1] - distance, x_pair[1] + distance}
+        results.append(candidates)
+    rng_jt.reset()
+    return results
+
+
+def initiator_eavesdrop_responder_values(
+    matrix_frame: TappedFrame,
+    own_encoded_values: list[int],
+    rng_jk: ReseedablePRNG,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[int]:
+    """DHJ's attack on the DHK -> TP link (batch mode): exact recovery.
+
+    DHJ knows the masks (``rng_JT``), its own inputs *and* the sign
+    draws (``rng_JK``), so every responder value falls out exactly:
+    ``y_m = x_n - sigma_n * (s[m][n] - r_n)``.  This is why the paper
+    requires this channel to be secured as well.
+    """
+    matrix = _comparison_matrix_payload(matrix_frame)
+    if not matrix:
+        raise AttackError("empty comparison matrix")
+    num_columns = len(matrix[0])
+    if len(own_encoded_values) != num_columns:
+        raise AttackError(
+            f"matrix has {num_columns} columns but attacker holds "
+            f"{len(own_encoded_values)} inputs"
+        )
+    rng_jk.reset()
+    rng_jt.reset()
+    signs = []
+    masks = []
+    for _ in range(num_columns):
+        signs.append(-1 if rng_jk.next_sign_bit() == 1 else 1)
+        masks.append(rng_jt.next_bits(mask_bits))
+    recovered = []
+    for row in matrix:
+        # Any column works; use column 0 and cross-check with column -1.
+        y = own_encoded_values[0] - signs[0] * (row[0] - masks[0])
+        check = own_encoded_values[-1] - signs[-1] * (row[-1] - masks[-1])
+        if y != check:
+            raise AttackError("inconsistent recovery; wrong stream alignment")
+        recovered.append(y)
+    rng_jk.reset()
+    rng_jt.reset()
+    return recovered

@@ -1,0 +1,152 @@
+"""Language-statistics attack on the alphanumeric masking (Section 6).
+
+The paper's own future work: "we plan to expand our privacy analysis for
+the comparison protocol of alphanumeric attributes so that possible
+attacks using statistics of the input language are addressed as well."
+
+The vulnerability is structural: Figure 8 re-initialises ``rng_JT``
+after every string, so **all** of an initiator's strings are masked with
+the same offset vector ``R``.  Position ``p`` of the masked corpus is
+therefore the plaintext letter distribution at position ``p`` shifted by
+the constant ``R[p]`` -- and a shift of a known-skewed histogram is
+recoverable by alignment.  DHK (who legitimately receives the masked
+strings) or any eavesdropper on the DHJ->DHK channel can run this.
+
+Attack: for each position, try every shift, unshift the observed
+histogram, and keep the shift whose result is closest (total variation)
+to the prior letter distribution.  With the recovered ``R`` the entire
+corpus unmasks.
+
+Defence: :func:`repro.core.alphanumeric.initiator_mask_strings_fresh`
+(``ProtocolSuiteConfig(fresh_string_masks=True)``) -- each character
+gets an independent offset, so positional histograms are uniform
+regardless of the language.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.data.alphabet import Alphabet
+from repro.exceptions import AttackError
+
+
+@dataclass(frozen=True)
+class LanguageAttackOutcome:
+    """Recovered mask offsets and unmasked corpus guess."""
+
+    offsets: tuple[int, ...]
+    recovered_strings: tuple[str, ...]
+
+    def offset_recovery_rate(self, true_offsets: Sequence[int]) -> float:
+        """Fraction of mask positions recovered exactly."""
+        if not self.offsets:
+            return 0.0
+        length = min(len(self.offsets), len(true_offsets))
+        if length == 0:
+            return 0.0
+        hits = sum(
+            1 for a, b in zip(self.offsets[:length], true_offsets[:length]) if a == b
+        )
+        return hits / length
+
+    def character_recovery_rate(self, truth: Sequence[str]) -> float:
+        """Fraction of characters recovered exactly across the corpus."""
+        total = 0
+        hits = 0
+        for guess, true_string in zip(self.recovered_strings, truth):
+            for g, t in zip(guess, true_string):
+                total += 1
+                if g == t:
+                    hits += 1
+        return hits / total if total else 0.0
+
+
+class LanguageStatisticsAttack:
+    """Histogram-alignment recovery of the shared mask vector.
+
+    Parameters
+    ----------
+    alphabet:
+        The public attribute alphabet.
+    prior:
+        Letter distribution of the input language, e.g. position-free
+        DNA base frequencies.  Must be meaningfully non-uniform -- a
+        uniform language admits no frequency attack (every shift looks
+        alike), which is itself a finding the tests pin down.
+    min_samples:
+        Positions observed in fewer strings than this are skipped
+        (histograms too noisy to align).
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        prior: Mapping[str, float],
+        min_samples: int = 8,
+    ) -> None:
+        unknown = [ch for ch in prior if ch not in alphabet]
+        if unknown:
+            raise AttackError(f"prior contains foreign characters: {unknown}")
+        total = sum(prior.values())
+        if total <= 0:
+            raise AttackError("prior weights must sum to a positive value")
+        self._alphabet = alphabet
+        self._prior = [
+            prior.get(alphabet.char(code), 0.0) / total
+            for code in range(alphabet.size)
+        ]
+        self._min_samples = max(1, min_samples)
+
+    def _best_shift(self, observed_codes: list[int]) -> int:
+        """Shift whose unshifted histogram best matches the prior."""
+        size = self._alphabet.size
+        counts = Counter(observed_codes)
+        n = len(observed_codes)
+        best_shift = 0
+        best_score = float("inf")
+        for shift in range(size):
+            # Unshifting by `shift` maps observed code c -> (c - shift).
+            score = 0.0
+            for code in range(size):
+                observed_frequency = counts.get((code + shift) % size, 0) / n
+                score += abs(observed_frequency - self._prior[code])
+            if score < best_score:
+                best_score = score
+                best_shift = shift
+        return best_shift
+
+    def run(self, masked_strings: Sequence[str]) -> LanguageAttackOutcome:
+        """Recover offsets and unmask the corpus.
+
+        Positions beyond the point where fewer than ``min_samples``
+        strings remain are decoded with offset 0 (i.e. left masked).
+        """
+        if not masked_strings:
+            raise AttackError("no masked strings to attack")
+        max_length = max(len(s) for s in masked_strings)
+        offsets: list[int] = []
+        for position in range(max_length):
+            column = [
+                self._alphabet.index(s[position])
+                for s in masked_strings
+                if len(s) > position
+            ]
+            if len(column) < self._min_samples:
+                offsets.append(0)
+                continue
+            offsets.append(self._best_shift(column))
+        recovered = tuple(
+            "".join(
+                self._alphabet.char(
+                    self._alphabet.unshift_code(self._alphabet.index(ch), offsets[p])
+                )
+                for p, ch in enumerate(s)
+            )
+            for s in masked_strings
+        )
+        return LanguageAttackOutcome(
+            offsets=tuple(offsets), recovered_strings=recovered
+        )

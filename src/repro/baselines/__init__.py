@@ -1,0 +1,24 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.centralized` -- the non-private ground truth: a
+  trusted aggregator pools all partitions and computes the dissimilarity
+  matrix directly.  The paper claims its protocol loses *nothing*
+  relative to this (T-ACC experiment).
+* :mod:`repro.baselines.sanitization` -- a rotation-based data
+  transformation in the spirit of Oliveira & Zaiane [1-3]: the approach
+  family the paper contrasts against, which trades accuracy for privacy.
+* :mod:`repro.baselines.atallah` -- Atallah, Kerschbaum & Du's secure
+  edit-distance protocol [8], reimplemented over our Paillier; the paper
+  dismisses it as communication-infeasible (T-EDIT experiment).
+"""
+
+from repro.baselines.atallah import AtallahEditDistance
+from repro.baselines.centralized import centralized_attribute_matrix, centralized_pipeline
+from repro.baselines.sanitization import RotationSanitizer
+
+__all__ = [
+    "AtallahEditDistance",
+    "centralized_attribute_matrix",
+    "centralized_pipeline",
+    "RotationSanitizer",
+]

@@ -1,0 +1,73 @@
+"""The centralized (non-private) baseline.
+
+A hypothetical *trusted* aggregator pools every partition and computes
+the dissimilarity pipeline directly -- no masking, no protocols.  This is
+the ground truth for the paper's central accuracy claim ("There is no
+loss of accuracy as is the case in [3]", Section 2): the private
+pipeline's matrices must equal these bit-for-bit.
+
+The comparison functions are identical to the private pipeline's by
+construction (including the fixed-point codec for numeric attributes):
+the *comparison function* is public protocol knowledge (Section 3), so
+both pipelines evaluating the same function is the faithful model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.clustering.linkage import agglomerative
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.partition import GlobalIndex, merge_partitions
+from repro.distance.categorical import categorical_distance
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.edit import edit_distance
+from repro.distance.local import local_dissimilarity
+from repro.distance.merge import merge_weighted
+from repro.distance.numeric import FixedPointCodec
+from repro.types import AttributeType, LinkageMethod
+
+
+def centralized_attribute_matrix(
+    matrix: DataMatrix, spec: AttributeSpec
+) -> DissimilarityMatrix:
+    """Unnormalised global dissimilarity for one attribute, computed in
+    the clear over pooled data."""
+    column = matrix.column_by_name(spec.name)
+    if spec.attr_type is AttributeType.NUMERIC:
+        codec = FixedPointCodec(spec.precision)
+        encoded = codec.encode_column(column)
+        return local_dissimilarity(
+            encoded, lambda a, b: codec.decode_distance(abs(a - b))
+        )
+    if spec.attr_type is AttributeType.ALPHANUMERIC:
+        return local_dissimilarity(column, edit_distance)
+    if spec.taxonomy is not None:
+        return local_dissimilarity(column, spec.taxonomy.distance)
+    return local_dissimilarity(column, categorical_distance)
+
+
+def centralized_pipeline(
+    partitions: Mapping[str, DataMatrix],
+    weights: Sequence[float] | None = None,
+    linkage: LinkageMethod | str = LinkageMethod.AVERAGE,
+    num_clusters: int | None = None,
+) -> tuple[DissimilarityMatrix, Dendrogram, list[int] | None, GlobalIndex]:
+    """Full non-private pipeline over pooled partitions.
+
+    Pools the partitions in the same canonical site order the private
+    session uses, builds per-attribute matrices, normalises, merges with
+    ``weights``, clusters, and optionally cuts at ``num_clusters``.
+
+    Returns ``(merged_matrix, dendrogram, labels_or_None, global_index)``.
+    """
+    pooled, index = merge_partitions(partitions)
+    per_attribute = [
+        centralized_attribute_matrix(pooled, spec).normalized()
+        for spec in pooled.schema
+    ]
+    merged = merge_weighted(per_attribute, weights)
+    dendrogram = agglomerative(merged, linkage)
+    labels = dendrogram.cut_at_k(num_clusters) if num_clusters is not None else None
+    return merged, dendrogram, labels, index

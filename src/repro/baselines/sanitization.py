@@ -1,0 +1,92 @@
+"""A sanitization baseline in the Oliveira-Zaiane family [1-3].
+
+The paper positions itself against *data transformation* approaches:
+"All of these works follow the sanitization approach and therefore
+trade-off accuracy versus privacy" (Section 2).  To make that trade-off
+measurable, this module implements a representative member of the
+family: additive-noise-plus-rotation perturbation of numeric data
+(rotation preserves Euclidean geometry, the additive noise supplies the
+privacy, and the noise is what costs accuracy).
+
+The T-ACC experiment runs this side by side with the paper's protocol:
+the protocol reproduces centralized clustering exactly at every noise
+level, while the sanitizer's accuracy degrades as its privacy parameter
+grows -- precisely the contrast the paper draws.
+
+This is a *behavioural* stand-in, not a line-by-line reimplementation of
+[3] (which is dimensionality-reduction based); what the experiment needs
+is the family's defining property -- perturbation noise trades accuracy
+for privacy -- and that is what additive noise delivers in measurable
+form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrix import AttributeSpec, DataMatrix, Schema
+from repro.exceptions import ConfigurationError
+from repro.types import AttributeType
+
+
+class RotationSanitizer:
+    """Rotate-then-perturb sanitizer for all-numeric data matrices.
+
+    Parameters
+    ----------
+    noise_scale:
+        Standard deviation of the additive Gaussian noise *relative to*
+        each column's standard deviation.  0 means rotation only (which
+        preserves pairwise Euclidean distances and therefore clustering);
+        larger values buy privacy with accuracy.
+    seed:
+        Determinism for experiments.
+    """
+
+    def __init__(self, noise_scale: float = 0.1, seed: int = 0) -> None:
+        if noise_scale < 0:
+            raise ConfigurationError(f"noise_scale must be >= 0, got {noise_scale}")
+        self.noise_scale = noise_scale
+        self._seed = seed
+
+    @staticmethod
+    def _require_numeric(schema: Schema) -> None:
+        for spec in schema:
+            if spec.attr_type is not AttributeType.NUMERIC:
+                raise ConfigurationError(
+                    "RotationSanitizer handles numeric attributes only; "
+                    f"{spec.name!r} is {spec.attr_type.value} -- exactly the "
+                    "limitation the paper's protocol removes"
+                )
+
+    def _rotation(self, dim: int, rng: np.random.Generator) -> np.ndarray:
+        """A uniformly random orthogonal matrix (QR of a Gaussian)."""
+        gaussian = rng.normal(size=(dim, dim))
+        q, r = np.linalg.qr(gaussian)
+        # Fix the sign convention so the distribution is Haar-uniform.
+        q = q * np.sign(np.diag(r))
+        return q
+
+    def sanitize(self, matrix: DataMatrix) -> DataMatrix:
+        """Return a perturbed copy safe(ish) to hand to an untrusted miner."""
+        self._require_numeric(matrix.schema)
+        rng = np.random.default_rng(self._seed)
+        data = np.asarray(
+            [[float(v) for v in row] for row in matrix.rows], dtype=np.float64
+        )
+        if data.size == 0:
+            return matrix
+        rotation = self._rotation(data.shape[1], rng)
+        rotated = data @ rotation
+        if self.noise_scale > 0:
+            column_std = data.std(axis=0)
+            column_std[column_std == 0] = 1.0
+            noise = rng.normal(scale=self.noise_scale * column_std, size=data.shape)
+            rotated = rotated + noise
+        rounded_schema = [
+            AttributeSpec(spec.name, spec.attr_type, precision=15)
+            for spec in matrix.schema
+        ]
+        return DataMatrix(
+            rounded_schema, [[float(v) for v in row] for row in rotated]
+        )

@@ -1,0 +1,49 @@
+"""Clustering on precomputed dissimilarity matrices.
+
+"The global dissimilarity matrix is a generic data structure ... it can
+be used by any standard clustering algorithm" (paper Section 1).  The
+third party runs these algorithms locally once the matrix is built
+(Section 5), so everything here consumes a
+:class:`repro.distance.DissimilarityMatrix` and never touches raw data:
+
+* :mod:`repro.clustering.linkage` -- agglomerative hierarchical
+  clustering via Lance-Williams updates (single, complete, average,
+  weighted, ward), the paper's primary downstream consumer,
+* :mod:`repro.clustering.dendrogram` -- merge trees, cuts by cluster
+  count or height, cophenetic distances,
+* :mod:`repro.clustering.kmedoids` -- PAM, the partitioning baseline for
+  the hierarchical-vs-partitioning discussion of Section 2,
+* :mod:`repro.clustering.quality` -- internal metrics the TP may publish
+  (Section 5) and external accuracy metrics for the experiments.
+"""
+
+from repro.clustering.dendrogram import Dendrogram, cut_at_k, fcluster_by_height
+from repro.clustering.kmedoids import KMedoidsResult, k_medoids
+from repro.clustering.linkage import agglomerative
+from repro.clustering.render import render_dendrogram
+from repro.clustering.quality import (
+    adjusted_rand_index,
+    average_square_distance,
+    cophenetic_correlation,
+    dunn_index,
+    purity,
+    rand_index,
+    silhouette_score,
+)
+
+__all__ = [
+    "Dendrogram",
+    "cut_at_k",
+    "fcluster_by_height",
+    "agglomerative",
+    "render_dendrogram",
+    "KMedoidsResult",
+    "k_medoids",
+    "silhouette_score",
+    "average_square_distance",
+    "dunn_index",
+    "cophenetic_correlation",
+    "rand_index",
+    "adjusted_rand_index",
+    "purity",
+]

@@ -1,0 +1,173 @@
+"""Dendrograms: the output of agglomerative clustering.
+
+A :class:`Dendrogram` records the ``n - 1`` merges of an agglomerative
+run using scipy's node-numbering convention (leaves are ``0..n-1``, the
+i-th merge creates node ``n + i``), which makes cross-validation against
+``scipy.cluster.hierarchy`` a direct array comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: nodes ``left`` and ``right`` join at ``height``."""
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+class Dendrogram:
+    """Merge tree over ``num_leaves`` objects."""
+
+    def __init__(self, num_leaves: int, merges: Sequence[Merge]) -> None:
+        if num_leaves < 1:
+            raise ClusteringError("dendrogram needs at least one leaf")
+        if len(merges) != num_leaves - 1:
+            raise ClusteringError(
+                f"{num_leaves} leaves require {num_leaves - 1} merges, got {len(merges)}"
+            )
+        self._n = num_leaves
+        self._merges = tuple(merges)
+        for step, merge in enumerate(self._merges):
+            limit = num_leaves + step
+            if not (0 <= merge.left < limit and 0 <= merge.right < limit):
+                raise ClusteringError(f"merge {step} references invalid node ids")
+            if merge.left == merge.right:
+                raise ClusteringError(f"merge {step} joins a node with itself")
+
+    @property
+    def num_leaves(self) -> int:
+        return self._n
+
+    @property
+    def merges(self) -> tuple[Merge, ...]:
+        return self._merges
+
+    @property
+    def heights(self) -> list[float]:
+        """Merge heights in order; monotone for the supported linkages."""
+        return [m.height for m in self._merges]
+
+    def is_monotone(self, atol: float = 1e-9) -> bool:
+        """Whether merge heights never decrease (no inversions)."""
+        heights = self.heights
+        return all(b >= a - atol for a, b in zip(heights, heights[1:]))
+
+    def to_scipy_linkage(self) -> np.ndarray:
+        """The ``(n-1, 4)`` linkage matrix scipy tooling expects."""
+        out = np.zeros((len(self._merges), 4), dtype=np.float64)
+        for i, merge in enumerate(self._merges):
+            out[i] = (merge.left, merge.right, merge.height, merge.size)
+        return out
+
+    # -- cutting ----------------------------------------------------------
+
+    def _labels_after(self, num_merges: int) -> list[int]:
+        """Flat labels after applying the first ``num_merges`` merges."""
+        parent = list(range(self._n + num_merges))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for step in range(num_merges):
+            merge = self._merges[step]
+            new_node = self._n + step
+            parent[find(merge.left)] = new_node
+            parent[find(merge.right)] = new_node
+        roots: dict[int, int] = {}
+        labels = []
+        for leaf in range(self._n):
+            root = find(leaf)
+            if root not in roots:
+                roots[root] = len(roots)
+            labels.append(roots[root])
+        return labels
+
+    def cut_at_k(self, k: int) -> list[int]:
+        """Flat clustering with exactly ``k`` clusters.
+
+        Labels are numbered 0..k-1 in order of first appearance by leaf
+        index, making results deterministic and comparable.
+        """
+        if not 1 <= k <= self._n:
+            raise ClusteringError(f"k must be in [1, {self._n}], got {k}")
+        return self._labels_after(self._n - k)
+
+    def cut_at_height(self, height: float) -> list[int]:
+        """Flat clustering keeping every merge with ``merge.height <= height``."""
+        num_merges = sum(1 for m in self._merges if m.height <= height)
+        return self._labels_after(num_merges)
+
+    def to_newick(self, leaf_labels: Sequence[str] | None = None) -> str:
+        """Serialise the tree in Newick format (with branch lengths).
+
+        The standard interchange format for phylogenetic tooling -- the
+        natural export for the paper's bird-flu DNA scenario.  Branch
+        length of a node is its parent's merge height minus its own
+        (leaves have height 0), so root-to-leaf path lengths reproduce
+        the merge heights.
+        """
+        if leaf_labels is None:
+            leaf_labels = [str(i) for i in range(self._n)]
+        if len(leaf_labels) != self._n:
+            raise ClusteringError(
+                f"{len(leaf_labels)} labels for {self._n} leaves"
+            )
+        if self._n == 1:
+            return f"{leaf_labels[0]}:0;"
+        heights: dict[int, float] = {leaf: 0.0 for leaf in range(self._n)}
+        rendered: dict[int, str] = {
+            leaf: leaf_labels[leaf] for leaf in range(self._n)
+        }
+        for step, merge in enumerate(self._merges):
+            node = self._n + step
+            heights[node] = merge.height
+            left_branch = merge.height - heights[merge.left]
+            right_branch = merge.height - heights[merge.right]
+            rendered[node] = (
+                f"({rendered.pop(merge.left)}:{left_branch:g},"
+                f"{rendered.pop(merge.right)}:{right_branch:g})"
+            )
+        (root,) = rendered.values()
+        return root + ";"
+
+    def cophenetic_matrix(self) -> np.ndarray:
+        """Square matrix of cophenetic distances (height of the lowest
+        common merge of every leaf pair); a standard dendrogram invariant
+        used by the property tests."""
+        coph = np.zeros((self._n, self._n), dtype=np.float64)
+        members: dict[int, list[int]] = {leaf: [leaf] for leaf in range(self._n)}
+        for step, merge in enumerate(self._merges):
+            left = members.pop(merge.left)
+            right = members.pop(merge.right)
+            for a in left:
+                for b in right:
+                    coph[a, b] = coph[b, a] = merge.height
+            members[self._n + step] = left + right
+        return coph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dendrogram(leaves={self._n}, top={self._merges[-1].height if self._merges else 0:.4g})"
+
+
+def cut_at_k(dendrogram: Dendrogram, k: int) -> list[int]:
+    """Module-level alias of :meth:`Dendrogram.cut_at_k`."""
+    return dendrogram.cut_at_k(k)
+
+
+def fcluster_by_height(dendrogram: Dendrogram, height: float) -> list[int]:
+    """Module-level alias of :meth:`Dendrogram.cut_at_height`."""
+    return dendrogram.cut_at_height(height)

@@ -1,0 +1,215 @@
+"""Cluster quality metrics.
+
+Two families:
+
+* **Internal** metrics computable from the dissimilarity matrix alone --
+  what the third party may publish without extra leakage (Section 5:
+  "The third party can also provide clustering quality parameters such
+  as average of square distance between members").
+* **External** metrics against ground-truth labels -- used only by the
+  reproduction experiments to quantify the paper's zero-accuracy-loss
+  claim; no protocol component reads ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ClusteringError
+
+
+def _validate_labels(matrix: DissimilarityMatrix | None, labels: Sequence[int]) -> list[int]:
+    labels = list(labels)
+    if matrix is not None and len(labels) != matrix.num_objects:
+        raise ClusteringError(
+            f"{len(labels)} labels for {matrix.num_objects} objects"
+        )
+    if not labels:
+        raise ClusteringError("labels must be non-empty")
+    return labels
+
+
+# -- internal metrics ---------------------------------------------------------
+
+
+def average_square_distance(matrix: DissimilarityMatrix, labels: Sequence[int]) -> dict[int, float]:
+    """Per-cluster average squared member distance (the Section 5 statistic).
+
+    For each cluster, the mean of ``d(i, j)^2`` over distinct member pairs;
+    singleton clusters report 0.0.
+    """
+    labels = _validate_labels(matrix, labels)
+    result: dict[int, float] = {}
+    for cluster in sorted(set(labels)):
+        members = [i for i, l in enumerate(labels) if l == cluster]
+        if len(members) < 2:
+            result[cluster] = 0.0
+            continue
+        total = 0.0
+        count = 0
+        for a_idx, i in enumerate(members):
+            for j in members[:a_idx]:
+                total += matrix[i, j] ** 2
+                count += 1
+        result[cluster] = total / count
+    return result
+
+
+def silhouette_score(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient computed from dissimilarities.
+
+    Requires at least two clusters and returns a value in [-1, 1]; objects
+    in singleton clusters contribute 0 by the standard convention.
+    """
+    labels = _validate_labels(matrix, labels)
+    clusters = sorted(set(labels))
+    if len(clusters) < 2:
+        raise ClusteringError("silhouette requires at least two clusters")
+    square = matrix.to_square()
+    labels_arr = np.asarray(labels)
+    scores = np.zeros(len(labels))
+    for i in range(len(labels)):
+        own = labels_arr == labels_arr[i]
+        own[i] = False
+        if not own.any():
+            scores[i] = 0.0
+            continue
+        a = square[i, own].mean()
+        b = np.inf
+        for cluster in clusters:
+            if cluster == labels_arr[i]:
+                continue
+            other = labels_arr == cluster
+            b = min(b, square[i, other].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def dunn_index(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
+    """Dunn index: min inter-cluster distance / max intra-cluster diameter.
+
+    Higher is better; undefined (raises) for fewer than two clusters or
+    when every cluster is a singleton (zero diameter -- we return inf
+    then, the conventional limit).
+    """
+    labels = _validate_labels(matrix, labels)
+    clusters = sorted(set(labels))
+    if len(clusters) < 2:
+        raise ClusteringError("Dunn index requires at least two clusters")
+    square = matrix.to_square()
+    labels_arr = np.asarray(labels)
+    min_between = np.inf
+    max_within = 0.0
+    for ci_idx, ci in enumerate(clusters):
+        members_i = labels_arr == ci
+        block = square[np.ix_(members_i, members_i)]
+        if block.size > 1:
+            max_within = max(max_within, float(block.max()))
+        for cj in clusters[ci_idx + 1 :]:
+            members_j = labels_arr == cj
+            min_between = min(
+                min_between, float(square[np.ix_(members_i, members_j)].min())
+            )
+    if max_within == 0.0:
+        return float("inf")
+    return min_between / max_within
+
+
+def cophenetic_correlation(matrix: DissimilarityMatrix, dendrogram) -> float:
+    """Pearson correlation between original and cophenetic distances.
+
+    The classic goodness-of-fit statistic for a dendrogram against the
+    matrix it was built from; near 1 means the tree faithfully encodes
+    the distances.  Another quality figure the TP can publish without
+    leaking pairwise values.
+    """
+    if dendrogram.num_leaves != matrix.num_objects:
+        raise ClusteringError("dendrogram and matrix disagree on object count")
+    n = matrix.num_objects
+    if n < 3:
+        raise ClusteringError("cophenetic correlation needs >= 3 objects")
+    coph = dendrogram.cophenetic_matrix()
+    original = []
+    tree = []
+    for i in range(1, n):
+        for j in range(i):
+            original.append(matrix[i, j])
+            tree.append(coph[i, j])
+    original_arr = np.asarray(original)
+    tree_arr = np.asarray(tree)
+    if original_arr.std() == 0 or tree_arr.std() == 0:
+        raise ClusteringError("degenerate distances: correlation undefined")
+    return float(np.corrcoef(original_arr, tree_arr)[0, 1])
+
+
+# -- external metrics ---------------------------------------------------------
+
+
+def _pair_counts(truth: Sequence[int], predicted: Sequence[int]) -> tuple[int, int, int, int]:
+    """(both-same, truth-same-only, pred-same-only, both-different) pair counts."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    n = len(truth)
+    ss = sd = ds = dd = 0
+    for i in range(n):
+        for j in range(i):
+            same_truth = truth[i] == truth[j]
+            same_pred = predicted[i] == predicted[j]
+            if same_truth and same_pred:
+                ss += 1
+            elif same_truth:
+                sd += 1
+            elif same_pred:
+                ds += 1
+            else:
+                dd += 1
+    return ss, sd, ds, dd
+
+
+def rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """Fraction of object pairs on which the two partitions agree."""
+    ss, sd, ds, dd = _pair_counts(truth, predicted)
+    total = ss + sd + ds + dd
+    if total == 0:
+        return 1.0
+    return (ss + dd) / total
+
+
+def adjusted_rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """Rand index adjusted for chance (1.0 iff identical partitions)."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    n = len(truth)
+    if n == 0:
+        raise ClusteringError("labels must be non-empty")
+    contingency: Counter[tuple[int, int]] = Counter(zip(truth, predicted))
+    sum_cells = sum(comb(c, 2) for c in contingency.values())
+    sum_rows = sum(comb(c, 2) for c in Counter(truth).values())
+    sum_cols = sum(comb(c, 2) for c in Counter(predicted).values())
+    total_pairs = comb(n, 2)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def purity(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """Fraction of objects whose cluster's majority truth label matches theirs."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    if not truth:
+        raise ClusteringError("labels must be non-empty")
+    correct = 0
+    for cluster in set(predicted):
+        members = [truth[i] for i in range(len(truth)) if predicted[i] == cluster]
+        correct += Counter(members).most_common(1)[0][1]
+    return correct / len(truth)

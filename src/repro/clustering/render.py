@@ -1,0 +1,88 @@
+"""Plain-text dendrogram rendering.
+
+The third party publishes membership lists, but operators inspecting a
+session (or example scripts) benefit from seeing the merge tree.  This
+renderer draws a horizontal dendrogram with unicode box characters,
+leaves sorted in dendrogram traversal order so branches never cross.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clustering.dendrogram import Dendrogram
+from repro.exceptions import ClusteringError
+
+
+def _leaf_order(dendrogram: Dendrogram) -> list[int]:
+    """Left-to-right leaf order from a depth-first walk of the tree."""
+    n = dendrogram.num_leaves
+    children: dict[int, tuple[int, int]] = {}
+    for step, merge in enumerate(dendrogram.merges):
+        children[n + step] = (merge.left, merge.right)
+    root = n + len(dendrogram.merges) - 1 if dendrogram.merges else 0
+    order: list[int] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node < n:
+            order.append(node)
+        else:
+            left, right = children[node]
+            stack.append(right)
+            stack.append(left)
+    return order
+
+
+def render_dendrogram(
+    dendrogram: Dendrogram,
+    labels: Sequence[str] | None = None,
+    width: int = 60,
+) -> str:
+    """Render the merge tree as text, one leaf per line.
+
+    Each leaf line shows the label followed by a bar whose length is
+    proportional to the height at which the leaf's cluster last merged;
+    shared prefixes indicate shared subtrees.  Compact and terminal
+    friendly rather than typographically fancy.
+    """
+    n = dendrogram.num_leaves
+    if labels is None:
+        labels = [str(i) for i in range(n)]
+    if len(labels) != n:
+        raise ClusteringError(f"{len(labels)} labels for {n} leaves")
+    if width < 10:
+        raise ClusteringError("width must be at least 10 columns")
+    if not dendrogram.merges:
+        return f"{labels[0]}"
+
+    top = dendrogram.merges[-1].height or 1.0
+    # For each leaf, the sequence of merge heights on its path to the root.
+    n_nodes = n + len(dendrogram.merges)
+    parent = [-1] * n_nodes
+    height_of = [0.0] * n_nodes
+    for step, merge in enumerate(dendrogram.merges):
+        node = n + step
+        parent[merge.left] = node
+        parent[merge.right] = node
+        height_of[node] = merge.height
+
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for leaf in _leaf_order(dendrogram):
+        ticks = []
+        node = leaf
+        while parent[node] != -1:
+            node = parent[node]
+            column = int(round(height_of[node] / top * (width - 1)))
+            ticks.append(min(width - 1, max(0, column)))
+        bar = [" "] * width
+        previous = 0
+        for column in sorted(set(ticks)):
+            for i in range(previous, column):
+                bar[i] = "─"
+            bar[column] = "┤"
+            previous = column + 1
+        lines.append(f"{str(labels[leaf]).ljust(label_width)} {''.join(bar).rstrip()}")
+    scale = f"{' ' * (label_width + 1)}0{' ' * (width - len(f'{top:g}') - 2)}{top:g}"
+    return "\n".join(lines + [scale])

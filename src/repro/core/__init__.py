@@ -1,0 +1,25 @@
+"""The paper's primary contribution: privacy-preserving comparison
+protocols and dissimilarity matrix construction.
+
+* :mod:`repro.core.numeric` -- Section 4.1 protocol (Figures 4-6),
+* :mod:`repro.core.alphanumeric` -- Section 4.2 protocol (Figures 8-10),
+* :mod:`repro.core.categorical` -- Section 4.3 protocol,
+* :mod:`repro.core.construction` -- Figure 11 driver,
+* :mod:`repro.core.session` -- end-to-end orchestration,
+* :mod:`repro.core.results` -- Figure 13 publication format,
+* :mod:`repro.core.config` -- session/protocol configuration,
+* :mod:`repro.core.labels` -- PRNG/key derivation label grammar.
+"""
+
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.results import Cluster, ClusteringResult, result_from_labels
+from repro.core.session import ClusteringSession
+
+__all__ = [
+    "ProtocolSuiteConfig",
+    "SessionConfig",
+    "Cluster",
+    "ClusteringResult",
+    "result_from_labels",
+    "ClusteringSession",
+]

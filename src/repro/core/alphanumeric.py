@@ -1,0 +1,223 @@
+"""The alphanumeric comparison protocol (paper Section 4.2, Figures 8-10).
+
+Goal: the third party computes the edit distance between every cross-site
+string pair without any party revealing a string.  The trick (Section 2.3)
+is that the edit-distance DP does not need the strings -- a 0/1
+*character comparison matrix* (CCM) is "equally expressive" -- and a CCM
+can be assembled from additively masked characters:
+
+* **DHJ (initiator)** shifts each character of each string by a fresh
+  draw of ``rng_JT`` modulo the alphabet size, re-initialising the
+  generator after every string (Figure 8), so *every* string is masked
+  with the same random prefix vector ``R``::
+
+      s'[p] = (s[p] + R[p]) mod |A|
+
+* **DHK (responder)** cannot unmask (it lacks ``r_JT``); it subtracts its
+  own characters, producing the intermediary matrix (Figure 9)::
+
+      M[q][p] = (s'[p] - t[q]) mod |A|
+
+* **TP** regenerates ``R`` and binarises (Figure 10)::
+
+      CCM[q][p] = 0  if (M[q][p] - R[p]) mod |A| == 0  else 1
+
+  then runs the edit-distance DP on the CCM.
+
+Orientation is one row per responder (target) character, one column per
+initiator (source) character -- matching Figures 9-10 and
+:mod:`repro.distance.ccm`.
+
+Worked check (paper Figure 7, alphabet {a,b,c,d}): s = "abc" with
+R = (0, 1, 3) masks to s' = "acb"; t = "bd" yields
+M = [[d, b, a], [b, d, c]] as letters; unmasking gives
+CCM = [[1, 0, 1], [1, 1, 1]], whose single zero says s[1] == t[0] = 'b'.
+The test suite pins this trace literally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.prng import ReseedablePRNG
+from repro.data.alphabet import Alphabet
+from repro.distance.edit import edit_distance_from_ccm
+from repro.exceptions import ProtocolError
+
+
+def _require_byte_codes(alphabet: Alphabet) -> None:
+    if alphabet.size > 256:
+        raise ProtocolError(
+            f"alphabet of size {alphabet.size} exceeds the uint8 wire encoding"
+        )
+
+
+def initiator_mask_strings(
+    strings: Sequence[str],
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> list[str]:
+    """Figure 8 -- DHJ masks every string with the shared random vector.
+
+    The per-string re-initialisation means character position ``p`` of
+    *any* string is always shifted by the same ``R[p]``; that is what
+    lets the TP unmask CCM columns without knowing which strings meet.
+    """
+    masked = []
+    for text in strings:
+        alphabet.validate(text)
+        shifted = [
+            alphabet.shift_char(ch, rng_jt.next_below(alphabet.size)) for ch in text
+        ]
+        rng_jt.reset()
+        masked.append("".join(shifted))
+    return masked
+
+
+def responder_ccm_matrices(
+    own_strings: Sequence[str],
+    masked_initiator: Sequence[str],
+    alphabet: Alphabet,
+) -> list[list[np.ndarray]]:
+    """Figure 9 -- DHK builds intermediary CCMs for every string pair.
+
+    ``result[m][n][q, p] = (code(s'_n[p]) - code(t_m[q])) mod |A|`` as a
+    uint8 array.  No randomness is involved on this side; the masking
+    DHJ applied already hides the source characters from DHK.
+    """
+    _require_byte_codes(alphabet)
+    result: list[list[np.ndarray]] = []
+    for own in own_strings:
+        alphabet.validate(own)
+        own_codes = np.asarray(alphabet.encode(own), dtype=np.int64)
+        row: list[np.ndarray] = []
+        for masked in masked_initiator:
+            masked_codes = np.asarray(alphabet.encode(masked), dtype=np.int64)
+            diff = (masked_codes[None, :] - own_codes[:, None]) % alphabet.size
+            row.append(diff.astype(np.uint8))
+        result.append(row)
+    return result
+
+
+def third_party_decode_ccm(
+    intermediary: np.ndarray,
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> np.ndarray:
+    """Figure 10 (inner loops) -- TP binarises one intermediary CCM.
+
+    The generator is re-initialised after every *row*: each row spans the
+    same source-character positions, so it consumes the same mask prefix
+    ``R[0..p-1]``.
+    """
+    rows, cols = intermediary.shape
+    ccm = np.ones((rows, cols), dtype=np.uint8)
+    for q in range(rows):
+        for p in range(cols):
+            mask = rng_jt.next_below(alphabet.size)
+            if alphabet.unshift_code(int(intermediary[q, p]), mask) == 0:
+                ccm[q, p] = 0
+        rng_jt.reset()
+    return ccm
+
+
+def third_party_distances(
+    intermediary_matrices: Sequence[Sequence[np.ndarray]],
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> list[list[int]]:
+    """Figure 10 (full) -- binarise every CCM and run the edit-distance DP.
+
+    Returns the cross-site block ``J_K[m][n]`` = edit distance between
+    responder string ``m`` and initiator string ``n``.
+    """
+    distances: list[list[int]] = []
+    for row in intermediary_matrices:
+        out_row = []
+        for intermediary in row:
+            if intermediary.ndim != 2:
+                raise ProtocolError(
+                    f"intermediary CCM must be 2-D, got shape {intermediary.shape}"
+                )
+            ccm = third_party_decode_ccm(intermediary, alphabet, rng_jt)
+            out_row.append(edit_distance_from_ccm(ccm))
+        distances.append(out_row)
+    return distances
+
+
+# -- fresh-masks extension (addresses the paper's Section 6 open problem) ------
+#
+# Figure 8's per-string re-initialisation means every string is masked
+# with the *same* random vector R, which leaks positional letter
+# statistics across strings (exploited by
+# :mod:`repro.attacks.language`).  The paper defers "attacks using
+# statistics of the input language" to future work; the variant below is
+# that future work: one continuous mask stream, never reset, so every
+# character of every string gets a fresh offset.  Communication costs
+# are unchanged -- only the TP's bookkeeping differs (it reconstructs
+# per-string mask vectors from the CCM column counts it receives).
+
+
+def initiator_mask_strings_fresh(
+    strings: Sequence[str],
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> list[str]:
+    """Mask every character with a fresh draw (no per-string reset)."""
+    masked = []
+    for text in strings:
+        alphabet.validate(text)
+        masked.append(
+            "".join(
+                alphabet.shift_char(ch, rng_jt.next_below(alphabet.size))
+                for ch in text
+            )
+        )
+    return masked
+
+
+def third_party_distances_fresh(
+    intermediary_matrices: Sequence[Sequence[np.ndarray]],
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> list[list[int]]:
+    """TP side of the fresh-masks variant.
+
+    The mask vector of initiator string ``n`` occupies stream positions
+    ``sum(len(s_0..n-1)) .. +len(s_n)``; string lengths are read off the
+    CCM column counts, so no extra message is needed.
+    """
+    if not intermediary_matrices:
+        return []
+    first_row = intermediary_matrices[0]
+    masks: list[list[int]] = []
+    for intermediary in first_row:
+        if intermediary.ndim != 2:
+            raise ProtocolError(
+                f"intermediary CCM must be 2-D, got shape {intermediary.shape}"
+            )
+        masks.append(
+            [rng_jt.next_below(alphabet.size) for _ in range(intermediary.shape[1])]
+        )
+    distances: list[list[int]] = []
+    for row in intermediary_matrices:
+        if len(row) != len(masks):
+            raise ProtocolError("ragged intermediary CCM matrix")
+        out_row = []
+        for n, intermediary in enumerate(row):
+            if intermediary.ndim != 2 or intermediary.shape[1] != len(masks[n]):
+                raise ProtocolError(
+                    f"CCM column count {intermediary.shape} does not match "
+                    f"initiator string {n} length {len(masks[n])}"
+                )
+            rows_q, cols_p = intermediary.shape
+            ccm = np.ones((rows_q, cols_p), dtype=np.uint8)
+            for q in range(rows_q):
+                for p in range(cols_p):
+                    if alphabet.unshift_code(int(intermediary[q, p]), masks[n][p]) == 0:
+                        ccm[q, p] = 0
+            out_row.append(edit_distance_from_ccm(ccm))
+        distances.append(out_row)
+    return distances

@@ -1,0 +1,60 @@
+"""The categorical comparison protocol (paper Section 4.3).
+
+"Data holder parties share a secret key to encrypt their data.  Value of
+the categorical attribute is encrypted for every object at every site and
+these encrypted data are sent to the third party ... If ciphertext of two
+categorical values are the same, then plaintexts must be the same.  Third
+party merges encrypted data and runs the local dissimilarity matrix
+construction algorithm [Figure 12].  Outcome is not a local dissimilarity
+matrix ... since data from all parties is input to the algorithm."
+
+Unlike the numeric/alphanumeric cases there are no cross-site protocol
+rounds: each holder sends one encrypted column (cost O(n), Section 4.3),
+and the TP alone assembles the *global* 0/1 matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.data.partition import GlobalIndex
+from repro.distance.categorical import ciphertext_distance
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.local import local_dissimilarity
+from repro.exceptions import ProtocolError
+
+
+def holder_encrypt_column(
+    encryptor: DeterministicEncryptor,
+    attribute: str,
+    values: Sequence[str],
+) -> list[bytes]:
+    """Per-site step: deterministically encrypt the categorical column."""
+    return encryptor.encrypt_column(attribute, list(values))
+
+
+def third_party_categorical_matrix(
+    encrypted_columns: Mapping[str, Sequence[bytes]],
+    index: GlobalIndex,
+) -> DissimilarityMatrix:
+    """TP step: merge ciphertext columns and run Figure 12 on the result.
+
+    Columns are concatenated in the canonical site order of ``index`` so
+    the output rows line up with every other attribute's global matrix.
+    """
+    if set(encrypted_columns) != set(index.sites):
+        raise ProtocolError(
+            f"columns from sites {sorted(encrypted_columns)} do not match "
+            f"index sites {list(index.sites)}"
+        )
+    merged: list[bytes] = []
+    for site in index.sites:
+        column = list(encrypted_columns[site])
+        if len(column) != index.size_of(site):
+            raise ProtocolError(
+                f"site {site!r} sent {len(column)} ciphertexts, "
+                f"index expects {index.size_of(site)}"
+            )
+        merged.extend(column)
+    return local_dissimilarity(merged, ciphertext_distance)

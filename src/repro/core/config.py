@@ -1,0 +1,117 @@
+"""Configuration objects for protocol runs and clustering sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crypto.prng import DEFAULT_PRNG_KIND, available_kinds
+from repro.exceptions import ConfigurationError
+from repro.types import LinkageMethod
+
+
+@dataclass(frozen=True)
+class ProtocolSuiteConfig:
+    """Knobs shared by the three comparison protocols.
+
+    Attributes
+    ----------
+    prng_kind:
+        Which :mod:`repro.crypto.prng` generator realises ``rng_JK`` and
+        ``rng_JT``.  The default is the hash DRBG, matching the paper's
+        quality assumptions; tests exercise the others.
+    mask_bits:
+        Width of the additive masks in the numeric protocol.  Must leave
+        generous headroom over the encoded data magnitude: the mask is
+        what makes a masked value "practically a random number" to its
+        recipient (Section 4.1).
+    batch_numeric:
+        ``True`` reproduces the paper's batched protocol (one mask per
+        initiator value, reused across the responder's rows).  ``False``
+        switches to the Section 4.1 mitigation -- "using unique random
+        numbers for each object pair" -- which defeats the frequency
+        attack at higher communication cost.
+    secure_channels:
+        Whether party links are sealed.  The paper *requires* secured
+        channels; turning this off exists for the eavesdropping
+        experiments only.
+    categorical_digest_size:
+        Ciphertext size for deterministic encryption of categoricals.
+    fresh_string_masks:
+        ``False`` reproduces Figure 8 exactly (one mask vector reused
+        across all of an initiator's strings).  ``True`` enables the
+        extension that closes the paper's Section 6 open problem: a
+        continuous mask stream defeating language-statistics attacks at
+        identical communication cost.
+    """
+
+    prng_kind: str = DEFAULT_PRNG_KIND
+    mask_bits: int = 64
+    batch_numeric: bool = True
+    secure_channels: bool = True
+    categorical_digest_size: int = 16
+    fresh_string_masks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prng_kind not in available_kinds():
+            raise ConfigurationError(
+                f"unknown prng_kind {self.prng_kind!r}; available: {available_kinds()}"
+            )
+        if not 16 <= self.mask_bits <= 4096:
+            raise ConfigurationError(
+                f"mask_bits must be in [16, 4096], got {self.mask_bits}"
+            )
+        if not 8 <= self.categorical_digest_size <= 32:
+            raise ConfigurationError(
+                f"categorical_digest_size must be in [8, 32], got {self.categorical_digest_size}"
+            )
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """End-to-end clustering session configuration.
+
+    Attributes
+    ----------
+    num_clusters:
+        How many clusters the third party publishes (dendrogram cut).
+    linkage:
+        Hierarchical method the third party runs; any
+        :class:`repro.types.LinkageMethod`.
+    weights:
+        Attribute weight vector used when merging per-attribute
+        dissimilarity matrices.  ``None`` means equal weights.  (The
+        paper lets each holder impose its own vector; pass
+        ``per_holder_weights`` to model that.)
+    per_holder_weights:
+        Optional ``{site: weight vector}``; when set, the session
+        publishes one result per holder, each merged with that holder's
+        vector -- Section 5's "every data holder can impose a different
+        weight vector".
+    master_seed:
+        Root of all session randomness (DH entropy, channel nonces).
+        Two sessions with equal seeds and inputs produce byte-identical
+        transcripts.
+    suite:
+        The protocol-level configuration.
+    """
+
+    num_clusters: int = 2
+    linkage: LinkageMethod | str = LinkageMethod.AVERAGE
+    weights: Sequence[float] | None = None
+    per_holder_weights: dict[str, Sequence[float]] | None = None
+    master_seed: int = 0
+    suite: ProtocolSuiteConfig = field(default_factory=ProtocolSuiteConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ConfigurationError(
+                f"num_clusters must be >= 1, got {self.num_clusters}"
+            )
+        if isinstance(self.linkage, str):
+            try:
+                object.__setattr__(self, "linkage", LinkageMethod(self.linkage))
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown linkage {self.linkage!r}"
+                ) from None

@@ -1,0 +1,76 @@
+"""Dissimilarity matrix construction (paper Section 5, Figure 11).
+
+For each attribute chosen for clustering, the third party
+
+1. requests every holder's local dissimilarity matrix (numeric and
+   alphanumeric attributes; categorical columns arrive encrypted
+   instead), and
+2. runs the pairwise comparison protocol between every holder pair --
+   ``C(k, 2)`` runs per attribute, initiator chosen as the
+   lexicographically smaller site so all parties agree without
+   negotiation --
+
+then normalises the completed matrix into [0, 1] (Figure 11 step 4).
+This module is the deterministic driver of that sequence over the
+in-process parties; it performs no unmasking or maths itself.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.data.matrix import AttributeSpec
+from repro.exceptions import ProtocolError
+from repro.parties.holder import DataHolder
+from repro.parties.third_party import ThirdParty
+from repro.types import AttributeType
+
+
+def construct_attribute(
+    spec: AttributeSpec,
+    holders: Mapping[str, DataHolder],
+    third_party: ThirdParty,
+) -> None:
+    """Build the global dissimilarity matrix for one attribute.
+
+    Drives holders and the third party through the Figure 11 sequence;
+    on return ``third_party.attribute_matrix(spec.name)`` is available.
+    """
+    sites = list(third_party.index.sites)
+    if set(sites) != set(holders):
+        raise ProtocolError(
+            f"holders {sorted(holders)} do not match index sites {sites}"
+        )
+
+    if spec.attr_type is AttributeType.CATEGORICAL:
+        for site in sites:
+            holders[site].send_categorical(spec, third_party.name)
+            third_party.receive_encrypted_column(site)
+        third_party.finalize_categorical(spec.name)
+    else:
+        for site in sites:
+            holders[site].send_local_matrix(third_party.name, spec)
+            third_party.receive_local_matrix(site)
+        for j_index, initiator in enumerate(sites):
+            for responder in sites[j_index + 1 :]:
+                if spec.attr_type is AttributeType.NUMERIC:
+                    holders[initiator].numeric_initiate(
+                        spec,
+                        responder,
+                        third_party.name,
+                        responder_size=third_party.index.size_of(responder),
+                    )
+                    holders[responder].numeric_respond(
+                        spec, initiator, third_party.name
+                    )
+                    third_party.receive_numeric_block(responder)
+                else:
+                    holders[initiator].alnum_initiate(
+                        spec, responder, third_party.name
+                    )
+                    holders[responder].alnum_respond(
+                        spec, initiator, third_party.name
+                    )
+                    third_party.receive_alnum_block(responder)
+
+    third_party.finalize_attribute(spec.name)

@@ -1,0 +1,42 @@
+"""Derivation labels shared by data holders and the third party.
+
+Every PRNG stream and key in the system is derived from a pairwise secret
+plus a *label*.  Labels must (a) be computable by both endpoints without
+communication and (b) never collide across attributes, protocol kinds,
+role assignments or pair members -- stream reuse would void the masking
+arguments of Sections 4.1-4.2.  Centralising the label grammar here keeps
+holders and the TP in exact agreement.
+"""
+
+from __future__ import annotations
+
+
+def numeric_jk(attribute: str, initiator: str, responder: str) -> str:
+    """``rng_JK`` for the numeric protocol (shared by the two holders)."""
+    return f"num-jk|{attribute}|{initiator}>{responder}"
+
+
+def numeric_jt(attribute: str, initiator: str, responder: str) -> str:
+    """``rng_JT`` for the numeric protocol (initiator and third party).
+
+    Includes the responder so each (J, K) pairing gets an independent
+    mask stream even though the secret binds only J and TP.
+    """
+    return f"num-jt|{attribute}|{initiator}>{responder}"
+
+
+def alnum_jt(attribute: str, initiator: str, responder: str) -> str:
+    """``rng_JT`` for the alphanumeric protocol."""
+    return f"alnum-jt|{attribute}|{initiator}>{responder}"
+
+
+def channel_key(party_a: str, party_b: str) -> str:
+    """Symmetric key securing the link between two parties."""
+    first, second = sorted((party_a, party_b))
+    return f"channel|{first}|{second}"
+
+
+def group_key_label() -> str:
+    """Label under which the holder group's categorical key is wrapped
+    for distribution (the key itself is random, not derived)."""
+    return "categorical-group-key"

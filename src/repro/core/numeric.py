@@ -1,0 +1,191 @@
+"""The numeric comparison protocol (paper Section 4.1, Figures 4-6).
+
+Three roles compute ``|x - y|`` for every cross-site pair without
+revealing ``x``, ``y`` or even the sign of ``x - y``:
+
+* **DHJ (initiator)** masks each value twice: a *sign* decided by the
+  generator shared with DHK (``rng_JK``) -- if the draw is odd DHJ
+  negates, otherwise DHK will -- and an *additive mask* drawn from the
+  generator shared with the third party (``rng_JT``)::
+
+      DH'J[n] = rng_JT.next() + DHJ[n] * (-1)^(rng_JK.next() % 2)
+
+* **DHK (responder)** builds the pairwise comparison matrix, adding its
+  own (complementarily signed) value to every masked input and
+  re-initialising ``rng_JK`` at each row so the sign draws re-align with
+  DHJ's::
+
+      s[m][n] = DH'J[n] + DHK[m] * (-1)^((rng_JK.next() + 1) % 2)
+
+* **TP** regenerates the additive masks (it shares ``rng_JT``'s seed)
+  and recovers ``|x - y| = |s[m][n] - rng_JT.next()|``, re-initialising
+  per row for the same alignment reason.
+
+The functions below are pure protocol steps over *encoded integers*
+(see :class:`repro.distance.numeric.FixedPointCodec`); party classes in
+:mod:`repro.parties` wire them to the network.
+
+Erratum note: Figure 5's step 1 reads "Initialize rngJT with seed rJT",
+but DHK never holds ``r_JT`` -- from the protocol description and
+Figure 3 it must be ``rng_JK``/``r_JK``; we implement the corrected
+version.
+
+Both modes of Section 4.1 are provided: the default **batch** mode
+(one mask per initiator value, reused down the responder's rows -- cheap
+but open to the frequency attack of :mod:`repro.attacks.frequency`) and
+the **per-pair** mitigation ("unique random numbers for each object
+pair") with its higher communication cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.prng import ReseedablePRNG
+from repro.exceptions import ProtocolError
+
+
+def _signed(value: int, negate: bool) -> int:
+    return -value if negate else value
+
+
+# -- batch mode (Figures 4-6 verbatim) ----------------------------------------
+
+
+def initiator_mask_batch(
+    values: Sequence[int],
+    rng_jk: ReseedablePRNG,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[int]:
+    """Figure 4 -- DHJ's step.
+
+    One sign draw from ``rng_JK`` and one additive mask from ``rng_JT``
+    per value.  Returns the disguised vector ``DH'J`` sent to DHK.
+    """
+    masked = []
+    for value in values:
+        negate = rng_jk.next_sign_bit() == 1
+        mask = rng_jt.next_bits(mask_bits)
+        masked.append(mask + _signed(value, negate))
+    return masked
+
+
+def responder_matrix_batch(
+    own_values: Sequence[int],
+    masked_initiator: Sequence[int],
+    rng_jk: ReseedablePRNG,
+) -> list[list[int]]:
+    """Figure 5 -- DHK's step.
+
+    Builds the ``len(own_values) x len(masked_initiator)`` comparison
+    matrix ``s``.  ``rng_JK`` is re-initialised at the end of every row
+    "to be able to remember the oddness/evenness of the random numbers
+    generated at site DHJ" -- i.e. so column ``n`` always re-derives the
+    sign DHJ used for its input ``n``.
+    """
+    matrix: list[list[int]] = []
+    for own in own_values:
+        row = []
+        for masked in masked_initiator:
+            initiator_negated = rng_jk.next_sign_bit() == 1
+            row.append(masked + _signed(own, not initiator_negated))
+        rng_jk.reset()
+        matrix.append(row)
+    return matrix
+
+
+def third_party_unmask_batch(
+    comparison_matrix: Sequence[Sequence[int]],
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Figure 6 -- TP's step.
+
+    Subtracts the regenerated masks and takes absolute values, giving the
+    cross-site distance block ``J_K[m][n] = |x_n - y_m|`` (rows are DHK's
+    objects, columns DHJ's).  ``rng_JT`` re-initialises per row because
+    every column is disguised with the same mask in batch mode.
+
+    ``mask_bits`` is a public protocol parameter: the pseudocode leaves
+    the mask domain implicit, but TP can only redraw identical masks when
+    it knows their width.
+    """
+    distances: list[list[int]] = []
+    for row in comparison_matrix:
+        out_row = []
+        for entry in row:
+            mask = rng_jt.next_bits(mask_bits)
+            out_row.append(abs(entry - mask))
+        rng_jt.reset()
+        distances.append(out_row)
+    return distances
+
+
+# -- per-pair mode (the Section 4.1 frequency-attack mitigation) ---------------
+
+
+def initiator_mask_per_pair(
+    values: Sequence[int],
+    responder_size: int,
+    rng_jk: ReseedablePRNG,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Per-pair DHJ step: a fresh sign and mask for every (m, n) pair.
+
+    Output is a ``responder_size x len(values)`` matrix; row ``m`` holds
+    the masked copies of DHJ's vector destined for the responder's object
+    ``m``.  Draws are row-major so all three parties stay aligned with no
+    re-initialisation at all.
+    """
+    if responder_size < 0:
+        raise ProtocolError(f"responder_size must be >= 0, got {responder_size}")
+    matrix = []
+    for _m in range(responder_size):
+        row = []
+        for value in values:
+            negate = rng_jk.next_sign_bit() == 1
+            mask = rng_jt.next_bits(mask_bits)
+            row.append(mask + _signed(value, negate))
+        matrix.append(row)
+    return matrix
+
+
+def responder_matrix_per_pair(
+    own_values: Sequence[int],
+    masked_matrix: Sequence[Sequence[int]],
+    rng_jk: ReseedablePRNG,
+) -> list[list[int]]:
+    """Per-pair DHK step: complement each pair's unique sign draw."""
+    if len(masked_matrix) != len(own_values):
+        raise ProtocolError(
+            f"masked matrix has {len(masked_matrix)} rows for "
+            f"{len(own_values)} responder values"
+        )
+    matrix = []
+    for own, masked_row in zip(own_values, masked_matrix):
+        row = []
+        for masked in masked_row:
+            initiator_negated = rng_jk.next_sign_bit() == 1
+            row.append(masked + _signed(own, not initiator_negated))
+        matrix.append(row)
+    return matrix
+
+
+def third_party_unmask_per_pair(
+    comparison_matrix: Sequence[Sequence[int]],
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Per-pair TP step: masks are consumed row-major, never re-used."""
+    distances = []
+    for row in comparison_matrix:
+        out_row = []
+        for entry in row:
+            mask = rng_jt.next_bits(mask_bits)
+            out_row.append(abs(entry - mask))
+        distances.append(out_row)
+    return distances
+
+

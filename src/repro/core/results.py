@@ -1,0 +1,133 @@
+"""Published clustering results (paper Figure 13).
+
+"Dissimilarity matrices must be kept secret by the third party because
+data holder parties can use distance scores to infer private information
+... That's why clustering results are published as a list of objects of
+each cluster" (Section 5).  A :class:`ClusteringResult` is exactly that
+publication: membership lists plus the optional quality statistics the
+paper allows ("such as average of square distance between members").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.data.partition import ObjectRef
+from repro.exceptions import ProtocolError
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One published cluster: an id and its site-qualified members."""
+
+    cluster_id: int
+    members: tuple[ObjectRef, ...]
+
+    def format_members(self, one_based: bool = True) -> str:
+        """Members in the paper's ``A1, A3, B4`` notation.
+
+        The paper numbers objects from 1; our local ids are 0-based, so
+        ``one_based=True`` (the default) adds 1 for display.
+        """
+        offset = 1 if one_based else 0
+        return ", ".join(f"{m.site}{m.local_id + offset}" for m in self.members)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """The third party's publication to every data holder.
+
+    Attributes
+    ----------
+    clusters:
+        Clusters ordered by id; members in global object order.
+    quality:
+        Per-cluster quality statistics (average squared member distance,
+        keyed by cluster id) -- the Section 5 example statistic.
+    linkage:
+        Name of the hierarchical method used.
+    num_objects:
+        Total objects clustered.
+    """
+
+    clusters: tuple[Cluster, ...]
+    quality: Mapping[int, float] = field(default_factory=dict)
+    linkage: str = ""
+    num_objects: int = 0
+
+    def labels_for(self, refs: Sequence[ObjectRef]) -> list[int]:
+        """Cluster id per object, in the order of ``refs``."""
+        membership: dict[ObjectRef, int] = {}
+        for cluster in self.clusters:
+            for member in cluster.members:
+                membership[member] = cluster.cluster_id
+        try:
+            return [membership[ref] for ref in refs]
+        except KeyError as exc:
+            raise ProtocolError(f"object {exc.args[0]} missing from result") from None
+
+    def format_figure13(self) -> str:
+        """Render the Figure 13 table (1-based member ids)."""
+        lines = [
+            f"Cluster{cluster.cluster_id + 1}\t{cluster.format_members()}"
+            for cluster in self.clusters
+        ]
+        return "\n".join(lines)
+
+    # -- wire conversion -----------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """Serializable form for network publication."""
+        return {
+            "clusters": [
+                [(m.site, m.local_id) for m in cluster.members]
+                for cluster in self.clusters
+            ],
+            "quality": {str(k): float(v) for k, v in self.quality.items()},
+            "linkage": self.linkage,
+            "num_objects": self.num_objects,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ClusteringResult":
+        """Inverse of :meth:`to_payload` (what holders reconstruct)."""
+        clusters = tuple(
+            Cluster(
+                cluster_id=i,
+                members=tuple(ObjectRef(site, local) for site, local in members),
+            )
+            for i, members in enumerate(payload["clusters"])
+        )
+        return cls(
+            clusters=clusters,
+            quality={int(k): v for k, v in payload["quality"].items()},
+            linkage=payload["linkage"],
+            num_objects=payload["num_objects"],
+        )
+
+
+def result_from_labels(
+    refs: Sequence[ObjectRef],
+    labels: Sequence[int],
+    quality: Mapping[int, float] | None = None,
+    linkage: str = "",
+) -> ClusteringResult:
+    """Assemble a result from flat labels in global object order."""
+    if len(refs) != len(labels):
+        raise ProtocolError(
+            f"{len(labels)} labels for {len(refs)} objects"
+        )
+    members: dict[int, list[ObjectRef]] = {}
+    for ref, label in zip(refs, labels):
+        members.setdefault(label, []).append(ref)
+    clusters = tuple(
+        Cluster(cluster_id=label, members=tuple(members[label]))
+        for label in sorted(members)
+    )
+    return ClusteringResult(
+        clusters=clusters,
+        quality=dict(quality or {}),
+        linkage=linkage,
+        num_objects=len(refs),
+    )

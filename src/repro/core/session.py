@@ -1,0 +1,223 @@
+"""End-to-end privacy-preserving clustering sessions.
+
+:class:`ClusteringSession` is the library's front door.  Given per-site
+data matrices and a :class:`~repro.core.config.SessionConfig`, it stands
+up the full deployment of Section 3 -- ``k`` data holders, one third
+party, pairwise Diffie-Hellman secrets, secured channels -- executes the
+Figure 11 construction for every attribute, and has the third party
+cluster and publish.
+
+Everything is deterministic in ``config.master_seed``, so experiment
+transcripts (including every byte count) are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core import labels
+from repro.core.config import SessionConfig
+from repro.core.construction import construct_attribute
+from repro.core.results import ClusteringResult
+from repro.crypto.keys import agree_pairwise
+from repro.crypto.prng import make_prng
+from repro.data.matrix import DataMatrix, Schema
+from repro.data.partition import GlobalIndex
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.simulator import Network
+from repro.parties.holder import DataHolder
+from repro.parties.third_party import ThirdParty
+from repro.types import AttributeType, LinkageMethod
+
+
+class ClusteringSession:
+    """Orchestrates one full run of the paper's protocol suite.
+
+    Parameters
+    ----------
+    config:
+        Session and protocol configuration.
+    partitions:
+        ``{site_name: DataMatrix}`` -- each holder's private partition.
+        All partitions must share one schema (the pre-agreed attribute
+        list of Section 3); at least two holders are required.
+    tp_name:
+        Name of the third party (must differ from every site name).
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        partitions: Mapping[str, DataMatrix],
+        tp_name: str = "TP",
+    ) -> None:
+        if len(partitions) < 2:
+            raise ConfigurationError(
+                f"the protocol requires k >= 2 data holders, got {len(partitions)}"
+            )
+        if tp_name in partitions:
+            raise ConfigurationError(
+                f"third party name {tp_name!r} collides with a data holder"
+            )
+        schemas = {m.schema for m in partitions.values()}
+        if len(schemas) != 1:
+            raise ConfigurationError("all partitions must share one schema")
+        for site, matrix in partitions.items():
+            if matrix.num_rows == 0:
+                raise ConfigurationError(f"site {site!r} holds no objects")
+
+        self.config = config
+        self.partitions = dict(partitions)
+        self.tp_name = tp_name
+        self.schema: Schema = next(iter(schemas))
+        self.index = GlobalIndex({s: m.num_rows for s, m in partitions.items()})
+        self.network = Network()
+        self._constructed = False
+        self._weights_collected = False
+
+        self._setup_parties()
+
+    # -- setup ------------------------------------------------------------
+
+    def _entropy(self, label: str):
+        """Session-deterministic cryptographic entropy source."""
+        return make_prng(f"session|{self.config.master_seed}|{label}", "hash_drbg")
+
+    def _setup_parties(self) -> None:
+        suite = self.config.suite
+        names = sorted(self.partitions) + [self.tp_name]
+        for name in names:
+            self.network.add_party(name)
+
+        # Pairwise Diffie-Hellman key agreement (out-of-band setup; the
+        # paper's cost analysis starts after secrets are shared).
+        secrets = agree_pairwise(
+            {name: self._entropy(f"dh|{name}") for name in names}
+        )
+
+        self.holders: dict[str, DataHolder] = {
+            site: DataHolder(
+                site,
+                matrix,
+                self.network,
+                suite,
+                entropy=self._entropy(f"holder|{site}"),
+            )
+            for site, matrix in self.partitions.items()
+        }
+        self.third_party = ThirdParty(
+            self.tp_name, self.network, self.schema, self.index, suite
+        )
+
+        parties = {**self.holders, self.tp_name: self.third_party}
+        for (a, b), secret in secrets.items():
+            parties[a].set_secret(b, secret)
+            parties[b].set_secret(a, secret)
+            self.network.connect(
+                a,
+                b,
+                secure=suite.secure_channels,
+                key=secret.key(labels.channel_key(a, b)) if suite.secure_channels else None,
+                entropy=self._entropy(f"nonce|{a}|{b}") if suite.secure_channels else None,
+            )
+
+    # -- protocol execution -----------------------------------------------------
+
+    def _holder_weights(self, site: str) -> list[float]:
+        config = self.config
+        if config.per_holder_weights and site in config.per_holder_weights:
+            weights = list(config.per_holder_weights[site])
+        elif config.weights is not None:
+            weights = list(config.weights)
+        else:
+            weights = [1.0] * len(self.schema)
+        if len(weights) != len(self.schema):
+            raise ConfigurationError(
+                f"{len(weights)} weights for {len(self.schema)} attributes"
+            )
+        return weights
+
+    def execute_protocol(self) -> None:
+        """Run key distribution and matrix construction (idempotent)."""
+        if self._constructed:
+            return
+        sites = list(self.index.sites)
+
+        needs_group_key = any(
+            spec.attr_type is AttributeType.CATEGORICAL for spec in self.schema
+        )
+        if needs_group_key:
+            leader = sites[0]
+            self.holders[leader].distribute_group_key(sites[1:])
+            for site in sites[1:]:
+                self.holders[site].receive_group_key(leader)
+
+        for spec in self.schema:
+            construct_attribute(spec, self.holders, self.third_party)
+
+        for site in sites:
+            self.holders[site].send_weights(self.tp_name, self._holder_weights(site))
+            self.third_party.receive_weights(site)
+        self._constructed = True
+
+    def run(self) -> ClusteringResult:
+        """Execute everything and publish one result to all holders.
+
+        The merged matrix uses the average of the holders' submitted
+        weight vectors (identical vectors -- the default -- therefore
+        behave as any single one).
+        """
+        self.execute_protocol()
+        linkage = self.config.linkage
+        assert isinstance(linkage, LinkageMethod)
+        result = self.third_party.cluster_and_publish(
+            list(self.index.sites), self.config.num_clusters, linkage
+        )
+        received = {
+            site: self.holders[site].receive_result(self.tp_name)
+            for site in self.index.sites
+        }
+        for site, holder_copy in received.items():
+            if holder_copy.to_payload() != result.to_payload():
+                raise ProtocolError(f"result received by {site!r} diverged")
+        self.network.assert_drained()
+        return result
+
+    def run_per_holder(self) -> dict[str, ClusteringResult]:
+        """Publish one result per holder, each with that holder's weights.
+
+        Section 5: "Every data holder can impose a different weight
+        vector and clustering algorithm of his own choice."
+        """
+        self.execute_protocol()
+        linkage = self.config.linkage
+        assert isinstance(linkage, LinkageMethod)
+        results: dict[str, ClusteringResult] = {}
+        for site in self.index.sites:
+            result = self.third_party.cluster_and_publish(
+                [site],
+                self.config.num_clusters,
+                linkage,
+                weights=self._holder_weights(site),
+            )
+            results[site] = self.holders[site].receive_result(self.tp_name)
+            if results[site].to_payload() != result.to_payload():
+                raise ProtocolError(f"result received by {site!r} diverged")
+        self.network.assert_drained()
+        return results
+
+    # -- experiment access -------------------------------------------------------
+
+    def final_matrix(self) -> DissimilarityMatrix:
+        """The third party's merged matrix (experiment/test access only).
+
+        Section 5 keeps this secret in deployments; experiments read it
+        to verify exactness against the centralized baseline.
+        """
+        self.execute_protocol()
+        return self.third_party.merged_matrix()
+
+    def total_bytes(self) -> int:
+        """Wire bytes transmitted so far across all links."""
+        return self.network.total_bytes()

@@ -1,0 +1,83 @@
+"""Deterministic encryption for categorical attributes.
+
+Section 4.3: "Data holder parties share a secret key to encrypt their
+data.  Value of the categorical attribute is encrypted for every object at
+every site and these encrypted data are sent to the third party, who can
+easily compute the distance ... If ciphertext of two categorical values
+are the same, then plaintexts must be the same."
+
+That is precisely a shared-key *pseudo-random function* applied to the
+value: deterministic (equal plaintexts -> equal ciphertexts) yet
+unintelligible to anyone without the key.  We instantiate the PRF with
+HMAC-SHA256.  Ciphertexts are scoped to an attribute label so equal values
+in different columns do not produce linkable ciphertexts.
+
+Determinism is what makes equality testable by the third party, and it is
+also the scheme's inherent leakage: the TP learns the frequency histogram
+of each categorical column (but not the values).  The paper accepts this
+leakage implicitly -- the 0/1 distance the TP outputs reveals exactly the
+same equality pattern -- and we document it here so the attack-surface
+inventory in ``repro.attacks`` is complete.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+
+from repro.exceptions import CryptoError
+
+_HASH = hashlib.sha256
+
+
+class DeterministicEncryptor:
+    """Keyed deterministic encryption of categorical string values.
+
+    Parameters
+    ----------
+    key:
+        Shared secret between the data holders (>= 16 bytes).  The third
+        party must *not* hold this key; the semi-honest, non-colluding
+        assumption (Section 3) is what keeps it away.
+    digest_size:
+        Ciphertext length in bytes.  16 keeps messages small while a
+        birthday collision across two equal-looking ciphertexts would need
+        ~2^64 distinct values -- far beyond any categorical domain.
+    """
+
+    def __init__(self, key: bytes, digest_size: int = 16) -> None:
+        if len(key) < 16:
+            raise CryptoError("deterministic encryption key must be >= 128 bits")
+        if not 8 <= digest_size <= _HASH().digest_size:
+            raise CryptoError(
+                f"digest_size must be in [8, {_HASH().digest_size}], got {digest_size}"
+            )
+        self._key = key
+        self._digest_size = digest_size
+
+    @property
+    def ciphertext_size(self) -> int:
+        """Fixed size in bytes of every ciphertext."""
+        return self._digest_size
+
+    def encrypt(self, attribute: str, value: str) -> bytes:
+        """Deterministic ciphertext of ``value`` scoped to ``attribute``.
+
+        Scoping means ``encrypt("city", "red") != encrypt("team", "red")``,
+        so the TP cannot correlate equal strings across columns.
+        """
+        message = attribute.encode("utf-8") + b"\x00" + value.encode("utf-8")
+        return hmac.new(self._key, message, _HASH).digest()[: self._digest_size]
+
+    def encrypt_column(self, attribute: str, values: list[str]) -> list[bytes]:
+        """Encrypt a whole column (the per-site step of Section 4.3)."""
+        return [self.encrypt(attribute, value) for value in values]
+
+    @staticmethod
+    def equal(ciphertext_a: bytes, ciphertext_b: bytes) -> bool:
+        """The third party's comparison: ciphertext equality.
+
+        Plain ``==`` is fine here -- ciphertexts are public to the TP by
+        protocol design, so timing reveals nothing it does not already see.
+        """
+        return ciphertext_a == ciphertext_b

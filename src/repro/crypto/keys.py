@@ -1,0 +1,183 @@
+"""Pairwise key agreement and key derivation.
+
+The paper assumes each pair of parties "shares a secret number" used as a
+PRNG seed (Section 4.1) and that data holders "share a secret key to
+encrypt their data" (Section 4.3).  This module supplies the mechanism a
+real deployment would use to establish those secrets: classic finite-field
+Diffie-Hellman over the RFC 3526 2048-bit MODP group, followed by
+HKDF-style derivation of purpose-bound seeds and keys.
+
+Derivation is *labelled*: the same DH secret yields independent seeds for
+``rng_JK``-style generators, channel encryption keys and deterministic
+encryption keys, so no stream is ever reused across purposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.crypto.prng import ReseedablePRNG, SeedLike, _seed_to_bytes, make_prng
+from repro.exceptions import KeyAgreementError
+
+#: RFC 3526 group 14 (2048-bit MODP) prime.  Generator is 2.
+RFC3526_PRIME_2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+RFC3526_GENERATOR = 2
+
+_HASH = hashlib.sha256
+
+
+def _hkdf_extract_expand(secret: bytes, label: str, length: int = 32) -> bytes:
+    """Single-block HKDF (extract-then-expand) with a string ``info`` label."""
+    if length > 32 * 255:
+        raise KeyAgreementError("requested HKDF output too long")
+    prk = hmac.new(b"repro.kdf.salt", secret, _HASH).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            prk, previous + label.encode("utf-8") + bytes([counter]), _HASH
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_seed(secret: bytes, label: str) -> bytes:
+    """Derive a 32-byte PRNG seed bound to ``label`` from a shared secret."""
+    return _hkdf_extract_expand(secret, "seed|" + label)
+
+
+def derive_key(secret: bytes, label: str, length: int = 32) -> bytes:
+    """Derive a symmetric key of ``length`` bytes bound to ``label``."""
+    return _hkdf_extract_expand(secret, "key|" + label, length)
+
+
+class DiffieHellman:
+    """One party's half of a finite-field Diffie-Hellman exchange.
+
+    The private exponent is drawn from a caller-supplied seeded PRNG so
+    simulations are reproducible; a deployment would seed from the OS.
+
+    Example
+    -------
+    >>> from repro.crypto.prng import make_prng
+    >>> a = DiffieHellman(make_prng(b"alice-entropy"))
+    >>> b = DiffieHellman(make_prng(b"bob-entropy"))
+    >>> a.shared_secret(b.public_value) == b.shared_secret(a.public_value)
+    True
+    """
+
+    def __init__(
+        self,
+        entropy: ReseedablePRNG,
+        prime: int = RFC3526_PRIME_2048,
+        generator: int = RFC3526_GENERATOR,
+    ) -> None:
+        if prime < 5:
+            raise KeyAgreementError("DH prime too small")
+        self._prime = prime
+        self._generator = generator
+        # 256-bit exponents suffice for a 2048-bit group at the ~128-bit level.
+        self._private = 2 + entropy.next_bits(256) % (prime - 3)
+        self._public = pow(generator, self._private, prime)
+
+    @property
+    def public_value(self) -> int:
+        """The value this party publishes."""
+        return self._public
+
+    @property
+    def prime(self) -> int:
+        return self._prime
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Complete the exchange; returns the hashed shared secret.
+
+        Rejects degenerate peer values (0, 1, p-1 and out-of-range), which
+        would otherwise force the secret into a tiny subgroup.
+        """
+        if not 2 <= peer_public <= self._prime - 2:
+            raise KeyAgreementError("peer public value out of range")
+        raw = pow(peer_public, self._private, self._prime)
+        if raw in (1, self._prime - 1):
+            raise KeyAgreementError("degenerate DH shared secret")
+        size = (self._prime.bit_length() + 7) // 8
+        return _HASH(b"repro.dh|" + raw.to_bytes(size, "big")).digest()
+
+
+@dataclass(frozen=True)
+class PairwiseSecret:
+    """A shared secret between two named parties plus derivation helpers.
+
+    This is the object the protocol layer passes around: given the secret
+    established between sites J and K it can mint the ``rng_JK`` generator,
+    and given the secret between J and the third party it mints ``rng_JT``.
+    The ``pair`` is stored in sorted order so both endpoints derive
+    identical material regardless of who initiated.
+    """
+
+    pair: tuple[str, str]
+    secret: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.pair) != 2 or self.pair[0] == self.pair[1]:
+            raise KeyAgreementError(f"invalid party pair: {self.pair}")
+        if self.pair[0] > self.pair[1]:
+            object.__setattr__(self, "pair", (self.pair[1], self.pair[0]))
+
+    def prng(self, label: str, kind: str | None = None) -> ReseedablePRNG:
+        """Shared generator bound to ``label`` (e.g. an attribute name)."""
+        seed = derive_seed(self.secret, f"{self.pair[0]}|{self.pair[1]}|{label}")
+        if kind is None:
+            return make_prng(seed)
+        return make_prng(seed, kind)
+
+    def key(self, label: str, length: int = 32) -> bytes:
+        """Shared symmetric key bound to ``label``."""
+        return derive_key(self.secret, f"{self.pair[0]}|{self.pair[1]}|{label}", length)
+
+
+def agree_pairwise(
+    names_and_entropy: dict[str, ReseedablePRNG],
+) -> dict[tuple[str, str], PairwiseSecret]:
+    """Run DH between every pair of parties and return all pairwise secrets.
+
+    Convenience for session setup: takes ``{party_name: entropy_prng}`` and
+    returns ``{(a, b): PairwiseSecret}`` for every unordered pair with
+    ``a < b``.
+    """
+    names = sorted(names_and_entropy)
+    if len(names) < 2:
+        raise KeyAgreementError("need at least two parties for key agreement")
+    halves = {name: DiffieHellman(names_and_entropy[name]) for name in names}
+    secrets: dict[tuple[str, str], PairwiseSecret] = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            shared = halves[a].shared_secret(halves[b].public_value)
+            check = halves[b].shared_secret(halves[a].public_value)
+            if shared != check:
+                raise KeyAgreementError(f"DH mismatch between {a} and {b}")
+            secrets[(a, b)] = PairwiseSecret(pair=(a, b), secret=shared)
+    return secrets
+
+
+def secret_from_passphrase(pair: tuple[str, str], passphrase: SeedLike) -> PairwiseSecret:
+    """Build a :class:`PairwiseSecret` directly from out-of-band material.
+
+    The paper simply states the parties "share a secret number"; this
+    helper models that configuration without running DH.
+    """
+    return PairwiseSecret(pair=pair, secret=_seed_to_bytes(passphrase, "passphrase"))

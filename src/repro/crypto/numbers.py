@@ -1,0 +1,179 @@
+"""Number-theoretic primitives used by the cryptographic substrate.
+
+Everything here is implemented from first principles on Python's arbitrary
+precision integers: extended Euclid, modular inverse, lcm, Miller-Rabin
+probabilistic primality testing, safe/probable prime generation and a small
+CRT helper used by Paillier decryption.
+
+Functions that need randomness take an explicit ``rand_bits`` callable
+(``rand_bits(k) -> int`` returning a uniform ``k``-bit integer) so callers
+control determinism; the library's seeded DRBGs plug in directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import CryptoError
+
+#: Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349,
+)
+
+#: Deterministic Miller-Rabin witness sets.  Testing against the first
+#: twelve primes is a *proof* of primality for every n < 3.3e24, far beyond
+#: the trial sizes used in unit tests; for cryptographic sizes we add
+#: random witnesses on top.
+_DETERMINISTIC_WITNESSES: tuple[int, ...] = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y == g``.
+    Implemented iteratively so very large Paillier moduli do not hit the
+    recursion limit.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m``.
+
+    Raises :class:`CryptoError` when the inverse does not exist, which in
+    Paillier keygen signals a bad prime pair rather than a programming bug.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise CryptoError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a == 0 or b == 0:
+        return 0
+    g, _, _ = egcd(a, b)
+    return abs(a // g * b)
+
+
+def _decompose(n: int) -> tuple[int, int]:
+    """Write ``n - 1`` as ``2**s * d`` with ``d`` odd."""
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    return s, d
+
+
+def _miller_rabin_witness(n: int, a: int, s: int, d: int) -> bool:
+    """Return ``True`` when ``a`` witnesses that ``n`` is composite."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(s - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(
+    n: int,
+    rand_bits: Callable[[int], int] | None = None,
+    extra_rounds: int = 16,
+) -> bool:
+    """Miller-Rabin primality test.
+
+    Always runs the deterministic witness set (a proof for n < 3.3e24);
+    when ``rand_bits`` is given, adds ``extra_rounds`` random witnesses so
+    the error bound for cryptographic sizes is below ``4**-extra_rounds``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    s, d = _decompose(n)
+    for a in _DETERMINISTIC_WITNESSES:
+        if _miller_rabin_witness(n, a % n, s, d):
+            return False
+    if rand_bits is not None:
+        for _ in range(extra_rounds):
+            a = 2 + rand_bits(n.bit_length() + 8) % (n - 3)
+            if _miller_rabin_witness(n, a, s, d):
+                return False
+    return True
+
+
+def generate_prime(bits: int, rand_bits: Callable[[int], int]) -> int:
+    """Generate a probable prime with exactly ``bits`` bits.
+
+    The candidate has its top two bits set (so products of two such primes
+    have exactly ``2*bits`` bits, as Paillier keygen expects) and is odd.
+    """
+    if bits < 8:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rand_bits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        candidate &= (1 << bits) - 1
+        if is_probable_prime(candidate, rand_bits):
+            return candidate
+
+
+def generate_distinct_primes(
+    bits: int, rand_bits: Callable[[int], int]
+) -> tuple[int, int]:
+    """Generate two distinct probable primes of ``bits`` bits each."""
+    p = generate_prime(bits, rand_bits)
+    while True:
+        q = generate_prime(bits, rand_bits)
+        if q != p:
+            return p, q
+
+
+def crt_pair(r_p: int, r_q: int, p: int, q: int, q_inv_p: int) -> int:
+    """Combine residues ``r_p mod p`` and ``r_q mod q`` via Garner's CRT.
+
+    ``q_inv_p`` must be ``q^{-1} mod p``; callers precompute it once per
+    key.  Returns the unique value modulo ``p*q``.
+    """
+    h = (q_inv_p * (r_p - r_q)) % p
+    return r_q + h * q
+
+
+def int_to_bytes(n: int) -> bytes:
+    """Minimal big-endian byte encoding of a non-negative integer."""
+    if n < 0:
+        raise CryptoError("cannot encode negative integer")
+    return n.to_bytes(max(1, (n.bit_length() + 7) // 8), "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Inverse of :func:`int_to_bytes`."""
+    return int.from_bytes(data, "big")
+
+
+def product(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for the empty iterable)."""
+    result = 1
+    for v in values:
+        result *= v
+    return result

@@ -1,0 +1,38 @@
+"""Data structures and workload generators.
+
+* :mod:`repro.data.matrix` -- the object-by-variable data matrix of the
+  paper's Figure 1, with a typed attribute schema,
+* :mod:`repro.data.alphabet` -- finite alphabets for alphanumeric
+  attributes (the modulo domain of the Section 4.2 protocol),
+* :mod:`repro.data.partition` -- horizontal partitioning across data
+  holders and the global object index,
+* :mod:`repro.data.synthetic` -- deterministic synthetic workload
+  generators (Gaussian mixtures, DNA sequences, categorical columns),
+* :mod:`repro.data.datasets` -- named end-to-end datasets used by the
+  examples and benchmarks (bird-flu DNA scenario, customer segmentation,
+  non-spherical rings).
+"""
+
+from repro.data.alphabet import DNA_ALPHABET, PRINTABLE_ALPHABET, Alphabet
+from repro.data.matrix import AttributeSpec, DataMatrix, Schema
+from repro.data.partition import (
+    GlobalIndex,
+    ObjectRef,
+    horizontal_partition,
+    merge_partitions,
+)
+from repro.data.taxonomy import Taxonomy
+
+__all__ = [
+    "Alphabet",
+    "DNA_ALPHABET",
+    "PRINTABLE_ALPHABET",
+    "AttributeSpec",
+    "Schema",
+    "DataMatrix",
+    "GlobalIndex",
+    "ObjectRef",
+    "horizontal_partition",
+    "merge_partitions",
+    "Taxonomy",
+]

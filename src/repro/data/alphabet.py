@@ -1,0 +1,105 @@
+"""Finite alphabets for alphanumeric attributes.
+
+Section 4.2: "Alphabet of the strings that are to be compared is assumed
+to be finite.  This assumption enables modulo operations on alphabet size,
+such that addition of a random number and a character is another alphabet
+character."
+
+:class:`Alphabet` is that modulo domain: a bijection between characters
+and ``[0, size)`` with shift/unshift helpers used by the masking protocol.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered finite set of characters with modular arithmetic.
+
+    Example
+    -------
+    >>> a = Alphabet("abcd")
+    >>> a.shift_char("c", 3)   # (2 + 3) mod 4 == 1 -> 'b'
+    'b'
+    >>> a.index("b")
+    1
+    """
+
+    characters: str
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.characters) < 2:
+            raise SchemaError("alphabet needs at least two characters")
+        if len(set(self.characters)) != len(self.characters):
+            raise SchemaError("alphabet characters must be unique")
+        object.__setattr__(
+            self, "_index", {ch: i for i, ch in enumerate(self.characters)}
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of characters; the modulus of the masking protocol."""
+        return len(self.characters)
+
+    def __contains__(self, ch: str) -> bool:
+        return ch in self._index
+
+    def index(self, ch: str) -> int:
+        """Integer code of a character.
+
+        Raises :class:`SchemaError` for characters outside the alphabet;
+        the protocols must never silently wrap foreign characters.
+        """
+        try:
+            return self._index[ch]
+        except KeyError:
+            raise SchemaError(
+                f"character {ch!r} not in alphabet of size {self.size}"
+            ) from None
+
+    def char(self, code: int) -> str:
+        """Character for an integer code (taken modulo the size)."""
+        return self.characters[code % self.size]
+
+    def encode(self, text: str) -> list[int]:
+        """String to list of codes."""
+        return [self.index(ch) for ch in text]
+
+    def decode(self, codes: list[int]) -> str:
+        """List of codes to string (codes reduced modulo the size)."""
+        return "".join(self.char(c) for c in codes)
+
+    def shift_char(self, ch: str, offset: int) -> str:
+        """Mask one character: ``(code + offset) mod size``."""
+        return self.char(self.index(ch) + offset)
+
+    def unshift_code(self, code: int, offset: int) -> int:
+        """Remove a mask from a raw code: ``(code - offset) mod size``."""
+        return (code - offset) % self.size
+
+    def validate(self, text: str) -> None:
+        """Raise :class:`SchemaError` unless every character is in-domain."""
+        for ch in text:
+            if ch not in self._index:
+                raise SchemaError(
+                    f"string {text!r} contains character {ch!r} outside alphabet"
+                )
+
+
+#: The four-letter DNA alphabet of the paper's motivating bird-flu scenario.
+DNA_ALPHABET = Alphabet("ACGT")
+
+#: Printable ASCII (space through tilde); the catch-all default for
+#: alphanumeric attributes whose schema does not pin a domain.
+PRINTABLE_ALPHABET = Alphabet(
+    " " + string.ascii_letters + string.digits + string.punctuation
+)
+
+#: The paper's Figure 7 demonstration alphabet A = {a, b, c, d}.
+FIGURE7_ALPHABET = Alphabet("abcd")

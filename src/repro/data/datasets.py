@@ -1,0 +1,259 @@
+"""Named, fully deterministic datasets for examples and benchmarks.
+
+Each builder returns a :class:`PartitionedDataset`: per-site data
+matrices, the agreed schema, and ground-truth labels keyed by
+:class:`~repro.data.partition.ObjectRef` for accuracy scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix, Schema
+from repro.data.partition import GlobalIndex, ObjectRef, horizontal_partition
+from repro.data.synthetic import (
+    categorical_column,
+    dna_clusters,
+    gaussian_clusters,
+    integer_clusters,
+    ring_clusters,
+    zipf_weights,
+)
+from repro.exceptions import ConfigurationError
+from repro.types import AttributeType
+
+
+@dataclass(frozen=True)
+class PartitionedDataset:
+    """A horizontally partitioned workload with ground truth.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in benchmark output.
+    partitions:
+        ``{site_name: DataMatrix}`` -- each data holder's private matrix.
+    labels:
+        Ground-truth cluster label per object, for external accuracy
+        metrics only; no protocol component ever reads this.
+    num_clusters:
+        The generative number of clusters.
+    """
+
+    name: str
+    partitions: Mapping[str, DataMatrix]
+    labels: Mapping[ObjectRef, int]
+    num_clusters: int
+
+    @property
+    def schema(self) -> Schema:
+        return next(iter(self.partitions.values())).schema
+
+    @property
+    def index(self) -> GlobalIndex:
+        return GlobalIndex({s: m.num_rows for s, m in self.partitions.items()})
+
+    def labels_in_global_order(self) -> list[int]:
+        """Ground-truth labels ordered like the global dissimilarity matrix."""
+        return [self.labels[ref] for ref in self.index.refs()]
+
+
+def _site_names(count: int) -> list[str]:
+    if count < 1 or count > 26:
+        raise ConfigurationError(f"site count must be in [1, 26], got {count}")
+    return [chr(ord("A") + i) for i in range(count)]
+
+
+def _partition_with_labels(
+    name: str,
+    matrix: DataMatrix,
+    flat_labels: list[int],
+    num_sites: int,
+    num_clusters: int,
+    seed: int,
+) -> PartitionedDataset:
+    """Shuffle-partition ``matrix`` and carry labels along with the rows."""
+    sites = _site_names(num_sites)
+    # Attach the label as a bookkeeping column via row identity: partition
+    # indices, then map back.  horizontal_partition shuffles rows with the
+    # given seed, so partition on an index matrix in parallel.
+    spec = [AttributeSpec("_row", AttributeType.NUMERIC)]
+    index_matrix = DataMatrix(spec, [[i] for i in range(matrix.num_rows)])
+    index_parts = horizontal_partition(index_matrix, sites, seed=seed)
+    partitions: dict[str, DataMatrix] = {}
+    labels: dict[ObjectRef, int] = {}
+    for site in sites:
+        original_rows = [int(r[0]) for r in index_parts[site].rows]
+        partitions[site] = matrix.take(original_rows)
+        for local_id, original in enumerate(original_rows):
+            labels[ObjectRef(site, local_id)] = flat_labels[original]
+    return PartitionedDataset(
+        name=name, partitions=partitions, labels=labels, num_clusters=num_clusters
+    )
+
+
+def bird_flu(
+    num_institutions: int = 3,
+    per_cluster: int = 8,
+    num_strains: int = 3,
+    length: int = 40,
+    seed: int = 7,
+) -> PartitionedDataset:
+    """The paper's Section 1 motivating scenario.
+
+    Several institutions gather DNA of infected individuals; strains are
+    clusters in edit-distance space.  Data is a single alphanumeric
+    attribute over the DNA alphabet.
+    """
+    sequences, labels = dna_clusters(
+        [per_cluster] * num_strains, length=length, seed=seed
+    )
+    schema = [AttributeSpec("dna", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET)]
+    matrix = DataMatrix(schema, [[s] for s in sequences])
+    return _partition_with_labels(
+        "bird_flu", matrix, labels, num_institutions, num_strains, seed
+    )
+
+
+def customer_segmentation(
+    num_companies: int = 2,
+    per_segment: int = 12,
+    num_segments: int = 3,
+    seed: int = 11,
+) -> PartitionedDataset:
+    """Mixed-type customer data split across companies.
+
+    Exercises all three protocols at once: numeric (age, annual spend),
+    categorical (plan tier) and alphanumeric (browsing pattern string).
+    Segment structure is injected consistently across attribute types.
+    """
+    total = per_segment * num_segments
+    ages, labels = integer_clusters(
+        [per_segment] * num_segments, dim=1, separation=18, spread=3, seed=seed
+    )
+    spend_rows, _ = gaussian_clusters(
+        [per_segment] * num_segments, dim=1, separation=25.0, spread=1.5, seed=seed + 1
+    )
+    patterns, _ = dna_clusters(
+        [per_segment] * num_segments,
+        length=12,
+        within_rate=0.05,
+        between_rate=0.5,
+        seed=seed + 2,
+    )
+    tiers = ["basic", "plus", "premium", "enterprise"]
+    # Tier correlates with segment: segment s draws mostly tier s.
+    tier_col: list[str] = []
+    for segment in range(num_segments):
+        favoured = tiers[segment % len(tiers)]
+        weights = [4.0 if t == favoured else 0.4 for t in tiers]
+        tier_col.extend(
+            categorical_column(per_segment, tiers, weights, seed=seed + 3 + segment)
+        )
+    schema = [
+        AttributeSpec("age", AttributeType.NUMERIC),
+        AttributeSpec("annual_spend", AttributeType.NUMERIC, precision=2),
+        AttributeSpec("plan", AttributeType.CATEGORICAL),
+        AttributeSpec("visit_pattern", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET),
+    ]
+    rows = [
+        [20 + ages[i][0], round(100.0 + abs(spend_rows[i][0]) * 40.0, 2), tier_col[i], patterns[i]]
+        for i in range(total)
+    ]
+    matrix = DataMatrix(schema, rows)
+    return _partition_with_labels(
+        "customer_segmentation", matrix, labels, num_companies, num_segments, seed
+    )
+
+
+def gaussian_numeric(
+    num_sites: int = 3,
+    per_cluster: int = 15,
+    num_clusters: int = 4,
+    dim: int = 3,
+    seed: int = 13,
+) -> PartitionedDataset:
+    """Plain numeric Gaussian blobs over ``dim`` attributes."""
+    rows, labels = gaussian_clusters(
+        [per_cluster] * num_clusters, dim=dim, separation=10.0, seed=seed
+    )
+    schema = [
+        AttributeSpec(f"x{i}", AttributeType.NUMERIC, precision=6) for i in range(dim)
+    ]
+    matrix = DataMatrix(schema, [[round(v, 6) for v in row] for row in rows])
+    return _partition_with_labels(
+        "gaussian_numeric", matrix, labels, num_sites, num_clusters, seed
+    )
+
+
+def rings(
+    num_sites: int = 2,
+    per_ring: int = 40,
+    num_rings: int = 2,
+    seed: int = 17,
+) -> PartitionedDataset:
+    """Concentric rings for the hierarchical-vs-partitioning experiment."""
+    rows, labels = ring_clusters([per_ring] * num_rings, seed=seed)
+    schema = [
+        AttributeSpec("x", AttributeType.NUMERIC, precision=6),
+        AttributeSpec("y", AttributeType.NUMERIC, precision=6),
+    ]
+    matrix = DataMatrix(schema, [[round(v, 6) for v in row] for row in rows])
+    return _partition_with_labels("rings", matrix, labels, num_sites, num_rings, seed)
+
+
+def zipf_categorical(
+    num_sites: int = 2,
+    num_rows: int = 60,
+    num_categories: int = 6,
+    seed: int = 19,
+) -> PartitionedDataset:
+    """Single skewed categorical attribute (frequency-attack workloads)."""
+    categories = [f"cat{i}" for i in range(num_categories)]
+    values = categorical_column(
+        num_rows, categories, zipf_weights(num_categories), seed=seed
+    )
+    labels = [categories.index(v) for v in values]
+    schema = [AttributeSpec("label", AttributeType.CATEGORICAL)]
+    matrix = DataMatrix(schema, [[v] for v in values])
+    return _partition_with_labels(
+        "zipf_categorical", matrix, labels, num_sites, num_categories, seed
+    )
+
+
+def figure13_toy() -> PartitionedDataset:
+    """A dataset engineered to reproduce the paper's Figure 13 exactly.
+
+    Three sites A (3 objects), B (4 objects), C (3 objects).  Values are
+    placed so any sane hierarchical cut at k=3 yields the published
+    clusters (using the paper's 1-based ids):
+
+    * Cluster1 = A1, A3, B4, C3
+    * Cluster2 = B2, B3, C1, C2
+    * Cluster3 = A2, B1
+    """
+    schema = [AttributeSpec("value", AttributeType.NUMERIC)]
+    # 1-based ids in comments; local ids are 0-based.
+    site_a = DataMatrix(schema, [[0], [201], [2]])  # A1, A2, A3
+    site_b = DataMatrix(schema, [[199], [100], [102], [1]])  # B1..B4
+    site_c = DataMatrix(schema, [[101], [99], [3]])  # C1..C3
+    labels = {
+        ObjectRef("A", 0): 0,
+        ObjectRef("A", 1): 2,
+        ObjectRef("A", 2): 0,
+        ObjectRef("B", 0): 2,
+        ObjectRef("B", 1): 1,
+        ObjectRef("B", 2): 1,
+        ObjectRef("B", 3): 0,
+        ObjectRef("C", 0): 1,
+        ObjectRef("C", 1): 1,
+        ObjectRef("C", 2): 0,
+    }
+    return PartitionedDataset(
+        name="figure13_toy",
+        partitions={"A": site_a, "B": site_b, "C": site_c},
+        labels=labels,
+        num_clusters=3,
+    )

@@ -1,0 +1,265 @@
+"""The data matrix of the paper's Figure 1, with a typed schema.
+
+A :class:`DataMatrix` is an object-by-variable structure: ``m`` rows
+(objects) by ``n`` columns (attributes).  The paper accesses local
+matrices column-wise (``D_i`` is the i-th attribute vector), so
+:meth:`DataMatrix.column` is the primary accessor used by the protocols.
+
+The matrix is deliberately **not** normalised (paper Section 2.1):
+normalisation happens on the dissimilarity matrix instead, because each
+horizontal partition may cover a different value range and computing
+global min/max would itself require another privacy-preserving protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.data.alphabet import PRINTABLE_ALPHABET, Alphabet
+from repro.data.taxonomy import Taxonomy
+from repro.exceptions import SchemaError
+from repro.types import AttributeType, CellValue
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one data-matrix column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a schema.  Also used as the
+        derivation label for per-attribute PRNG seeds and encryption keys,
+        so two attributes never share masking streams.
+    attr_type:
+        Domain from :class:`repro.types.AttributeType`.
+    alphabet:
+        For :attr:`AttributeType.ALPHANUMERIC` columns, the finite
+        alphabet the Section 4.2 protocol works modulo.  Defaults to
+        printable ASCII.
+    precision:
+        For :attr:`AttributeType.NUMERIC` columns holding floats, the
+        number of decimal digits preserved by fixed-point encoding inside
+        the masking protocol.  Integers are always exact.
+    taxonomy:
+        For :attr:`AttributeType.CATEGORICAL` columns, an optional
+        :class:`~repro.data.taxonomy.Taxonomy` turning the flat 0/1
+        equality metric into the hierarchical path metric (the §4.3
+        future-work extension).  Values must then be taxonomy nodes.
+    """
+
+    name: str
+    attr_type: AttributeType
+    alphabet: Alphabet | None = None
+    precision: int = 6
+    taxonomy: Taxonomy | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.precision < 0 or self.precision > 15:
+            raise SchemaError(f"precision out of range [0, 15]: {self.precision}")
+        if self.attr_type is AttributeType.ALPHANUMERIC and self.alphabet is None:
+            object.__setattr__(self, "alphabet", PRINTABLE_ALPHABET)
+        if self.attr_type is not AttributeType.ALPHANUMERIC and self.alphabet is not None:
+            raise SchemaError(
+                f"attribute {self.name!r}: alphabet only applies to alphanumeric columns"
+            )
+        if self.taxonomy is not None and self.attr_type is not AttributeType.CATEGORICAL:
+            raise SchemaError(
+                f"attribute {self.name!r}: taxonomy only applies to categorical columns"
+            )
+
+    def validate_value(self, value: CellValue) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this column."""
+        if not self.attr_type.accepts(value):
+            raise SchemaError(
+                f"attribute {self.name!r} ({self.attr_type.value}) rejects "
+                f"value {value!r} of type {type(value).__name__}"
+            )
+        if self.attr_type is AttributeType.ALPHANUMERIC:
+            assert self.alphabet is not None
+            self.alphabet.validate(value)  # type: ignore[arg-type]
+        if self.taxonomy is not None:
+            self.taxonomy.validate(value)  # type: ignore[arg-type]
+
+
+class Schema:
+    """Ordered, immutable collection of :class:`AttributeSpec`.
+
+    The paper requires data holders to have "previously agreed on the list
+    of attributes that are going to be used for clustering" and to share
+    that list with the third party; a :class:`Schema` instance is exactly
+    that agreement.
+    """
+
+    def __init__(self, attributes: Iterable[AttributeSpec]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("schema must declare at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {duplicates}")
+        self._attributes = attrs
+        self._by_name = {a.name: i for i, a in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple[AttributeSpec, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._attributes)
+
+    def __getitem__(self, index: int) -> AttributeSpec:
+        return self._attributes[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def index_of(self, name: str) -> int:
+        """Column index of attribute ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Attribute spec by name."""
+        return self._attributes[self.index_of(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{a.name}:{a.attr_type.value}" for a in self._attributes)
+        return f"Schema({cols})"
+
+
+class DataMatrix:
+    """Immutable typed data matrix (paper Figure 1).
+
+    Construct with :meth:`from_rows`, which validates every cell against
+    the schema, or :meth:`from_columns` when data arrives column-wise.
+    """
+
+    def __init__(self, schema: Schema | Sequence[AttributeSpec], rows: Sequence[Sequence[CellValue]]) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self._schema = schema
+        validated: list[tuple[CellValue, ...]] = []
+        for row_idx, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {row_idx} has {len(row)} cells, schema expects {len(schema)}"
+                )
+            for spec, value in zip(schema, row):
+                try:
+                    spec.validate_value(value)
+                except SchemaError as exc:
+                    raise SchemaError(f"row {row_idx}: {exc}") from None
+            validated.append(row)
+        self._rows = tuple(validated)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema | Sequence[AttributeSpec],
+        rows: Sequence[Sequence[CellValue]],
+    ) -> "DataMatrix":
+        """Build and validate a matrix from row-major data."""
+        return cls(schema, rows)
+
+    @classmethod
+    def from_columns(
+        cls,
+        schema: Schema | Sequence[AttributeSpec],
+        columns: Sequence[Sequence[CellValue]],
+    ) -> "DataMatrix":
+        """Build from column-major data (all columns must share a length)."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"{len(columns)} columns given, schema expects {len(schema)}"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns: lengths {sorted(lengths)}")
+        rows = list(zip(*columns)) if columns and columns[0] else []
+        return cls(schema, rows)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        """Number of objects (the paper's ``D.Length`` for a partition)."""
+        return len(self._rows)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._schema)
+
+    @property
+    def rows(self) -> tuple[tuple[CellValue, ...], ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[CellValue, ...]]:
+        return iter(self._rows)
+
+    def row(self, index: int) -> tuple[CellValue, ...]:
+        """One object's attribute tuple."""
+        return self._rows[index]
+
+    def column(self, index: int) -> list[CellValue]:
+        """The attribute vector ``D_i`` (paper Section 2.1)."""
+        if not 0 <= index < len(self._schema):
+            raise SchemaError(f"column index {index} out of range")
+        return [row[index] for row in self._rows]
+
+    def column_by_name(self, name: str) -> list[CellValue]:
+        """Attribute vector looked up by name."""
+        return self.column(self._schema.index_of(name))
+
+    # -- manipulation ------------------------------------------------------
+
+    def take(self, row_indices: Sequence[int]) -> "DataMatrix":
+        """New matrix containing the selected rows, in the given order."""
+        return DataMatrix(self._schema, [self._rows[i] for i in row_indices])
+
+    def concat(self, other: "DataMatrix") -> "DataMatrix":
+        """Stack two matrices sharing the same schema."""
+        if other.schema != self._schema:
+            raise SchemaError("cannot concat matrices with different schemas")
+        return DataMatrix(self._schema, list(self._rows) + list(other.rows))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataMatrix):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataMatrix({self.num_rows}x{self.num_attributes})"

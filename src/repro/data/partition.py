@@ -1,0 +1,203 @@
+"""Horizontal partitioning of a data matrix across data holders.
+
+"Data matrix D is said to be horizontally partitioned if rows of D are
+distributed among different parties" (Section 2.1).  This module provides
+
+* :func:`horizontal_partition` -- split a matrix into per-site matrices,
+* :func:`merge_partitions` -- the inverse, used by the centralized
+  baseline,
+* :class:`GlobalIndex` -- the canonical mapping between *global* object
+  positions (rows of the final dissimilarity matrix) and *site-local*
+  object references (how the third party publishes results: ``A1, B4``
+  in the paper's Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.matrix import DataMatrix
+from repro.exceptions import PartitionError
+
+
+@dataclass(frozen=True, order=True)
+class ObjectRef:
+    """Site-qualified object identifier, e.g. ``A3`` in Figure 13."""
+
+    site: str
+    local_id: int
+
+    def __str__(self) -> str:
+        return f"{self.site}{self.local_id}"
+
+
+class GlobalIndex:
+    """Bijection between global row positions and :class:`ObjectRef`.
+
+    Sites are ordered by name (the deterministic order all parties can
+    agree on without communication); within a site, objects keep their
+    local row order.  The third party uses this index to address blocks
+    of the global dissimilarity matrix.
+    """
+
+    def __init__(self, site_sizes: Mapping[str, int]) -> None:
+        if not site_sizes:
+            raise PartitionError("global index needs at least one site")
+        for site, size in site_sizes.items():
+            if size < 0:
+                raise PartitionError(f"site {site!r} has negative size {size}")
+        self._sites = tuple(sorted(site_sizes))
+        self._sizes = {site: site_sizes[site] for site in self._sites}
+        self._offsets: dict[str, int] = {}
+        offset = 0
+        for site in self._sites:
+            self._offsets[site] = offset
+            offset += self._sizes[site]
+        self._total = offset
+        self._refs: list[ObjectRef] = [
+            ObjectRef(site, local)
+            for site in self._sites
+            for local in range(self._sizes[site])
+        ]
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Site names in canonical (sorted) order."""
+        return self._sites
+
+    @property
+    def total_objects(self) -> int:
+        return self._total
+
+    def size_of(self, site: str) -> int:
+        """Number of objects held by ``site``."""
+        try:
+            return self._sizes[site]
+        except KeyError:
+            raise PartitionError(f"unknown site {site!r}") from None
+
+    def offset_of(self, site: str) -> int:
+        """Global position of ``site``'s first object."""
+        try:
+            return self._offsets[site]
+        except KeyError:
+            raise PartitionError(f"unknown site {site!r}") from None
+
+    def global_position(self, ref: ObjectRef) -> int:
+        """Global row index of a site-local object."""
+        if ref.local_id < 0 or ref.local_id >= self.size_of(ref.site):
+            raise PartitionError(f"object {ref} out of range for its site")
+        return self._offsets[ref.site] + ref.local_id
+
+    def ref_at(self, position: int) -> ObjectRef:
+        """Inverse of :meth:`global_position`."""
+        if not 0 <= position < self._total:
+            raise PartitionError(f"global position {position} out of range")
+        return self._refs[position]
+
+    def refs(self) -> Iterator[ObjectRef]:
+        """All object references in global order."""
+        return iter(self._refs)
+
+    def block(self, site_a: str, site_b: str) -> tuple[range, range]:
+        """Global row/column ranges of the (site_a, site_b) block."""
+        return (
+            range(self.offset_of(site_a), self.offset_of(site_a) + self.size_of(site_a)),
+            range(self.offset_of(site_b), self.offset_of(site_b) + self.size_of(site_b)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalIndex):
+            return NotImplemented
+        return self._sizes == other._sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{s}:{self._sizes[s]}" for s in self._sites)
+        return f"GlobalIndex({parts})"
+
+
+def horizontal_partition(
+    matrix: DataMatrix,
+    site_names: Sequence[str],
+    proportions: Sequence[float] | None = None,
+    seed: int | None = None,
+) -> dict[str, DataMatrix]:
+    """Split ``matrix`` row-wise across ``site_names``.
+
+    Parameters
+    ----------
+    proportions:
+        Relative share per site; defaults to an even split.  Every site is
+        guaranteed at least one row when ``matrix`` has enough rows.
+    seed:
+        When given, rows are shuffled (deterministically) before
+        assignment, modelling the fact that real horizontal partitions are
+        not sorted by any global key.  ``None`` keeps row order, which is
+        what the reassembly tests rely on.
+
+    Returns a ``{site_name: DataMatrix}`` mapping.
+    """
+    if len(site_names) < 1:
+        raise PartitionError("need at least one site")
+    if len(set(site_names)) != len(site_names):
+        raise PartitionError("site names must be unique")
+    if matrix.num_rows < len(site_names):
+        raise PartitionError(
+            f"cannot spread {matrix.num_rows} rows over {len(site_names)} sites"
+        )
+    if proportions is None:
+        proportions = [1.0] * len(site_names)
+    if len(proportions) != len(site_names):
+        raise PartitionError("proportions must match site_names in length")
+    if any(p <= 0 for p in proportions):
+        raise PartitionError("proportions must be positive")
+
+    order = list(range(matrix.num_rows))
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(order)
+
+    total = sum(proportions)
+    # Largest-remainder allocation with a floor of one row per site.
+    quotas = [matrix.num_rows * p / total for p in proportions]
+    counts = [max(1, int(q)) for q in quotas]
+    while sum(counts) > matrix.num_rows:
+        counts[counts.index(max(counts))] -= 1
+    remainders = sorted(
+        range(len(counts)), key=lambda i: quotas[i] - counts[i], reverse=True
+    )
+    idx = 0
+    while sum(counts) < matrix.num_rows:
+        counts[remainders[idx % len(remainders)]] += 1
+        idx += 1
+
+    partitions: dict[str, DataMatrix] = {}
+    cursor = 0
+    for site, count in zip(site_names, counts):
+        partitions[site] = matrix.take(order[cursor : cursor + count])
+        cursor += count
+    return partitions
+
+
+def merge_partitions(partitions: Mapping[str, DataMatrix]) -> tuple[DataMatrix, GlobalIndex]:
+    """Reassemble partitions into one matrix in canonical global order.
+
+    This is what a *trusted* aggregator would do -- the centralized
+    baseline (:mod:`repro.baselines.centralized`) uses it to produce the
+    ground-truth dissimilarity matrix the private protocol must match
+    exactly.
+    """
+    if not partitions:
+        raise PartitionError("no partitions to merge")
+    schemas = {m.schema for m in partitions.values()}
+    if len(schemas) > 1:
+        raise PartitionError("all partitions must share one schema")
+    index = GlobalIndex({site: m.num_rows for site, m in partitions.items()})
+    merged_rows: list[tuple] = []
+    for site in index.sites:
+        merged_rows.extend(partitions[site].rows)
+    merged = DataMatrix(next(iter(schemas)), merged_rows)
+    return merged, index

@@ -1,0 +1,249 @@
+"""Deterministic synthetic workload generators.
+
+The paper's evaluation is analytical, but its motivating workloads are
+concrete: multi-institution DNA data (the bird-flu scenario of Section 1),
+mixed customer attributes, and cluster structures that partitioning
+algorithms mishandle (Section 2's hierarchical-vs-partitioning argument).
+These generators synthesise all of them with explicit seeds so every
+experiment in ``benchmarks/`` is exactly reproducible.
+
+All generators return plain Python rows plus integer ground-truth labels;
+:mod:`repro.data.datasets` assembles them into schemas and partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.alphabet import DNA_ALPHABET, Alphabet
+from repro.exceptions import ConfigurationError
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def gaussian_clusters(
+    sizes: Sequence[int],
+    dim: int = 2,
+    separation: float = 8.0,
+    spread: float = 1.0,
+    seed: int = 0,
+) -> tuple[list[list[float]], list[int]]:
+    """Isotropic Gaussian blobs with controllable separation.
+
+    Cluster centres are placed uniformly in a hypercube scaled so the
+    expected centre distance is ``separation`` standard deviations; with
+    the default ``separation=8`` the blobs are cleanly separable, which is
+    what the exactness experiments need (any accuracy loss must come from
+    the pipeline, never from workload ambiguity).
+    """
+    if not sizes or any(s <= 0 for s in sizes):
+        raise ConfigurationError(f"cluster sizes must be positive: {sizes}")
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")
+    rng = _rng(seed)
+    box = separation * spread * max(1.0, len(sizes) ** (1.0 / dim))
+    centers = rng.uniform(-box, box, size=(len(sizes), dim))
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for label, size in enumerate(sizes):
+        points = rng.normal(loc=centers[label], scale=spread, size=(size, dim))
+        rows.extend([float(v) for v in p] for p in points)
+        labels.extend([label] * size)
+    return rows, labels
+
+
+def integer_clusters(
+    sizes: Sequence[int],
+    dim: int = 1,
+    separation: int = 100,
+    spread: int = 5,
+    seed: int = 0,
+) -> tuple[list[list[int]], list[int]]:
+    """Integer-valued clusters (the pseudocode's native data type).
+
+    Cluster ``c`` lives around ``c * separation``; values are exact ints
+    so protocol arithmetic can be checked bit-for-bit.
+    """
+    if not sizes or any(s <= 0 for s in sizes):
+        raise ConfigurationError(f"cluster sizes must be positive: {sizes}")
+    rng = _rng(seed)
+    rows: list[list[int]] = []
+    labels: list[int] = []
+    for label, size in enumerate(sizes):
+        center = label * separation
+        points = rng.integers(center - spread, center + spread + 1, size=(size, dim))
+        rows.extend([int(v) for v in p] for p in points)
+        labels.extend([label] * size)
+    return rows, labels
+
+
+def mutate_sequence(
+    sequence: str,
+    rate: float,
+    rng: np.random.Generator,
+    alphabet: Alphabet = DNA_ALPHABET,
+    allow_indels: bool = True,
+) -> str:
+    """Apply point mutations (and optionally indels) to one sequence.
+
+    Each position independently mutates with probability ``rate``; a
+    mutation is a substitution with probability 0.8, otherwise an
+    insertion or deletion.  This mirrors how edit distance "sees"
+    evolutionary divergence, so sequences from one ancestor stay closer
+    to each other than to other clusters' sequences.
+    """
+    out: list[str] = []
+    for ch in sequence:
+        if rng.random() >= rate:
+            out.append(ch)
+            continue
+        kind = rng.random()
+        if not allow_indels or kind < 0.8:  # substitution
+            choices = [c for c in alphabet.characters if c != ch]
+            out.append(choices[int(rng.integers(len(choices)))])
+        elif kind < 0.9:  # deletion
+            continue
+        else:  # insertion
+            out.append(ch)
+            out.append(alphabet.characters[int(rng.integers(alphabet.size))])
+    if not out:  # degenerate total deletion; keep one anchor character
+        out.append(alphabet.characters[int(rng.integers(alphabet.size))])
+    return "".join(out)
+
+
+def dna_clusters(
+    sizes: Sequence[int],
+    length: int = 40,
+    within_rate: float = 0.03,
+    between_rate: float = 0.35,
+    seed: int = 0,
+    alphabet: Alphabet = DNA_ALPHABET,
+) -> tuple[list[str], list[int]]:
+    """DNA-like string clusters via ancestor mutation.
+
+    One random ancestor per cluster is drawn by mutating a common root
+    with heavy ``between_rate``; members mutate their ancestor with light
+    ``within_rate``.  The gap between the two rates controls cluster
+    separability in edit-distance space.
+    """
+    if not sizes or any(s <= 0 for s in sizes):
+        raise ConfigurationError(f"cluster sizes must be positive: {sizes}")
+    if not 0 <= within_rate < between_rate <= 1:
+        raise ConfigurationError(
+            f"need 0 <= within_rate < between_rate <= 1, got {within_rate}, {between_rate}"
+        )
+    rng = _rng(seed)
+    root = "".join(
+        alphabet.characters[int(rng.integers(alphabet.size))] for _ in range(length)
+    )
+    sequences: list[str] = []
+    labels: list[int] = []
+    for label, size in enumerate(sizes):
+        ancestor = mutate_sequence(root, between_rate, rng, alphabet)
+        for _ in range(size):
+            sequences.append(mutate_sequence(ancestor, within_rate, rng, alphabet))
+            labels.append(label)
+    return sequences, labels
+
+
+def skewed_strings(
+    num_strings: int,
+    length: int,
+    letter_weights: Sequence[float],
+    alphabet: Alphabet = DNA_ALPHABET,
+    seed: int = 0,
+) -> list[str]:
+    """Strings with i.i.d. characters from a skewed letter distribution.
+
+    The workload for the language-statistics attack
+    (:mod:`repro.attacks.language`): per-position letter histograms
+    mirror ``letter_weights``, which is what the attack aligns against.
+    """
+    if num_strings < 0 or length < 0:
+        raise ConfigurationError("num_strings and length must be >= 0")
+    if len(letter_weights) != alphabet.size:
+        raise ConfigurationError(
+            f"need {alphabet.size} letter weights, got {len(letter_weights)}"
+        )
+    if any(w < 0 for w in letter_weights) or sum(letter_weights) <= 0:
+        raise ConfigurationError("letter weights must be non-negative, sum > 0")
+    rng = _rng(seed)
+    probs = np.asarray(letter_weights, dtype=np.float64)
+    probs = probs / probs.sum()
+    return [
+        "".join(
+            alphabet.char(int(code))
+            for code in rng.choice(alphabet.size, size=length, p=probs)
+        )
+        for _ in range(num_strings)
+    ]
+
+
+def categorical_column(
+    num_rows: int,
+    categories: Sequence[str],
+    weights: Sequence[float] | None = None,
+    seed: int = 0,
+) -> list[str]:
+    """Draw a categorical column with the given (or uniform) weights."""
+    if num_rows < 0:
+        raise ConfigurationError(f"num_rows must be >= 0, got {num_rows}")
+    if not categories:
+        raise ConfigurationError("need at least one category")
+    rng = _rng(seed)
+    if weights is None:
+        probs = None
+    else:
+        if len(weights) != len(categories) or any(w < 0 for w in weights):
+            raise ConfigurationError("weights must be non-negative, one per category")
+        total = sum(weights)
+        if total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        probs = [w / total for w in weights]
+    draws = rng.choice(len(categories), size=num_rows, p=probs)
+    return [categories[int(i)] for i in draws]
+
+
+def zipf_weights(num_categories: int, exponent: float = 1.2) -> list[float]:
+    """Zipf-like weights: realistic skew for categorical attributes."""
+    if num_categories < 1:
+        raise ConfigurationError("need at least one category")
+    return [1.0 / (rank ** exponent) for rank in range(1, num_categories + 1)]
+
+
+def ring_clusters(
+    sizes: Sequence[int],
+    radii: Sequence[float] | None = None,
+    noise: float = 0.08,
+    seed: int = 0,
+) -> tuple[list[list[float]], list[int]]:
+    """Concentric 2-D rings: the canonical non-spherical workload.
+
+    Partitioning methods that "tend to result in spherical clusters"
+    (paper Section 2) split rings radially; single-linkage hierarchical
+    clustering recovers them.  Used by the T-CLUST experiment.
+    """
+    if not sizes or any(s <= 0 for s in sizes):
+        raise ConfigurationError(f"ring sizes must be positive: {sizes}")
+    if radii is None:
+        radii = [1.0 + 2.0 * i for i in range(len(sizes))]
+    if len(radii) != len(sizes):
+        raise ConfigurationError("radii must match sizes in length")
+    rng = _rng(seed)
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for label, (size, radius) in enumerate(zip(sizes, radii)):
+        # Evenly spaced angles with jitter keep ring gaps larger than
+        # within-ring neighbour distances, which single linkage needs.
+        base = np.linspace(0.0, 2.0 * math.pi, num=size, endpoint=False)
+        angles = base + rng.normal(scale=0.3 / max(1, size), size=size)
+        r = radius + rng.normal(scale=noise, size=size)
+        for theta, rad in zip(angles, r):
+            rows.append([float(rad * math.cos(theta)), float(rad * math.sin(theta))])
+        labels.extend([label] * size)
+    return rows, labels

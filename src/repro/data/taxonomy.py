@@ -1,0 +1,137 @@
+"""Rooted category taxonomies for hierarchical categorical attributes.
+
+The tree structure, path metric and holder-side encryption steps of the
+§4.3 future-work extension.  Lives in :mod:`repro.data` so attribute
+schemas can reference taxonomies without import cycles; the third-party
+matrix builder (which needs the partition index) is in
+:mod:`repro.ext.taxonomy`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.exceptions import SchemaError
+
+
+class Taxonomy:
+    """A rooted category tree with the path metric.
+
+    Parameters
+    ----------
+    parents:
+        ``{node: parent}`` mapping; roots have parent ``None``.  Any
+        node may be used as an attribute value (not only leaves).
+
+    The metric between two nodes is the length of the tree path:
+    ``depth(a) + depth(b) - 2 * depth(lca(a, b))``.
+    """
+
+    def __init__(self, parents: Mapping[str, str | None]) -> None:
+        if not parents:
+            raise SchemaError("taxonomy must contain at least one node")
+        self._parents = dict(parents)
+        for node, parent in self._parents.items():
+            if parent is not None and parent not in self._parents:
+                raise SchemaError(
+                    f"node {node!r} has unknown parent {parent!r}"
+                )
+        self._paths: dict[str, tuple[str, ...]] = {}
+        for node in self._parents:
+            self._paths[node] = self._compute_path(node)
+
+    def _compute_path(self, node: str) -> tuple[str, ...]:
+        path = []
+        seen = set()
+        current: str | None = node
+        while current is not None:
+            if current in seen:
+                raise SchemaError(f"taxonomy contains a cycle through {current!r}")
+            seen.add(current)
+            path.append(current)
+            current = self._parents[current]
+        return tuple(reversed(path))
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._parents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Taxonomy({len(self._parents)} nodes, depth {self.max_depth})"
+
+    def path(self, node: str) -> tuple[str, ...]:
+        """Root path of a node, root first (includes the node itself)."""
+        try:
+            return self._paths[node]
+        except KeyError:
+            raise SchemaError(f"node {node!r} not in taxonomy") from None
+
+    def depth(self, node: str) -> int:
+        """Depth of a node (roots have depth 1)."""
+        return len(self.path(node))
+
+    @property
+    def max_depth(self) -> int:
+        return max(len(p) for p in self._paths.values())
+
+    def lca_depth(self, a: str, b: str) -> int:
+        """Depth of the lowest common ancestor (0 for different roots)."""
+        shared = 0
+        for x, y in zip(self.path(a), self.path(b)):
+            if x != y:
+                break
+            shared += 1
+        return shared
+
+    def distance(self, a: str, b: str) -> int:
+        """Cleartext reference metric: tree path length between a and b."""
+        return self.depth(a) + self.depth(b) - 2 * self.lca_depth(a, b)
+
+    def validate(self, value: str) -> None:
+        """Raise :class:`SchemaError` unless ``value`` is a taxonomy node."""
+        if value not in self._parents:
+            raise SchemaError(f"value {value!r} not in taxonomy")
+
+    # -- protocol steps (holder side) -------------------------------------------
+
+    def encrypt_value(
+        self, encryptor: DeterministicEncryptor, attribute: str, value: str
+    ) -> list[bytes]:
+        """Deterministic ciphertext of every root-path prefix.
+
+        Prefixes are encoded positionally (``depth|joined-path``) so two
+        different nodes that happen to share a name at different depths
+        cannot collide.
+        """
+        path = self.path(value)
+        return [
+            encryptor.encrypt(attribute, f"{i + 1}|" + "/".join(path[: i + 1]))
+            for i in range(len(path))
+        ]
+
+    def encrypt_column(
+        self,
+        encryptor: DeterministicEncryptor,
+        attribute: str,
+        values: Sequence[str],
+    ) -> list[list[bytes]]:
+        """Encrypt a whole column of taxonomy values."""
+        return [self.encrypt_value(encryptor, attribute, v) for v in values]
+
+    # -- protocol steps (third-party side) ----------------------------------------
+
+    @staticmethod
+    def distance_from_ciphertext_paths(
+        path_a: Sequence[bytes], path_b: Sequence[bytes]
+    ) -> int:
+        """The path metric from two ciphertext prefix lists.
+
+        Shared-prefix count equals LCA depth because the encryption is
+        deterministic and injective per attribute.
+        """
+        shared = 0
+        for x, y in zip(path_a, path_b):
+            if x != y:
+                break
+            shared += 1
+        return len(path_a) + len(path_b) - 2 * shared

@@ -1,0 +1,39 @@
+"""Comparison functions and dissimilarity structures (paper Sections 2.2-2.3).
+
+* :mod:`repro.distance.numeric` -- ``|x - y|`` plus the fixed-point codec
+  that lets the integer-valued protocol carry real values exactly,
+* :mod:`repro.distance.categorical` -- 0/1 equality distance,
+* :mod:`repro.distance.edit` -- edit distance, both directly on strings
+  and on a character comparison matrix,
+* :mod:`repro.distance.ccm` -- character comparison matrices,
+* :mod:`repro.distance.dissimilarity` -- the object-by-object
+  :class:`DissimilarityMatrix` (Figure 2), condensed storage,
+* :mod:`repro.distance.local` -- local dissimilarity matrix construction
+  (Figure 12),
+* :mod:`repro.distance.merge` -- weighted merge of per-attribute matrices,
+* :mod:`repro.distance.normalize` -- max-normalisation to [0, 1] and the
+  Section 2.1 equivalence with attribute min-max normalisation.
+"""
+
+from repro.distance.categorical import categorical_distance
+from repro.distance.ccm import ccm_from_strings
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.edit import edit_distance, edit_distance_from_ccm
+from repro.distance.local import local_dissimilarity
+from repro.distance.merge import merge_weighted
+from repro.distance.normalize import max_normalize, min_max_normalize_column
+from repro.distance.numeric import FixedPointCodec, numeric_distance
+
+__all__ = [
+    "categorical_distance",
+    "ccm_from_strings",
+    "DissimilarityMatrix",
+    "edit_distance",
+    "edit_distance_from_ccm",
+    "local_dissimilarity",
+    "merge_weighted",
+    "max_normalize",
+    "min_max_normalize_column",
+    "FixedPointCodec",
+    "numeric_distance",
+]

@@ -1,0 +1,42 @@
+"""Character comparison matrices (paper Section 2.3).
+
+"An n x m equality comparison matrix for all pairs of characters in source
+and target strings is equally expressive [as the strings themselves for
+edit distance].  We call such matrices 'character comparison matrices'
+... CCM_ST[i][j] is 0 if the i-th character of s is equal to the j-th
+character of t and non-zero otherwise."
+
+Orientation note: the protocol pseudocode (Figures 9-10) builds the
+intermediary matrix with one **row per target character** and one
+**column per source character**; we follow that orientation everywhere
+(`shape == (len(target), len(source))`) so protocol code and this module
+agree index-for-index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ccm_from_strings(source: str, target: str) -> np.ndarray:
+    """Plaintext CCM: ``ccm[q, p] = 0`` iff ``target[q] == source[p]``.
+
+    Returned as a ``uint8`` array of 0/1 entries.  This is the reference
+    the privacy-preserving protocol must reproduce without either party
+    revealing its string.
+    """
+    rows = len(target)
+    cols = len(source)
+    ccm = np.ones((rows, cols), dtype=np.uint8)
+    for q, t_char in enumerate(target):
+        for p, s_char in enumerate(source):
+            if t_char == s_char:
+                ccm[q, p] = 0
+    return ccm
+
+
+def ccm_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Shape and entry equality of two CCMs (entries compared as 0 / non-0)."""
+    if a.shape != b.shape:
+        return False
+    return bool(np.array_equal(a != 0, b != 0))

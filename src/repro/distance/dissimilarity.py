@@ -1,0 +1,243 @@
+"""The object-by-object dissimilarity matrix (paper Figure 2).
+
+"An m x m dissimilarity matrix stores the distance or dissimilarity
+between each pair of objects ... the distance of an object to itself is 0
+... only the entries below the diagonal are filled, since
+d[i][j] = d[j][i]."
+
+:class:`DissimilarityMatrix` stores exactly that strict lower triangle in
+a condensed numpy vector -- half the memory of a square matrix and an
+honest representation of what the third party actually materialises.
+Pair ``(i, j)`` with ``i > j`` lives at position ``i*(i-1)/2 + j``, i.e.
+row-major over Figure 2's filled entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusteringError, ConfigurationError
+
+
+class DissimilarityMatrix:
+    """Symmetric, zero-diagonal distance matrix in condensed storage."""
+
+    def __init__(self, num_objects: int, condensed: np.ndarray | None = None) -> None:
+        if num_objects < 1:
+            raise ConfigurationError(
+                f"dissimilarity matrix needs >= 1 object, got {num_objects}"
+            )
+        expected = num_objects * (num_objects - 1) // 2
+        if condensed is None:
+            condensed = np.zeros(expected, dtype=np.float64)
+        else:
+            condensed = np.asarray(condensed, dtype=np.float64)
+            if condensed.shape != (expected,):
+                raise ConfigurationError(
+                    f"condensed vector must have length {expected}, got {condensed.shape}"
+                )
+            if np.any(condensed < 0):
+                raise ConfigurationError("distances must be non-negative")
+            if np.any(~np.isfinite(condensed)):
+                raise ConfigurationError("distances must be finite")
+        self._n = num_objects
+        self._values = condensed
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, num_objects: int) -> "DissimilarityMatrix":
+        """All-zero matrix, ready to be filled."""
+        return cls(num_objects)
+
+    @classmethod
+    def from_square(cls, square: np.ndarray, atol: float = 1e-9) -> "DissimilarityMatrix":
+        """Validate and condense a full square distance matrix."""
+        square = np.asarray(square, dtype=np.float64)
+        if square.ndim != 2 or square.shape[0] != square.shape[1]:
+            raise ConfigurationError(f"square matrix expected, got shape {square.shape}")
+        if not np.allclose(square, square.T, atol=atol):
+            raise ConfigurationError("matrix is not symmetric")
+        if not np.allclose(np.diag(square), 0.0, atol=atol):
+            raise ConfigurationError("diagonal must be zero")
+        n = square.shape[0]
+        out = cls(n)
+        for i in range(1, n):
+            row_start = i * (i - 1) // 2
+            out._values[row_start : row_start + i] = square[i, :i]
+        return out
+
+    @classmethod
+    def from_pairwise(
+        cls, num_objects: int, distance: Callable[[int, int], float]
+    ) -> "DissimilarityMatrix":
+        """Fill by evaluating ``distance(i, j)`` over the lower triangle.
+
+        This is the paper's Figure 12 loop shape; the callable receives
+        global positions ``i > j``.
+        """
+        out = cls(num_objects)
+        pos = 0
+        for i in range(1, num_objects):
+            for j in range(i):
+                value = float(distance(i, j))
+                if value < 0:
+                    raise ConfigurationError(
+                        f"distance({i}, {j}) returned negative value {value}"
+                    )
+                out._values[pos] = value
+                pos += 1
+        return out
+
+    # -- indexing ------------------------------------------------------------
+
+    @property
+    def num_objects(self) -> int:
+        return self._n
+
+    @property
+    def condensed(self) -> np.ndarray:
+        """Read-only view of the strict lower triangle, Figure 2 order."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @staticmethod
+    def _position(i: int, j: int) -> int:
+        return i * (i - 1) // 2 + j
+
+    def _check_pair(self, i: int, j: int) -> tuple[int, int]:
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise ConfigurationError(
+                f"pair ({i}, {j}) out of range for {self._n} objects"
+            )
+        if i < j:
+            i, j = j, i
+        return i, j
+
+    def __getitem__(self, pair: tuple[int, int]) -> float:
+        i, j = self._check_pair(*pair)
+        if i == j:
+            return 0.0
+        return float(self._values[self._position(i, j)])
+
+    def __setitem__(self, pair: tuple[int, int], value: float) -> None:
+        i, j = self._check_pair(*pair)
+        if i == j:
+            if value != 0:
+                raise ConfigurationError("diagonal entries are fixed at zero")
+            return
+        if value < 0 or not np.isfinite(value):
+            raise ConfigurationError(f"invalid distance value {value}")
+        self._values[self._position(i, j)] = value
+
+    def set_block(self, rows: Sequence[int], cols: Sequence[int], block: np.ndarray) -> None:
+        """Assign a rectangular cross-site block.
+
+        The third party uses this to drop a comparison-protocol output
+        (a ``len(rows) x len(cols)`` matrix of distances) into the global
+        matrix.  Row/column index sets must be disjoint -- cross-site
+        blocks never touch the diagonal.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        if block.shape != (len(rows), len(cols)):
+            raise ConfigurationError(
+                f"block shape {block.shape} != ({len(rows)}, {len(cols)})"
+            )
+        if set(rows) & set(cols):
+            raise ConfigurationError("cross block must not intersect the diagonal")
+        for bi, i in enumerate(rows):
+            for bj, j in enumerate(cols):
+                self[i, j] = block[bi, bj]
+
+    # -- whole-matrix operations ----------------------------------------------
+
+    def to_square(self) -> np.ndarray:
+        """Full symmetric square matrix (copies)."""
+        square = np.zeros((self._n, self._n), dtype=np.float64)
+        for i in range(1, self._n):
+            row_start = i * (i - 1) // 2
+            square[i, :i] = self._values[row_start : row_start + i]
+        return square + square.T
+
+    def to_scipy_condensed(self) -> np.ndarray:
+        """Reorder into scipy's condensed format (upper triangle, row-major).
+
+        Used by tests that cross-validate our clustering against
+        ``scipy.cluster.hierarchy``.
+        """
+        n = self._n
+        out = np.empty(n * (n - 1) // 2, dtype=np.float64)
+        pos = 0
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                out[pos] = self._values[self._position(j, i)]
+                pos += 1
+        return out
+
+    def max_value(self) -> float:
+        """Largest pairwise distance (the Figure 11 normaliser)."""
+        if self._values.size == 0:
+            return 0.0
+        return float(self._values.max())
+
+    def normalized(self) -> "DissimilarityMatrix":
+        """Scale into [0, 1] by the maximum distance (Figure 11, step 4).
+
+        An all-zero matrix normalises to itself (all objects identical).
+        """
+        peak = self.max_value()
+        if peak == 0.0:
+            return self.copy()
+        return DissimilarityMatrix(self._n, self._values / peak)
+
+    def submatrix(self, indices: Sequence[int]) -> "DissimilarityMatrix":
+        """Restriction to a subset of objects, in the given order."""
+        indices = list(indices)
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError("submatrix indices must be unique")
+        out = DissimilarityMatrix(len(indices)) if indices else None
+        if out is None:
+            raise ConfigurationError("submatrix needs at least one index")
+        for a, i in enumerate(indices):
+            for b in range(a):
+                out[a, b] = self[i, indices[b]]
+        return out
+
+    def copy(self) -> "DissimilarityMatrix":
+        return DissimilarityMatrix(self._n, self._values.copy())
+
+    def allclose(self, other: "DissimilarityMatrix", atol: float = 1e-9) -> bool:
+        """Entry-wise comparison; the zero-accuracy-loss assertions use this."""
+        return self._n == other._n and bool(
+            np.allclose(self._values, other._values, atol=atol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DissimilarityMatrix):
+            return NotImplemented
+        return self._n == other._n and bool(np.array_equal(self._values, other._values))
+
+    def mean_value(self) -> float:
+        """Average pairwise distance (quality reporting)."""
+        if self._values.size == 0:
+            return 0.0
+        return float(self._values.mean())
+
+    def check_triangle_inequality(self, atol: float = 1e-9) -> bool:
+        """Whether d(i,k) <= d(i,j) + d(j,k) holds for all triples.
+
+        True for the per-attribute metrics the paper uses; weighted merges
+        of metrics stay metrics, so this doubles as an integration check.
+        """
+        square = self.to_square()
+        for j in range(self._n):
+            via_j = square[:, j][:, None] + square[j, :][None, :]
+            if np.any(square > via_j + atol):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DissimilarityMatrix(n={self._n}, max={self.max_value():.4g})"

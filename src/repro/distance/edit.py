@@ -1,0 +1,85 @@
+"""Edit (Levenshtein) distance, on strings and on character comparison
+matrices.
+
+Section 2.3: "Edit distance algorithm returns the number of operations
+required to transform a source string into a target string.  Available
+operations are insertion, deletion and transformation of a character.
+The algorithm makes use of the dynamic programming paradigm.  An
+(n+1) x (m+1) matrix is iteratively filled ... Input of the edit distance
+algorithm need not be the input strings [: a CCM] is equally expressive."
+
+Both entry points share one DP core: the string variant derives the
+substitution cost from character equality, the CCM variant reads it from
+the matrix.  Unit costs (1 per insert/delete/substitute) follow the paper.
+The DP is vectorised row-by-row with numpy, which keeps the third party's
+bulk workload (one DP per cross-site string pair) fast enough for the
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _dp_edit_distance(substitution_cost: np.ndarray) -> int:
+    """Core DP over a (rows x cols) 0/1 substitution-cost matrix.
+
+    ``substitution_cost[q, p]`` is the cost of aligning target char ``q``
+    with source char ``p``.  Rows correspond to the target string and
+    columns to the source, matching the protocol's CCM orientation.
+    """
+    rows, cols = substitution_cost.shape
+    previous = np.arange(cols + 1, dtype=np.int64)
+    for q in range(rows):
+        current = np.empty(cols + 1, dtype=np.int64)
+        current[0] = q + 1
+        # current[p] = min(previous[p] + 1,            # insert/delete
+        #                  current[p-1] + 1,           # delete/insert
+        #                  previous[p-1] + cost[q, p]) # substitute/match
+        diagonal = previous[:-1] + substitution_cost[q]
+        vertical = previous[1:] + 1
+        best = np.minimum(diagonal, vertical)
+        # The horizontal dependency is sequential; resolve it with a scan.
+        running = current[0]
+        for p in range(cols):
+            running = min(best[p], running + 1)
+            current[p + 1] = running
+        previous = current
+    return int(previous[-1])
+
+
+def edit_distance(source: str, target: str) -> int:
+    """Levenshtein distance between two strings (symmetric, unit costs)."""
+    if source == target:
+        return 0
+    if not source:
+        return len(target)
+    if not target:
+        return len(source)
+    cost = np.ones((len(target), len(source)), dtype=np.int64)
+    source_codes = np.frombuffer(source.encode("utf-32-le"), dtype=np.uint32)
+    target_codes = np.frombuffer(target.encode("utf-32-le"), dtype=np.uint32)
+    cost[np.equal.outer(target_codes, source_codes)] = 0
+    return _dp_edit_distance(cost)
+
+
+def edit_distance_from_ccm(ccm: np.ndarray) -> int:
+    """Levenshtein distance computed from a character comparison matrix.
+
+    ``ccm`` has one row per target character and one column per source
+    character; entries are 0 for equal characters, non-zero otherwise
+    (Figure 10 binarises before calling EditDistance).  Degenerate shapes
+    encode empty strings: a (0, p) matrix means an empty target, so the
+    distance is the source length, and vice versa.
+    """
+    if ccm.ndim != 2:
+        raise ConfigurationError(f"CCM must be 2-D, got shape {ccm.shape}")
+    rows, cols = ccm.shape
+    if rows == 0:
+        return cols
+    if cols == 0:
+        return rows
+    cost = (ccm != 0).astype(np.int64)
+    return _dp_edit_distance(cost)

@@ -1,0 +1,47 @@
+"""Normalisation, and the paper's Section 2.1 equivalence argument.
+
+"Data matrix is not normalized in our protocol.  We rather choose to
+normalize the dissimilarity matrix.  The reason is that each horizontal
+partition may contain values from a different range in which case another
+privacy preserving protocol for finding the global minimum and maximum of
+each attribute would be required.  Normalization on the dissimilarity
+matrix yields the same effect, without loss of accuracy and the need for
+another protocol."
+
+The equivalence is exact for the numeric metric: for a column with global
+range ``[lo, hi]``, min-max scaling every value and then taking ``|x'-y'|``
+equals ``|x-y| / (hi-lo)``, and the maximum pairwise distance *is*
+``hi - lo`` -- so dividing the dissimilarity matrix by its maximum is the
+same operation computed without a min/max protocol.
+:func:`min_max_normalize_column` exists so tests and the T-NORM benchmark
+can verify that equivalence numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError
+
+
+def max_normalize(matrix: DissimilarityMatrix) -> DissimilarityMatrix:
+    """Scale a dissimilarity matrix into [0, 1] by its maximum entry."""
+    return matrix.normalized()
+
+
+def min_max_normalize_column(values: Sequence[float]) -> list[float]:
+    """Classic min-max scaling of a (conceptually global) numeric column.
+
+    This is the operation the paper *avoids* doing privately; it exists
+    here as the reference side of the equivalence test.  A constant
+    column maps to all zeros.
+    """
+    if not values:
+        raise ConfigurationError("cannot normalise an empty column")
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return [0.0 for _ in values]
+    span = hi - lo
+    return [(v - lo) / span for v in values]

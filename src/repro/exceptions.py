@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses partition the failure space along the major
+subsystems: configuration, protocol execution, cryptography, data handling
+and clustering.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A session, protocol or component was configured inconsistently."""
+
+
+class SchemaError(ReproError):
+    """Data does not match the declared attribute schema."""
+
+
+class PartitionError(ReproError):
+    """Invalid horizontal partitioning of a data matrix."""
+
+
+class ProtocolError(ReproError):
+    """A privacy-preserving protocol was violated or misused.
+
+    Raised for out-of-order messages, role mismatches, wrong shapes of
+    intermediary matrices, or attempts to run a protocol with parties that
+    do not hold the required shared secrets.
+    """
+
+
+class ChannelError(ReproError):
+    """A network channel was used incorrectly (closed, wrong endpoint...)."""
+
+
+class IntegrityError(ChannelError):
+    """Message authentication failed on a secure channel."""
+
+
+class CryptoError(ReproError):
+    """Cryptographic failure (bad key sizes, decryption failure...)."""
+
+
+class KeyAgreementError(CryptoError):
+    """Diffie-Hellman key agreement failed or was misused."""
+
+
+class ClusteringError(ReproError):
+    """Clustering could not be performed on the given dissimilarity input."""
+
+
+class AttackError(ReproError):
+    """An attack harness was invoked on an incompatible transcript."""

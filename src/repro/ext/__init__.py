@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's published scope.
+
+Section 4.3: "This distance function is not adequate to measure the
+dissimilarity between ordered or hierarchical categorical attributes.
+Such categorical data requires more complex distance functions which are
+left as future work."  This package is that future work:
+
+* :mod:`repro.ext.ordinal` -- ordered categorical attributes via rank
+  encoding, privacy-preserved by the *unchanged* numeric protocol,
+* :mod:`repro.ext.taxonomy` -- hierarchical categorical attributes via
+  per-prefix deterministic encryption, a strict generalisation of the
+  Section 4.3 equality scheme (cost stays O(n * depth) per holder).
+
+Everything here composes with the existing session machinery: ordinals
+become numeric columns before partitioning; taxonomies get their own
+TP-side matrix builder mirroring
+:func:`repro.core.categorical.third_party_categorical_matrix`.
+"""
+
+from repro.ext.ordinal import OrdinalScale
+from repro.ext.taxonomy import Taxonomy, third_party_taxonomy_matrix
+
+__all__ = ["OrdinalScale", "Taxonomy", "third_party_taxonomy_matrix"]

@@ -1,0 +1,90 @@
+"""Ordered categorical attributes (the first half of §4.3's future work).
+
+An ordered categorical domain ("basic" < "plus" < "premium") has a
+natural metric: the rank difference, optionally normalised by the rank
+span.  The key observation making this *free* under the paper's
+framework: rank-encode the column and the values become plain integers,
+so the **numeric protocol of Section 4.1 applies unchanged** -- masks,
+batching, frequency-attack trade-offs and all.  No new protocol, no new
+security argument.
+
+:class:`OrdinalScale` owns the category order, the distance definition
+and the schema/encoding helpers that plug an ordinal column into an
+existing session.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.data.matrix import AttributeSpec
+from repro.exceptions import SchemaError
+from repro.types import AttributeType
+
+
+class OrdinalScale:
+    """An ordered categorical domain with a rank metric.
+
+    Parameters
+    ----------
+    categories:
+        Categories in ascending order; must be unique and non-empty.
+    normalized:
+        When ``True`` (default) the cleartext reference metric is scaled
+        into [0, 1] by the rank span.  The protocol carries raw ranks
+        either way -- the final matrix normalisation (Figure 11)
+        performs exactly this scaling, which is why rank encoding
+        composes with the paper pipeline with zero accuracy loss.
+    """
+
+    def __init__(self, categories: Iterable[str], normalized: bool = True) -> None:
+        self.categories = tuple(categories)
+        self.normalized = normalized
+        if not self.categories:
+            raise SchemaError("ordinal scale needs at least one category")
+        if len(set(self.categories)) != len(self.categories):
+            raise SchemaError("ordinal categories must be unique")
+        self._ranks = {c: i for i, c in enumerate(self.categories)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrdinalScale({'<'.join(self.categories)})"
+
+    @property
+    def span(self) -> int:
+        """Largest possible rank difference."""
+        return max(1, len(self.categories) - 1)
+
+    def rank(self, value: str) -> int:
+        """Rank of a category (0-based)."""
+        try:
+            return self._ranks[value]
+        except KeyError:
+            raise SchemaError(
+                f"value {value!r} not in ordinal scale {self.categories}"
+            ) from None
+
+    def distance(self, a: str, b: str) -> float:
+        """Cleartext reference metric: |rank(a) - rank(b)| (scaled)."""
+        raw = abs(self.rank(a) - self.rank(b))
+        if self.normalized:
+            return raw / self.span
+        return float(raw)
+
+    # -- session integration -------------------------------------------------
+
+    def encode_column(self, values: Sequence[str]) -> list[int]:
+        """Column of categories -> column of ranks (numeric-protocol input)."""
+        return [self.rank(v) for v in values]
+
+    def attribute_spec(self, name: str) -> AttributeSpec:
+        """The numeric schema entry carrying this scale's ranks.
+
+        Ranks are exact integers, so ``precision=0``.
+        """
+        return AttributeSpec(name, AttributeType.NUMERIC, precision=0)
+
+    def decode_rank(self, rank: int) -> str:
+        """Inverse of :meth:`rank` (for holders displaying results)."""
+        if not 0 <= rank < len(self.categories):
+            raise SchemaError(f"rank {rank} out of range for {self.categories}")
+        return self.categories[rank]

@@ -1,0 +1,58 @@
+"""Hierarchical categorical attributes (the second half of §4.3's
+future work) -- third-party assembly.
+
+The :class:`~repro.data.taxonomy.Taxonomy` structure itself (tree, path
+metric, holder-side encryption) lives in :mod:`repro.data.taxonomy` so
+schemas can embed it; this module re-exports it and adds the TP-side
+global matrix builder, mirroring
+:func:`repro.core.categorical.third_party_categorical_matrix`.
+
+The privacy-preserving construction generalises Section 4.3's scheme
+directly: instead of one deterministic ciphertext per value, each holder
+ships the ciphertexts of every prefix of the value's root path.  The
+third party counts coinciding leading ciphertexts -- that count *is* the
+LCA depth -- and evaluates the path metric without learning any label.
+Per-holder communication stays ``O(n * depth)``.  Leakage mirrors the
+flat scheme's: the TP learns pairwise LCA depths, exactly the
+information carried by the distances it must output anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.partition import GlobalIndex
+from repro.data.taxonomy import Taxonomy
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ProtocolError
+
+__all__ = ["Taxonomy", "third_party_taxonomy_matrix"]
+
+
+def third_party_taxonomy_matrix(
+    encrypted_columns: Mapping[str, Sequence[Sequence[bytes]]],
+    index: GlobalIndex,
+) -> DissimilarityMatrix:
+    """TP step: global taxonomy-distance matrix from ciphertext paths.
+
+    Columns are merged in canonical site order and Figure 12's loop runs
+    over ciphertext path lists.
+    """
+    if set(encrypted_columns) != set(index.sites):
+        raise ProtocolError(
+            f"columns from sites {sorted(encrypted_columns)} do not match "
+            f"index sites {list(index.sites)}"
+        )
+    merged: list[Sequence[bytes]] = []
+    for site in index.sites:
+        column = list(encrypted_columns[site])
+        if len(column) != index.size_of(site):
+            raise ProtocolError(
+                f"site {site!r} sent {len(column)} paths, "
+                f"index expects {index.size_of(site)}"
+            )
+        merged.extend(column)
+    return DissimilarityMatrix.from_pairwise(
+        len(merged),
+        lambda i, j: Taxonomy.distance_from_ciphertext_paths(merged[i], merged[j]),
+    )

@@ -1,0 +1,94 @@
+"""Persistence for the third party's artefacts.
+
+The TP's long-lived state is the dissimilarity matrix (kept secret,
+Section 5), the dendrogram, and the published result.  This module
+serialises all three: matrices to ``.npz`` (condensed storage, exact),
+dendrograms and results to JSON (human-inspectable, exact for the
+float64 heights via ``repr`` round-tripping).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.core.results import ClusteringResult
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+_MATRIX_FORMAT = "repro.dissimilarity.v1"
+_DENDROGRAM_FORMAT = "repro.dendrogram.v1"
+_RESULT_FORMAT = "repro.result.v1"
+
+
+def save_matrix(matrix: DissimilarityMatrix, path: PathLike) -> None:
+    """Write a dissimilarity matrix to ``path`` (numpy ``.npz``)."""
+    np.savez_compressed(
+        Path(path),
+        format=np.asarray(_MATRIX_FORMAT),
+        num_objects=np.asarray(matrix.num_objects),
+        condensed=np.asarray(matrix.condensed),
+    )
+
+
+def load_matrix(path: PathLike) -> DissimilarityMatrix:
+    """Inverse of :func:`save_matrix`; validates the format marker."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["format"]) != _MATRIX_FORMAT:
+            raise ConfigurationError(
+                f"{path} is not a saved dissimilarity matrix"
+            )
+        return DissimilarityMatrix(
+            int(data["num_objects"]), data["condensed"].copy()
+        )
+
+
+def save_dendrogram(dendrogram: Dendrogram, path: PathLike) -> None:
+    """Write a dendrogram to ``path`` (JSON)."""
+    document = {
+        "format": _DENDROGRAM_FORMAT,
+        "num_leaves": dendrogram.num_leaves,
+        "merges": [
+            # repr() round-trips float64 exactly through JSON.
+            [m.left, m.right, repr(m.height), m.size]
+            for m in dendrogram.merges
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_dendrogram(path: PathLike) -> Dendrogram:
+    """Inverse of :func:`save_dendrogram`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != _DENDROGRAM_FORMAT:
+        raise ConfigurationError(f"{path} is not a saved dendrogram")
+    merges = [
+        Merge(left=left, right=right, height=float(height), size=size)
+        for left, right, height, size in document["merges"]
+    ]
+    return Dendrogram(document["num_leaves"], merges)
+
+
+def save_result(result: ClusteringResult, path: PathLike) -> None:
+    """Write a published clustering result to ``path`` (JSON)."""
+    document = {"format": _RESULT_FORMAT, "payload": result.to_payload()}
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_result(path: PathLike) -> ClusteringResult:
+    """Inverse of :func:`save_result`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != _RESULT_FORMAT:
+        raise ConfigurationError(f"{path} is not a saved clustering result")
+    payload = document["payload"]
+    # JSON turns the (site, local_id) tuples into lists; normalise back.
+    payload["clusters"] = [
+        [tuple(member) for member in cluster] for cluster in payload["clusters"]
+    ]
+    return ClusteringResult.from_payload(payload)

@@ -1,0 +1,34 @@
+"""Simulated message-passing network with exact byte accounting.
+
+The paper's evaluation is a communication-cost analysis; this package
+makes those costs *measurable* instead of assumed.  Every protocol
+message is serialized by :mod:`repro.network.serialization` (length-
+prefixed, deterministic), routed through a :class:`Channel` that records
+per-message byte counts, and optionally sealed by the symmetric cipher
+when the channel is secured -- so benchmarks report true wire sizes
+including the security overhead the paper requires.
+
+Insecure channels support eavesdropper taps, which is how the
+:mod:`repro.attacks.eavesdrop` harness reproduces the paper's Section 4.1
+channel-security analysis.
+"""
+
+from repro.network.channel import Channel, ChannelStats, Eavesdropper
+from repro.network.message import Message
+from repro.network.serialization import (
+    deserialize,
+    serialize,
+    serialized_size,
+)
+from repro.network.simulator import Network
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Eavesdropper",
+    "Message",
+    "Network",
+    "serialize",
+    "deserialize",
+    "serialized_size",
+]

@@ -1,0 +1,181 @@
+"""Deterministic binary serialization for protocol payloads.
+
+Communication-cost numbers in the benchmarks are *measured* off this
+encoding, so it is designed to be an honest proxy for a real wire format:
+
+* integers take ``O(bit_length)`` bytes (a masked 64-bit value costs ~9
+  bytes; a 2048-bit Paillier ciphertext costs ~260 -- the gap the T-EDIT
+  experiment quantifies),
+* containers add small constant framing,
+* numpy arrays ship raw buffers plus a dtype/shape header.
+
+The format is self-describing (one tag byte per value) and round-trips
+exactly; :func:`deserialize` rejects trailing garbage, which doubles as a
+tamper check in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ChannelError
+
+_TAG_NONE = b"N"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_TUPLE = b"T"
+_TAG_DICT = b"D"
+_TAG_ARRAY = b"A"
+_TAG_BOOL = b"b"
+
+_ALLOWED_DTYPES = {"uint8", "int8", "int32", "int64", "uint32", "uint64", "float32", "float64"}
+
+
+def _pack_length(value: int) -> bytes:
+    return struct.pack(">I", value)
+
+
+def _encode(obj: Any, out: list[bytes]) -> None:
+    if obj is None:
+        out.append(_TAG_NONE)
+    elif isinstance(obj, bool):
+        out.append(_TAG_BOOL)
+        out.append(b"\x01" if obj else b"\x00")
+    elif isinstance(obj, int):
+        sign = b"\x01" if obj < 0 else b"\x00"
+        magnitude = abs(obj)
+        body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        out.append(_TAG_INT)
+        out.append(sign)
+        out.append(_pack_length(len(body)))
+        out.append(body)
+    elif isinstance(obj, float):
+        out.append(_TAG_FLOAT)
+        out.append(struct.pack(">d", obj))
+    elif isinstance(obj, str):
+        body = obj.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(_pack_length(len(body)))
+        out.append(body)
+    elif isinstance(obj, bytes):
+        out.append(_TAG_BYTES)
+        out.append(_pack_length(len(obj)))
+        out.append(obj)
+    elif isinstance(obj, list):
+        out.append(_TAG_LIST)
+        out.append(_pack_length(len(obj)))
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, tuple):
+        out.append(_TAG_TUPLE)
+        out.append(_pack_length(len(obj)))
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, dict):
+        out.append(_TAG_DICT)
+        out.append(_pack_length(len(obj)))
+        for key in obj:  # insertion order: deterministic for a given dict
+            if not isinstance(key, str):
+                raise ChannelError(f"dict keys must be str, got {type(key).__name__}")
+            _encode(key, out)
+            _encode(obj[key], out)
+    elif isinstance(obj, np.ndarray):
+        dtype_name = obj.dtype.name
+        if dtype_name not in _ALLOWED_DTYPES:
+            raise ChannelError(f"unsupported array dtype {dtype_name!r}")
+        contiguous = np.ascontiguousarray(obj)
+        out.append(_TAG_ARRAY)
+        _encode(dtype_name, out)
+        _encode(tuple(int(d) for d in contiguous.shape), out)
+        raw = contiguous.tobytes()
+        out.append(_pack_length(len(raw)))
+        out.append(raw)
+    elif isinstance(obj, (np.integer,)):
+        _encode(int(obj), out)
+    elif isinstance(obj, (np.floating,)):
+        _encode(float(obj), out)
+    else:
+        raise ChannelError(f"cannot serialize value of type {type(obj).__name__}")
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ChannelError("truncated message")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def length(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _decode(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        return reader.take(1) == b"\x01"
+    if tag == _TAG_INT:
+        negative = reader.take(1) == b"\x01"
+        body = reader.take(reader.length())
+        value = int.from_bytes(body, "big")
+        return -value if negative else value
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STR:
+        return reader.take(reader.length()).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return reader.take(reader.length())
+    if tag == _TAG_LIST:
+        return [_decode(reader) for _ in range(reader.length())]
+    if tag == _TAG_TUPLE:
+        return tuple(_decode(reader) for _ in range(reader.length()))
+    if tag == _TAG_DICT:
+        count = reader.length()
+        result = {}
+        for _ in range(count):
+            key = _decode(reader)
+            result[key] = _decode(reader)
+        return result
+    if tag == _TAG_ARRAY:
+        dtype_name = _decode(reader)
+        shape = _decode(reader)
+        raw = reader.take(reader.length())
+        return np.frombuffer(raw, dtype=np.dtype(dtype_name)).reshape(shape).copy()
+    raise ChannelError(f"unknown serialization tag {tag!r}")
+
+
+def serialize(obj: Any) -> bytes:
+    """Encode a payload into deterministic bytes."""
+    out: list[bytes] = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def deserialize(data: bytes) -> Any:
+    """Inverse of :func:`serialize`; rejects trailing bytes."""
+    reader = _Reader(data)
+    value = _decode(reader)
+    if not reader.exhausted:
+        raise ChannelError("trailing bytes after payload")
+    return value
+
+
+def serialized_size(obj: Any) -> int:
+    """Wire size of a payload in bytes (what cost accounting charges)."""
+    return len(serialize(obj))

@@ -1,0 +1,167 @@
+"""The simulated network: parties, links, queues and traffic accounting.
+
+A :class:`Network` is the single shared object every party holds.  It
+owns all channels, delivers messages into per-recipient FIFO queues, and
+aggregates the byte counters the communication-cost benchmarks read out.
+
+Execution is single-threaded and deterministic: the session orchestrator
+drives parties in protocol order, so a ``receive`` always finds its
+message (anything else is a protocol bug and raises immediately).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Iterable
+
+from repro.crypto.prng import ReseedablePRNG
+from repro.exceptions import ChannelError, ProtocolError
+from repro.network.channel import Channel, Eavesdropper
+from repro.network.message import Message
+
+
+class Network:
+    """Registry of parties and channels with delivery queues."""
+
+    def __init__(self) -> None:
+        self._parties: set[str] = set()
+        self._channels: dict[frozenset[str], Channel] = {}
+        self._queues: dict[str, deque[Message]] = defaultdict(deque)
+
+    # -- topology ----------------------------------------------------------
+
+    def add_party(self, name: str) -> None:
+        """Register a party; names must be unique and non-empty."""
+        if not name:
+            raise ChannelError("party name must be non-empty")
+        if name in self._parties:
+            raise ChannelError(f"party {name!r} already registered")
+        self._parties.add(name)
+
+    @property
+    def parties(self) -> frozenset[str]:
+        return frozenset(self._parties)
+
+    def connect(
+        self,
+        party_a: str,
+        party_b: str,
+        secure: bool = True,
+        key: bytes | None = None,
+        entropy: ReseedablePRNG | None = None,
+    ) -> Channel:
+        """Create the (single) channel between two registered parties."""
+        for name in (party_a, party_b):
+            if name not in self._parties:
+                raise ChannelError(f"unknown party {name!r}")
+        link = frozenset((party_a, party_b))
+        if link in self._channels:
+            raise ChannelError(f"channel {set(link)} already exists")
+        channel = Channel(party_a, party_b, secure=secure, key=key, entropy=entropy)
+        self._channels[link] = channel
+        return channel
+
+    def channel(self, party_a: str, party_b: str) -> Channel:
+        """Look up an existing channel."""
+        try:
+            return self._channels[frozenset((party_a, party_b))]
+        except KeyError:
+            raise ChannelError(f"no channel between {party_a!r} and {party_b!r}") from None
+
+    def attach_tap(self, party_a: str, party_b: str, tap: Eavesdropper) -> None:
+        """Wiretap the link between two parties."""
+        self.channel(party_a, party_b).attach_tap(tap)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, kind: str, payload: Any, tag: str = "") -> None:
+        """Route one message; it lands in the recipient's FIFO queue."""
+        message = self.channel(sender, recipient).transmit(
+            sender, recipient, kind, tag, payload
+        )
+        self._queues[recipient].append(message)
+
+    def receive(self, recipient: str, kind: str | None = None, sender: str | None = None) -> Message:
+        """Pop the next queued message for ``recipient``.
+
+        ``kind``/``sender`` act as assertions: a mismatch means the
+        protocol state machines have diverged, so we raise
+        :class:`ProtocolError` rather than mis-deliver.
+        """
+        queue = self._queues[recipient]
+        if not queue:
+            raise ProtocolError(f"{recipient!r} has no pending messages")
+        message = queue.popleft()
+        if kind is not None and message.kind != kind:
+            raise ProtocolError(
+                f"{recipient!r} expected kind {kind!r}, got {message.kind!r}"
+            )
+        if sender is not None and message.sender != sender:
+            raise ProtocolError(
+                f"{recipient!r} expected sender {sender!r}, got {message.sender!r}"
+            )
+        return message
+
+    def pending(self, recipient: str) -> int:
+        """Number of undelivered messages for a party."""
+        return len(self._queues[recipient])
+
+    # -- accounting ------------------------------------------------------------
+
+    def bytes_sent_by(self, party: str) -> int:
+        """Total wire bytes this party transmitted (all links)."""
+        total = 0
+        for link, channel in self._channels.items():
+            if party in link:
+                (other,) = link - {party}
+                total += channel.stats(party, other).wire_bytes
+        return total
+
+    def bytes_on_link(self, party_a: str, party_b: str) -> int:
+        """Total wire bytes in both directions of one link."""
+        channel = self.channel(party_a, party_b)
+        return (
+            channel.stats(party_a, party_b).wire_bytes
+            + channel.stats(party_b, party_a).wire_bytes
+        )
+
+    def total_bytes(self) -> int:
+        """Grand total of wire bytes across the whole network."""
+        total = 0
+        for link, channel in self._channels.items():
+            a, b = sorted(link)
+            total += channel.stats(a, b).wire_bytes
+            total += channel.stats(b, a).wire_bytes
+        return total
+
+    def bytes_of_kind(self, sender: str, recipient: str, kind: str) -> int:
+        """Wire bytes of one message kind on one directed link."""
+        return self.channel(sender, recipient).kind_stats(sender, recipient, kind).wire_bytes
+
+    def bytes_by_tag(self) -> dict[str, int]:
+        """Network-wide wire bytes grouped by accounting tag.
+
+        Tags are attribute-scoped (``"numeric/age"``), so this is the
+        per-attribute cost breakdown of a whole session.
+        """
+        totals: dict[str, int] = {}
+        for channel in self._channels.values():
+            for tag, stats in channel.tag_totals().items():
+                totals[tag] = totals.get(tag, 0) + stats.wire_bytes
+        return totals
+
+    def messages_sent_by(self, party: str) -> int:
+        """Total message count this party transmitted."""
+        total = 0
+        for link, channel in self._channels.items():
+            if party in link:
+                (other,) = link - {party}
+                total += channel.stats(party, other).messages
+        return total
+
+    def assert_drained(self, parties: Iterable[str] | None = None) -> None:
+        """Raise unless every queue is empty (protocol completed cleanly)."""
+        names = list(parties) if parties is not None else sorted(self._parties)
+        leftovers = {name: len(self._queues[name]) for name in names if self._queues[name]}
+        if leftovers:
+            raise ProtocolError(f"undelivered messages remain: {leftovers}")

@@ -1,0 +1,15 @@
+"""Protocol role implementations.
+
+:class:`DataHolder` and :class:`ThirdParty` wire the pure protocol steps
+of :mod:`repro.core` to the simulated network: holders mask and exchange,
+the third party unmasks, assembles the global dissimilarity matrix,
+clusters it and publishes membership lists (paper Section 3's trust
+model: all parties semi-honest and non-colluding; the TP contributes
+computation and storage but owns no data).
+"""
+
+from repro.parties.base import Party
+from repro.parties.holder import DataHolder
+from repro.parties.third_party import ThirdParty
+
+__all__ = ["Party", "DataHolder", "ThirdParty"]

@@ -1,0 +1,274 @@
+"""The data holder role (``DH_J`` / ``DH_K`` in the paper).
+
+A holder owns one horizontal partition.  Per attribute it (a) computes
+and ships its local dissimilarity matrix (Figure 12 -- pairs inside one
+site need no privacy machinery), and (b) participates in the pairwise
+comparison protocol with every other holder, as initiator or responder
+(Section 4: the protocol runs once per holder pair per attribute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import alphanumeric as alnum_protocol
+from repro.core import categorical as cat_protocol
+from repro.core import labels
+from repro.core import numeric as num_protocol
+from repro.core.config import ProtocolSuiteConfig
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.crypto.prng import ReseedablePRNG
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.edit import edit_distance
+from repro.distance.local import local_dissimilarity
+from repro.distance.numeric import FixedPointCodec
+from repro.exceptions import ProtocolError
+from repro.network.simulator import Network
+from repro.parties.base import Party
+from repro.types import AttributeType
+
+
+class DataHolder(Party):
+    """A semi-honest data holder participating in the session."""
+
+    def __init__(
+        self,
+        name: str,
+        matrix: DataMatrix,
+        network: Network,
+        suite: ProtocolSuiteConfig,
+        entropy: ReseedablePRNG,
+    ) -> None:
+        super().__init__(name, network)
+        self.matrix = matrix
+        self._suite = suite
+        self._entropy = entropy
+        self._group_key: bytes | None = None
+
+    # -- helpers ---------------------------------------------------------
+
+    def _codec(self, spec: AttributeSpec) -> FixedPointCodec:
+        return FixedPointCodec(spec.precision)
+
+    def _column(self, spec: AttributeSpec) -> list:
+        return self.matrix.column_by_name(spec.name)
+
+    def _tag(self, spec: AttributeSpec) -> str:
+        return f"{spec.attr_type.value}/{spec.name}"
+
+    # -- local dissimilarity (Figure 12) -----------------------------------
+
+    def local_matrix(self, spec: AttributeSpec) -> DissimilarityMatrix:
+        """Local per-attribute dissimilarity over this site's objects.
+
+        Numeric distances go through the fixed-point codec so local and
+        cross-site entries follow the *identical* comparison function --
+        the precondition for the paper's zero-accuracy-loss property.
+        """
+        column = self._column(spec)
+        if spec.attr_type is AttributeType.NUMERIC:
+            codec = self._codec(spec)
+            encoded = codec.encode_column(column)
+            return local_dissimilarity(
+                encoded, lambda a, b: codec.decode_distance(abs(a - b))
+            )
+        if spec.attr_type is AttributeType.ALPHANUMERIC:
+            return local_dissimilarity(column, edit_distance)
+        raise ProtocolError(
+            f"local matrices are not built for {spec.attr_type.value} attributes; "
+            "the third party constructs the categorical matrix globally"
+        )
+
+    def send_local_matrix(self, tp_name: str, spec: AttributeSpec) -> None:
+        """Ship the condensed local matrix to the third party."""
+        condensed = self.local_matrix(spec).condensed
+        self.send(
+            tp_name,
+            kind="local_matrix",
+            payload={"attribute": spec.name, "condensed": np.asarray(condensed)},
+            tag=self._tag(spec),
+        )
+
+    # -- numeric protocol (Section 4.1) -------------------------------------
+
+    def numeric_initiate(
+        self, spec: AttributeSpec, responder: str, tp_name: str, responder_size: int
+    ) -> None:
+        """Act as DHJ for one (attribute, responder) pairing."""
+        suite = self._suite
+        rng_jk = self.secret_with(responder).prng(
+            labels.numeric_jk(spec.name, self.name, responder), suite.prng_kind
+        )
+        rng_jt = self.secret_with(tp_name).prng(
+            labels.numeric_jt(spec.name, self.name, responder), suite.prng_kind
+        )
+        encoded = self._codec(spec).encode_column(self._column(spec))
+        if suite.batch_numeric:
+            masked = num_protocol.initiator_mask_batch(
+                encoded, rng_jk, rng_jt, suite.mask_bits
+            )
+            self.send(
+                responder,
+                kind="masked_vector",
+                payload={"attribute": spec.name, "values": masked},
+                tag=self._tag(spec),
+            )
+        else:
+            masked_matrix = num_protocol.initiator_mask_per_pair(
+                encoded, responder_size, rng_jk, rng_jt, suite.mask_bits
+            )
+            self.send(
+                responder,
+                kind="masked_matrix",
+                payload={"attribute": spec.name, "rows": masked_matrix},
+                tag=self._tag(spec),
+            )
+
+    def numeric_respond(
+        self, spec: AttributeSpec, initiator: str, tp_name: str
+    ) -> None:
+        """Act as DHK: consume the masked input, ship matrix ``s`` to TP."""
+        suite = self._suite
+        rng_jk = self.secret_with(initiator).prng(
+            labels.numeric_jk(spec.name, initiator, self.name), suite.prng_kind
+        )
+        encoded = self._codec(spec).encode_column(self._column(spec))
+        if suite.batch_numeric:
+            message = self.receive(kind="masked_vector", sender=initiator)
+            masked = message.payload["values"]
+            matrix = num_protocol.responder_matrix_batch(encoded, masked, rng_jk)
+        else:
+            message = self.receive(kind="masked_matrix", sender=initiator)
+            matrix = num_protocol.responder_matrix_per_pair(
+                encoded, message.payload["rows"], rng_jk
+            )
+        if message.payload["attribute"] != spec.name:
+            raise ProtocolError(
+                f"expected masked input for {spec.name!r}, "
+                f"got {message.payload['attribute']!r}"
+            )
+        self.send(
+            tp_name,
+            kind="comparison_matrix",
+            payload={
+                "attribute": spec.name,
+                "initiator": initiator,
+                "matrix": matrix,
+            },
+            tag=self._tag(spec),
+        )
+
+    # -- alphanumeric protocol (Section 4.2) ----------------------------------
+
+    def alnum_initiate(
+        self, spec: AttributeSpec, responder: str, tp_name: str
+    ) -> None:
+        """Act as DHJ: mask every string with the shared random vector."""
+        assert spec.alphabet is not None
+        rng_jt = self.secret_with(tp_name).prng(
+            labels.alnum_jt(spec.name, self.name, responder), self._suite.prng_kind
+        )
+        if self._suite.fresh_string_masks:
+            masked = alnum_protocol.initiator_mask_strings_fresh(
+                self._column(spec), spec.alphabet, rng_jt
+            )
+        else:
+            masked = alnum_protocol.initiator_mask_strings(
+                self._column(spec), spec.alphabet, rng_jt
+            )
+        self.send(
+            responder,
+            kind="masked_strings",
+            payload={"attribute": spec.name, "strings": masked},
+            tag=self._tag(spec),
+        )
+
+    def alnum_respond(self, spec: AttributeSpec, initiator: str, tp_name: str) -> None:
+        """Act as DHK: build intermediary CCMs, ship them to TP."""
+        assert spec.alphabet is not None
+        message = self.receive(kind="masked_strings", sender=initiator)
+        if message.payload["attribute"] != spec.name:
+            raise ProtocolError(
+                f"expected masked strings for {spec.name!r}, "
+                f"got {message.payload['attribute']!r}"
+            )
+        matrices = alnum_protocol.responder_ccm_matrices(
+            self._column(spec), message.payload["strings"], spec.alphabet
+        )
+        self.send(
+            tp_name,
+            kind="ccm_matrices",
+            payload={
+                "attribute": spec.name,
+                "initiator": initiator,
+                "matrices": matrices,
+            },
+            tag=self._tag(spec),
+        )
+
+    # -- categorical protocol (Section 4.3) -------------------------------------
+
+    def distribute_group_key(self, other_holders: list[str]) -> None:
+        """As group leader, mint and share the categorical encryption key.
+
+        The paper assumes the holders "share a secret key"; the leader
+        (lexicographically first holder) realises that by generating one
+        and sending it over the *secured* holder-holder channels.  The
+        third party never sees it (non-collusion, Section 3).
+        """
+        key = self._entropy.next_bits(256).to_bytes(32, "big")
+        self._group_key = key
+        for peer in other_holders:
+            self.send(peer, kind="group_key", payload=key, tag="setup")
+
+    def receive_group_key(self, leader: str) -> None:
+        """Receive the group key from the leader."""
+        message = self.receive(kind="group_key", sender=leader)
+        self._group_key = message.payload
+
+    def send_categorical(self, spec: AttributeSpec, tp_name: str) -> None:
+        """Encrypt this site's column deterministically and ship it.
+
+        Flat categoricals send one ciphertext per object (Section 4.3);
+        taxonomy-typed categoricals send the ciphertexts of every root
+        path prefix (the hierarchical extension, O(n * depth)).
+        """
+        if self._group_key is None:
+            raise ProtocolError(
+                f"{self.name!r} has no categorical group key; run key distribution"
+            )
+        encryptor = DeterministicEncryptor(
+            self._group_key, digest_size=self._suite.categorical_digest_size
+        )
+        if spec.taxonomy is not None:
+            ciphertexts: list = spec.taxonomy.encrypt_column(
+                encryptor, spec.name, self._column(spec)
+            )
+        else:
+            ciphertexts = cat_protocol.holder_encrypt_column(
+                encryptor, spec.name, self._column(spec)
+            )
+        self.send(
+            tp_name,
+            kind="encrypted_column",
+            payload={"attribute": spec.name, "ciphertexts": ciphertexts},
+            tag=self._tag(spec),
+        )
+
+    # -- weights and results ------------------------------------------------------
+
+    def send_weights(self, tp_name: str, weights: list[float]) -> None:
+        """Send this holder's attribute weight vector (Section 5)."""
+        if len(weights) != self.matrix.num_attributes:
+            raise ProtocolError(
+                f"{len(weights)} weights for {self.matrix.num_attributes} attributes"
+            )
+        self.send(tp_name, kind="weights", payload=list(map(float, weights)), tag="setup")
+
+    def receive_result(self, tp_name: str):
+        """Receive the published clustering result."""
+        from repro.core.results import ClusteringResult
+
+        message = self.receive(kind="result", sender=tp_name)
+        return ClusteringResult.from_payload(message.payload)

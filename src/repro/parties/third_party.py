@@ -1,0 +1,250 @@
+"""The third party role (``TP`` in the paper).
+
+Section 3: "The third party ... does not have any data but serves as a
+means of computation power and storage space.  Third party's duty in the
+protocol is to govern the communication between data holders, construct
+the dissimilarity matrix and publish clustering results."
+
+The TP assembles, per attribute, a *global* dissimilarity matrix from
+
+* diagonal blocks -- the holders' local matrices (Figure 12 outputs),
+* off-diagonal blocks -- comparison-protocol outputs it unmasks itself
+  (Figures 6 and 10), or, for categoricals, the matrix it builds over
+  merged ciphertexts (Section 4.3),
+
+then normalises each attribute matrix to [0, 1], merges them with the
+holders' weight vector (Figure 11) and runs hierarchical clustering.
+Only membership lists and aggregate quality statistics are published;
+the matrices themselves stay private to the TP (Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.linkage import agglomerative
+from repro.clustering.quality import average_square_distance
+from repro.core import alphanumeric as alnum_protocol
+from repro.core import categorical as cat_protocol
+from repro.core import labels
+from repro.core import numeric as num_protocol
+from repro.core.config import ProtocolSuiteConfig
+from repro.core.results import ClusteringResult, result_from_labels
+from repro.data.matrix import AttributeSpec, Schema
+from repro.data.partition import GlobalIndex
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.merge import merge_weighted
+from repro.distance.numeric import FixedPointCodec
+from repro.exceptions import ProtocolError
+from repro.network.simulator import Network
+from repro.parties.base import Party
+from repro.types import AttributeType, LinkageMethod
+
+
+class ThirdParty(Party):
+    """The semi-trusted aggregator that never holds raw data."""
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        schema: Schema,
+        index: GlobalIndex,
+        suite: ProtocolSuiteConfig,
+    ) -> None:
+        super().__init__(name, network)
+        self.schema = schema
+        self.index = index
+        self._suite = suite
+        self._raw: dict[str, DissimilarityMatrix] = {}
+        self._normalized: dict[str, DissimilarityMatrix] = {}
+        self._pending_categorical: dict[str, dict[str, list[bytes]]] = {}
+        self._weights: dict[str, list[float]] = {}
+
+    # -- storage helpers ------------------------------------------------------
+
+    def _matrix_for(self, attribute: str) -> DissimilarityMatrix:
+        if attribute not in self._raw:
+            self._raw[attribute] = DissimilarityMatrix.zeros(self.index.total_objects)
+        return self._raw[attribute]
+
+    def _spec(self, attribute: str) -> AttributeSpec:
+        return self.schema.spec(attribute)
+
+    # -- diagonal blocks --------------------------------------------------------
+
+    def receive_local_matrix(self, holder: str) -> None:
+        """Place one holder's local matrix on the attribute's diagonal block."""
+        message = self.receive(kind="local_matrix", sender=holder)
+        attribute = message.payload["attribute"]
+        condensed = np.asarray(message.payload["condensed"], dtype=np.float64)
+        size = self.index.size_of(holder)
+        local = DissimilarityMatrix(size, condensed)
+        target = self._matrix_for(attribute)
+        offset = self.index.offset_of(holder)
+        for i in range(size):
+            for j in range(i):
+                target[offset + i, offset + j] = local[i, j]
+
+    # -- numeric cross blocks (Figure 6) -------------------------------------------
+
+    def receive_numeric_block(self, responder: str) -> None:
+        """Unmask one comparison matrix into its off-diagonal block."""
+        message = self.receive(kind="comparison_matrix", sender=responder)
+        attribute = message.payload["attribute"]
+        initiator = message.payload["initiator"]
+        matrix = message.payload["matrix"]
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.NUMERIC:
+            raise ProtocolError(
+                f"comparison matrix for non-numeric attribute {attribute!r}"
+            )
+        rng_jt = self.secret_with(initiator).prng(
+            labels.numeric_jt(attribute, initiator, responder), self._suite.prng_kind
+        )
+        if self._suite.batch_numeric:
+            encoded = num_protocol.third_party_unmask_batch(
+                matrix, rng_jt, self._suite.mask_bits
+            )
+        else:
+            encoded = num_protocol.third_party_unmask_per_pair(
+                matrix, rng_jt, self._suite.mask_bits
+            )
+        codec = FixedPointCodec(spec.precision)
+        block = np.asarray(
+            [[codec.decode_distance(v) for v in row] for row in encoded],
+            dtype=np.float64,
+        )
+        rows, cols = self.index.block(responder, initiator)
+        self._matrix_for(attribute).set_block(list(rows), list(cols), block)
+
+    # -- alphanumeric cross blocks (Figure 10) ---------------------------------------
+
+    def receive_alnum_block(self, responder: str) -> None:
+        """Decode CCMs, run the edit-distance DP, place the block."""
+        message = self.receive(kind="ccm_matrices", sender=responder)
+        attribute = message.payload["attribute"]
+        initiator = message.payload["initiator"]
+        matrices = message.payload["matrices"]
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.ALPHANUMERIC:
+            raise ProtocolError(f"CCMs for non-alphanumeric attribute {attribute!r}")
+        assert spec.alphabet is not None
+        rng_jt = self.secret_with(initiator).prng(
+            labels.alnum_jt(attribute, initiator, responder), self._suite.prng_kind
+        )
+        if self._suite.fresh_string_masks:
+            distances = alnum_protocol.third_party_distances_fresh(
+                matrices, spec.alphabet, rng_jt
+            )
+        else:
+            distances = alnum_protocol.third_party_distances(
+                matrices, spec.alphabet, rng_jt
+            )
+        block = np.asarray(distances, dtype=np.float64)
+        rows, cols = self.index.block(responder, initiator)
+        self._matrix_for(attribute).set_block(list(rows), list(cols), block)
+
+    # -- categorical (Section 4.3) -----------------------------------------------------
+
+    def receive_encrypted_column(self, holder: str) -> None:
+        """Collect one site's deterministic ciphertext column."""
+        message = self.receive(kind="encrypted_column", sender=holder)
+        attribute = message.payload["attribute"]
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.CATEGORICAL:
+            raise ProtocolError(
+                f"encrypted column for non-categorical attribute {attribute!r}"
+            )
+        columns = self._pending_categorical.setdefault(attribute, {})
+        if holder in columns:
+            raise ProtocolError(f"duplicate encrypted column from {holder!r}")
+        columns[holder] = list(message.payload["ciphertexts"])
+
+    def finalize_categorical(self, attribute: str) -> None:
+        """Merge ciphertext columns and build the global matrix.
+
+        Flat categoricals get the 0/1 equality matrix (Section 4.3);
+        taxonomy-typed ones the hierarchical path-metric matrix.
+        """
+        columns = self._pending_categorical.get(attribute)
+        if columns is None:
+            raise ProtocolError(f"no encrypted columns received for {attribute!r}")
+        if self._spec(attribute).taxonomy is not None:
+            from repro.ext.taxonomy import third_party_taxonomy_matrix
+
+            self._raw[attribute] = third_party_taxonomy_matrix(columns, self.index)
+        else:
+            self._raw[attribute] = cat_protocol.third_party_categorical_matrix(
+                columns, self.index
+            )
+
+    # -- assembly (Figure 11) -------------------------------------------------------------
+
+    def finalize_attribute(self, attribute: str) -> None:
+        """Normalise the attribute's completed matrix into [0, 1]."""
+        if attribute not in self._raw:
+            raise ProtocolError(f"attribute {attribute!r} was never constructed")
+        self._normalized[attribute] = self._raw[attribute].normalized()
+
+    def attribute_matrix(self, attribute: str) -> DissimilarityMatrix:
+        """The normalised per-attribute matrix (experiment access).
+
+        In a deployment this never leaves the TP (Section 5); experiments
+        and tests read it to verify exactness against the centralized
+        baseline.
+        """
+        try:
+            return self._normalized[attribute]
+        except KeyError:
+            raise ProtocolError(f"attribute {attribute!r} not finalised") from None
+
+    def receive_weights(self, holder: str) -> None:
+        """Record one holder's attribute weight vector."""
+        message = self.receive(kind="weights", sender=holder)
+        weights = list(message.payload)
+        if len(weights) != len(self.schema):
+            raise ProtocolError(
+                f"{holder!r} sent {len(weights)} weights for {len(self.schema)} attributes"
+            )
+        self._weights[holder] = weights
+
+    def merged_matrix(self, weights: list[float] | None = None) -> DissimilarityMatrix:
+        """Weighted merge of all normalised attribute matrices.
+
+        ``weights=None`` averages the holders' submitted vectors (all
+        equal vectors therefore behave as any one of them).
+        """
+        missing = [a.name for a in self.schema if a.name not in self._normalized]
+        if missing:
+            raise ProtocolError(f"attributes not finalised: {missing}")
+        if weights is None:
+            if self._weights:
+                stacked = np.asarray(list(self._weights.values()), dtype=np.float64)
+                weights = list(stacked.mean(axis=0))
+            else:
+                weights = [1.0] * len(self.schema)
+        matrices = [self._normalized[a.name] for a in self.schema]
+        return merge_weighted(matrices, weights)
+
+    # -- clustering and publication (Section 5) ----------------------------------------------
+
+    def cluster_and_publish(
+        self,
+        holders: list[str],
+        num_clusters: int,
+        linkage: LinkageMethod,
+        weights: list[float] | None = None,
+    ) -> ClusteringResult:
+        """Cluster the merged matrix, publish membership lists to holders."""
+        final = self.merged_matrix(weights)
+        dendrogram = agglomerative(final, linkage)
+        flat = dendrogram.cut_at_k(min(num_clusters, final.num_objects))
+        quality = average_square_distance(final, flat)
+        result = result_from_labels(
+            list(self.index.refs()), flat, quality=quality, linkage=linkage.value
+        )
+        payload = result.to_payload()
+        for holder in holders:
+            self.send(holder, kind="result", payload=payload, tag="result")
+        return result

@@ -1,0 +1,84 @@
+"""Shared type definitions used across the library.
+
+The paper (Section 2.1) distinguishes three attribute domains -- numeric,
+alphanumeric and categorical -- each with its own comparison function and
+privacy-preserving comparison protocol.  :class:`AttributeType` is the
+single source of truth for that distinction; every schema, protocol and
+dissimilarity-construction routine dispatches on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: A single cell of a data matrix.  Numeric attributes are ``int`` or
+#: ``float``; alphanumeric and categorical attributes are ``str``.
+CellValue = Union[int, float, str]
+
+#: Identifier of an object *within* a site: plain row index.
+LocalId = int
+
+#: Identifier of a data-holder site.
+SiteId = str
+
+
+class AttributeType(enum.Enum):
+    """Domain of a data-matrix column (paper Section 2.1).
+
+    Each member knows which Python types are acceptable for its cells and
+    which privacy-preserving comparison protocol applies:
+
+    * :attr:`NUMERIC` -- distance is ``abs(x - y)`` (Section 4.1),
+    * :attr:`ALPHANUMERIC` -- distance is the edit distance computed from a
+      character comparison matrix (Section 4.2),
+    * :attr:`CATEGORICAL` -- 0/1 equality distance via deterministic
+      encryption (Section 4.3).
+    """
+
+    NUMERIC = "numeric"
+    ALPHANUMERIC = "alphanumeric"
+    CATEGORICAL = "categorical"
+
+    def accepts(self, value: CellValue) -> bool:
+        """Return ``True`` when ``value`` belongs to this attribute domain.
+
+        Booleans are rejected for numeric columns even though ``bool`` is a
+        subclass of ``int``: treating flags as numbers is almost always a
+        schema mistake and would silently skew distances.
+        """
+        if self is AttributeType.NUMERIC:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+    @property
+    def is_string_valued(self) -> bool:
+        """Whether cells of this type are strings."""
+        return self is not AttributeType.NUMERIC
+
+
+class LinkageMethod(enum.Enum):
+    """Agglomerative linkage strategies supported by :mod:`repro.clustering`.
+
+    All are expressed through Lance-Williams update coefficients, so any of
+    them can consume the dissimilarity matrix the third party constructs.
+    """
+
+    SINGLE = "single"
+    COMPLETE = "complete"
+    AVERAGE = "average"
+    WEIGHTED = "weighted"
+    WARD = "ward"
+
+
+class ProtocolRole(enum.Enum):
+    """Role a party plays inside one pairwise comparison protocol run.
+
+    The paper names the two data holders ``DHJ`` (initiator, masks its
+    inputs) and ``DHK`` (responder, builds the pairwise comparison matrix)
+    and the third party ``TP`` (unmasks and assembles distances).
+    """
+
+    INITIATOR = "DHJ"
+    RESPONDER = "DHK"
+    THIRD_PARTY = "TP"

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.crypto.prng import make_prng
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.alphabet import DNA_ALPHABET
+from repro.types import AttributeType
+
+
+@pytest.fixture
+def numeric_schema():
+    return [AttributeSpec("value", AttributeType.NUMERIC, precision=0)]
+
+
+@pytest.fixture
+def mixed_schema():
+    return [
+        AttributeSpec("age", AttributeType.NUMERIC, precision=0),
+        AttributeSpec("score", AttributeType.NUMERIC, precision=3),
+        AttributeSpec("dna", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET),
+        AttributeSpec("city", AttributeType.CATEGORICAL),
+    ]
+
+
+@pytest.fixture
+def mixed_partitions(mixed_schema):
+    """Three small sites covering every attribute type."""
+    site_a = DataMatrix(
+        mixed_schema,
+        [
+            [34, 1.25, "ACGTAC", "istanbul"],
+            [71, 9.5, "TTTTGG", "ankara"],
+            [36, 1.5, "ACGTTC", "istanbul"],
+        ],
+    )
+    site_b = DataMatrix(
+        mixed_schema,
+        [
+            [38, 1.0, "ACGAAC", "izmir"],
+            [67, 9.125, "TTCTGG", "ankara"],
+        ],
+    )
+    site_c = DataMatrix(
+        mixed_schema,
+        [
+            [40, 2.0, "ACGTAA", "istanbul"],
+            [69, 8.75, "TTTTGC", "izmir"],
+            [33, 1.125, "AGGTAC", "bursa"],
+            [72, 9.0, "TTATGG", "ankara"],
+        ],
+    )
+    return {"A": site_a, "B": site_b, "C": site_c}
+
+
+@pytest.fixture
+def mixed_session(mixed_partitions):
+    return ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=42), mixed_partitions
+    )
+
+
+@pytest.fixture
+def fast_suite():
+    """Insecure channels + xorshift: fastest configuration for bulk tests."""
+    return ProtocolSuiteConfig(
+        prng_kind="xorshift64star", secure_channels=False
+    )
+
+
+@pytest.fixture
+def entropy():
+    return make_prng("test-entropy")

@@ -1,0 +1,91 @@
+"""Tests for finite alphabets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.alphabet import (
+    DNA_ALPHABET,
+    FIGURE7_ALPHABET,
+    PRINTABLE_ALPHABET,
+    Alphabet,
+)
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_size(self):
+        assert Alphabet("abc").size == 3
+        assert DNA_ALPHABET.size == 4
+
+    def test_duplicate_characters_rejected(self):
+        with pytest.raises(SchemaError):
+            Alphabet("aab")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SchemaError):
+            Alphabet("a")
+
+    def test_builtin_alphabets(self):
+        assert DNA_ALPHABET.characters == "ACGT"
+        assert FIGURE7_ALPHABET.characters == "abcd"
+        assert PRINTABLE_ALPHABET.size == 95
+
+
+class TestCodec:
+    def test_index_char_roundtrip(self):
+        a = Alphabet("xyz")
+        for i, ch in enumerate("xyz"):
+            assert a.index(ch) == i
+            assert a.char(i) == ch
+
+    def test_char_wraps_modulo(self):
+        a = Alphabet("abcd")
+        assert a.char(5) == "b"
+        assert a.char(-1) == "d"
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(SchemaError):
+            DNA_ALPHABET.index("X")
+
+    def test_encode_decode(self):
+        assert DNA_ALPHABET.encode("GATT") == [2, 0, 3, 3]
+        assert DNA_ALPHABET.decode([2, 0, 3, 3]) == "GATT"
+
+    def test_membership(self):
+        assert "A" in DNA_ALPHABET
+        assert "Z" not in DNA_ALPHABET
+
+    def test_validate(self):
+        DNA_ALPHABET.validate("ACGT")
+        with pytest.raises(SchemaError):
+            DNA_ALPHABET.validate("ACGU")
+
+
+class TestShifting:
+    def test_figure7_shift(self):
+        """The paper's Figure 7: 'abc' + (0,1,3) -> 'acb' over {a,b,c,d}."""
+        a = FIGURE7_ALPHABET
+        masked = [a.shift_char(ch, r) for ch, r in zip("abc", (0, 1, 3))]
+        assert "".join(masked) == "acb"
+
+    def test_shift_unshift_inverse(self):
+        a = DNA_ALPHABET
+        for ch in "ACGT":
+            for offset in range(-5, 9):
+                shifted = a.shift_char(ch, offset)
+                assert a.unshift_code(a.index(shifted), offset) == a.index(ch)
+
+    @given(
+        text=st.text(alphabet="ACGT", max_size=30),
+        offsets=st.lists(st.integers(0, 3), min_size=30, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_masking_bijective(self, text, offsets):
+        a = DNA_ALPHABET
+        masked = [a.shift_char(ch, off) for ch, off in zip(text, offsets)]
+        recovered = [
+            a.char(a.unshift_code(a.index(m), off)) for m, off in zip(masked, offsets)
+        ]
+        assert "".join(recovered) == text

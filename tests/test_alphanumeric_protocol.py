@@ -1,0 +1,169 @@
+"""Tests for the alphanumeric comparison protocol (Section 4.2, Figures 7-10).
+
+Covers the literal Figure 7 trace, equality of protocol CCMs with
+plaintext CCMs, distance correctness over random string sets, and the
+per-string / per-row reseeding semantics the pseudocode mandates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alphanumeric import (
+    initiator_mask_strings,
+    responder_ccm_matrices,
+    third_party_decode_ccm,
+    third_party_distances,
+)
+from repro.crypto.prng import make_prng
+from repro.data.alphabet import DNA_ALPHABET, FIGURE7_ALPHABET, Alphabet
+from repro.distance.ccm import ccm_from_strings
+from repro.distance.edit import edit_distance
+from repro.exceptions import ProtocolError, SchemaError
+
+
+def run_protocol(strings_j, strings_k, alphabet, seed=7, kind="hash_drbg"):
+    rng_j = make_prng(seed, kind)
+    rng_tp = make_prng(seed, kind)
+    masked = initiator_mask_strings(strings_j, alphabet, rng_j)
+    matrices = responder_ccm_matrices(strings_k, masked, alphabet)
+    return third_party_distances(matrices, alphabet, rng_tp)
+
+
+class SequenceRng:
+    """Replays a fixed offset vector (the paper's R = '013')."""
+
+    def __init__(self, offsets):
+        self._offsets = list(offsets)
+        self._pos = 0
+
+    def next_below(self, _bound):
+        value = self._offsets[self._pos % len(self._offsets)]
+        self._pos += 1
+        return value
+
+    def reset(self):
+        self._pos = 0
+
+
+class TestFigure7Trace:
+    """s = 'abc', t = 'bd', R = (0, 1, 3) over alphabet {a, b, c, d}."""
+
+    def test_masking(self):
+        masked = initiator_mask_strings(["abc"], FIGURE7_ALPHABET, SequenceRng([0, 1, 3]))
+        assert masked == ["acb"]
+
+    def test_intermediary_matrix(self):
+        matrices = responder_ccm_matrices(["bd"], ["acb"], FIGURE7_ALPHABET)
+        m = matrices[0][0]
+        # M[q][p] = (s'[p] - t[q]) mod 4, as letters: [[d, b, a], [b, d, c]]
+        letters = [[FIGURE7_ALPHABET.char(int(c)) for c in row] for row in m]
+        assert letters == [["d", "b", "a"], ["b", "d", "c"]]
+
+    def test_ccm_decoding(self):
+        matrices = responder_ccm_matrices(["bd"], ["acb"], FIGURE7_ALPHABET)
+        ccm = third_party_decode_ccm(
+            matrices[0][0], FIGURE7_ALPHABET, SequenceRng([0, 1, 3])
+        )
+        # The paper: CCM[0][1] = 0, implying s[1] == t[0] == 'b'.
+        assert ccm.tolist() == [[1, 0, 1], [1, 1, 1]]
+        assert np.array_equal(ccm, ccm_from_strings("abc", "bd"))
+
+    def test_full_distance(self):
+        distances = third_party_distances(
+            responder_ccm_matrices(["bd"], ["acb"], FIGURE7_ALPHABET),
+            FIGURE7_ALPHABET,
+            SequenceRng([0, 1, 3]),
+        )
+        assert distances == [[edit_distance("abc", "bd")]]
+
+
+class TestCcmRecovery:
+    @given(
+        s=st.text(alphabet="ACGT", min_size=0, max_size=15),
+        t=st.text(alphabet="ACGT", min_size=1, max_size=15),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_protocol_ccm_equals_plaintext_ccm(self, s, t, seed):
+        rng_j = make_prng(seed)
+        rng_tp = make_prng(seed)
+        masked = initiator_mask_strings([s], DNA_ALPHABET, rng_j)
+        matrices = responder_ccm_matrices([t], masked, DNA_ALPHABET)
+        ccm = third_party_decode_ccm(matrices[0][0], DNA_ALPHABET, rng_tp)
+        assert np.array_equal(ccm, ccm_from_strings(s, t))
+
+    def test_masked_strings_differ_from_plaintext(self):
+        rng = make_prng(123)
+        masked = initiator_mask_strings(["ACGTACGTACGTACGT"], DNA_ALPHABET, rng)
+        assert masked[0] != "ACGTACGTACGTACGT"
+
+    def test_mask_reuse_across_strings(self):
+        """Figure 8 reseeds per string: position p of every string gets
+        the same offset.  (This is the paper's design; its statistical
+        implications are acknowledged future work in Section 6.)"""
+        rng = make_prng(5)
+        masked = initiator_mask_strings(["AAAA", "AAAA"], DNA_ALPHABET, rng)
+        assert masked[0] == masked[1]
+
+
+class TestDistances:
+    def test_multi_string_batch(self):
+        strings_j = ["ACGT", "TTTT", "A", ""]
+        strings_k = ["ACG", "GATTACA"]
+        result = run_protocol(strings_j, strings_k, DNA_ALPHABET)
+        for m, t in enumerate(strings_k):
+            for n, s in enumerate(strings_j):
+                assert result[m][n] == edit_distance(s, t), (s, t)
+
+    @given(
+        strings_j=st.lists(st.text(alphabet="ACGT", max_size=10), min_size=1, max_size=4),
+        strings_k=st.lists(st.text(alphabet="ACGT", max_size=10), min_size=1, max_size=4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_distances(self, strings_j, strings_k, seed):
+        result = run_protocol(strings_j, strings_k, DNA_ALPHABET, seed=seed)
+        for m, t in enumerate(strings_k):
+            for n, s in enumerate(strings_j):
+                assert result[m][n] == edit_distance(s, t)
+
+    def test_different_lengths(self):
+        result = run_protocol(["AC"], ["ACGTACGT"], DNA_ALPHABET)
+        assert result == [[6]]
+
+    def test_custom_alphabet(self):
+        alphabet = Alphabet("xyz!")
+        result = run_protocol(["xyz", "!!"], ["zyx"], alphabet)
+        assert result[0][0] == edit_distance("xyz", "zyx")
+        assert result[0][1] == edit_distance("!!", "zyx")
+
+
+class TestValidation:
+    def test_foreign_character_rejected_at_masking(self):
+        with pytest.raises(SchemaError):
+            initiator_mask_strings(["AXGT"], DNA_ALPHABET, make_prng(1))
+
+    def test_foreign_character_rejected_at_responder(self):
+        with pytest.raises(SchemaError):
+            responder_ccm_matrices(["AXGT"], ["ACGT"], DNA_ALPHABET)
+
+    def test_oversized_alphabet_rejected(self):
+        big = Alphabet("".join(chr(i) for i in range(33, 33 + 300)))
+        with pytest.raises(ProtocolError):
+            responder_ccm_matrices(["a"], ["b"], big)
+
+    def test_bad_ccm_dims_rejected(self):
+        with pytest.raises(ProtocolError):
+            third_party_distances(
+                [[np.zeros(3, dtype=np.uint8)]], DNA_ALPHABET, make_prng(1)
+            )
+
+    def test_wrong_tp_seed_gives_wrong_ccm(self):
+        rng_j = make_prng(1)
+        masked = initiator_mask_strings(["ACGTACGT"], DNA_ALPHABET, rng_j)
+        matrices = responder_ccm_matrices(["ACGTACGT"], masked, DNA_ALPHABET)
+        ccm = third_party_decode_ccm(matrices[0][0], DNA_ALPHABET, make_prng(2))
+        assert not np.array_equal(ccm, ccm_from_strings("ACGTACGT", "ACGTACGT"))

@@ -1,0 +1,99 @@
+"""Tests for the cost model and measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comm_costs import (
+    CostModel,
+    fit_loglog_slope,
+    measure_alphanumeric_protocol,
+    measure_categorical_protocol,
+    measure_numeric_protocol,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCostModel:
+    MODEL = CostModel()
+
+    def test_local_matrix_entries(self):
+        assert CostModel.local_matrix_entries(1) == 0
+        assert CostModel.local_matrix_entries(4) == 6
+
+    def test_numeric_terms(self):
+        small = self.MODEL.numeric_initiator_bytes(8)
+        large = self.MODEL.numeric_initiator_bytes(16)
+        # Quadratic local term dominates: 4x growth for 2x size.
+        assert large / small > 3.0
+
+    def test_responder_term_bilinear(self):
+        base = self.MODEL.numeric_responder_bytes(4, 4)
+        double_n = self.MODEL.numeric_responder_bytes(4, 8)
+        assert double_n > base
+
+    def test_categorical_linear(self):
+        assert self.MODEL.categorical_holder_bytes(10) == pytest.approx(
+            2 * self.MODEL.categorical_holder_bytes(5)
+        )
+
+    def test_alnum_terms(self):
+        quad = self.MODEL.alnum_responder_bytes(4, 4, 10, 10)
+        assert quad > self.MODEL.alnum_initiator_bytes(4, 10)
+
+
+class TestSlopeFit:
+    def test_exact_power_laws(self):
+        sizes = [10, 20, 40, 80]
+        assert fit_loglog_slope(sizes, [s**2 for s in sizes]) == pytest.approx(2.0)
+        assert fit_loglog_slope(sizes, [s for s in sizes]) == pytest.approx(1.0)
+        assert fit_loglog_slope(sizes, [s**3 for s in sizes]) == pytest.approx(3.0)
+
+    def test_constant_is_slope_zero(self):
+        assert fit_loglog_slope([1, 2, 4], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_loglog_slope([1], [1])
+        with pytest.raises(ConfigurationError):
+            fit_loglog_slope([1, 2], [1])
+
+
+class TestMeasurementHarness:
+    def test_numeric_breakdown_keys(self):
+        result = measure_numeric_protocol(6, 4)
+        assert result["initiator_local_matrix"] > 0
+        assert result["initiator_masked"] > 0
+        assert result["responder_matrix"] > 0
+        assert result["grand_total"] >= result["initiator_total"]
+
+    def test_numeric_per_pair_costs_more(self):
+        """The mitigation's price: the initiator ships a full matrix."""
+        batch = measure_numeric_protocol(8, 8, batch=True)
+        per_pair = measure_numeric_protocol(8, 8, batch=False)
+        assert per_pair["initiator_masked"] > 4 * batch["initiator_masked"]
+
+    def test_secure_channels_add_overhead(self):
+        plain = measure_numeric_protocol(4, 4, secure=False)
+        sealed = measure_numeric_protocol(4, 4, secure=True)
+        assert sealed["grand_total"] > plain["grand_total"]
+
+    def test_alphanumeric_breakdown(self):
+        result = measure_alphanumeric_protocol(3, 3, length=8)
+        assert result["responder_matrix"] > result["initiator_masked"]
+
+    def test_categorical_breakdown(self):
+        result = measure_categorical_protocol(10)
+        assert result["holder_column"] > 0
+
+    def test_numeric_quadratic_slope(self):
+        sizes = [8, 16, 32]
+        costs = [measure_numeric_protocol(n, n)["responder_matrix"] for n in sizes]
+        slope = fit_loglog_slope(sizes, costs)
+        assert 1.7 < slope < 2.2
+
+    def test_categorical_linear_slope(self):
+        sizes = [16, 32, 64]
+        costs = [measure_categorical_protocol(n)["holder_column"] for n in sizes]
+        slope = fit_loglog_slope(sizes, costs)
+        assert 0.8 < slope < 1.2

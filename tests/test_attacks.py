@@ -1,0 +1,186 @@
+"""Tests for the attack harnesses (Section 4.1's security analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.eavesdrop import (
+    initiator_eavesdrop_responder_values,
+    tp_eavesdrop_initiator_candidates,
+    tp_eavesdrop_responder_candidates,
+)
+from repro.attacks.frequency import FrequencyAttack
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.numeric import (
+    initiator_mask_batch,
+    initiator_mask_per_pair,
+    responder_matrix_batch,
+    responder_matrix_per_pair,
+)
+from repro.core.session import ClusteringSession
+from repro.core import labels as label_grammar
+from repro.crypto.prng import make_prng
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.exceptions import AttackError, ChannelError
+from repro.network.channel import Eavesdropper
+from repro.types import AttributeType
+
+MASK_BITS = 64
+
+
+def _residual_matrix_batch(values_j, values_k, seed_jk, seed_jt):
+    """What the TP can compute in batch mode: s minus regenerated masks."""
+    rng_jk_j, rng_jt_j = make_prng(seed_jk), make_prng(seed_jt)
+    masked = initiator_mask_batch(values_j, rng_jk_j, rng_jt_j, MASK_BITS)
+    matrix = responder_matrix_batch(values_k, masked, make_prng(seed_jk))
+    rng_jt_tp = make_prng(seed_jt)
+    residuals = []
+    for row in matrix:
+        residuals.append([entry - rng_jt_tp.next_bits(MASK_BITS) for entry in row])
+        rng_jt_tp.reset()
+    return np.asarray(residuals, dtype=object).astype(np.int64)
+
+
+def _residual_matrix_per_pair(values_j, values_k, seed_jk, seed_jt):
+    rng_jk_j, rng_jt_j = make_prng(seed_jk), make_prng(seed_jt)
+    masked = initiator_mask_per_pair(
+        values_j, len(values_k), rng_jk_j, rng_jt_j, MASK_BITS
+    )
+    matrix = responder_matrix_per_pair(values_k, masked, make_prng(seed_jk))
+    rng_jt_tp = make_prng(seed_jt)
+    residuals = []
+    for row in matrix:
+        residuals.append([entry - rng_jt_tp.next_bits(MASK_BITS) for entry in row])
+    return np.asarray(residuals, dtype=object).astype(np.int64)
+
+
+class TestFrequencyAttack:
+    def test_batch_mode_recovers_private_vector(self):
+        """The paper's warning, demonstrated: small domain + batch mode
+        lets the TP recover DHK's private values exactly."""
+        values_j = [2, 9, 5, 0, 7, 3]
+        values_k = [1, 8, 3, 3, 0, 9, 5, 2]
+        residuals = _residual_matrix_batch(values_j, values_k, 11, 22)
+        outcome = FrequencyAttack(0, 9).run(residuals)
+        assert outcome.exact_recovery_rate(values_k) == 1.0
+
+    def test_mitigation_defeats_attack(self):
+        """Per-pair unique randoms: the same attack recovers ~nothing."""
+        values_j = [2, 9, 5, 0, 7, 3]
+        values_k = [1, 8, 3, 3, 0, 9, 5, 2]
+        residuals = _residual_matrix_per_pair(values_j, values_k, 11, 22)
+        outcome = FrequencyAttack(0, 9).run(residuals)
+        assert outcome.exact_recovery_rate(values_k) < 0.5
+
+    def test_larger_domain_weakens_attack(self):
+        """More admissible hypotheses survive as the domain grows."""
+        values_j = [50]
+        values_k = [40, 60, 55]
+        residuals = _residual_matrix_batch(values_j, values_k, 1, 2)
+        small = FrequencyAttack(35, 65).run(residuals)
+        large = FrequencyAttack(0, 1000).run(residuals)
+        assert large.surviving_hypotheses > small.surviving_hypotheses
+
+    def test_prior_sharpens_ranking(self):
+        values_j = [3]
+        values_k = [0, 0, 0, 9]
+        residuals = _residual_matrix_batch(values_j, values_k, 5, 6)
+        prior = {0: 0.75, 9: 0.25}
+        outcome = FrequencyAttack(0, 9, prior=prior).run(residuals)
+        assert outcome.recovered is not None
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(AttackError):
+            FrequencyAttack(5, 4)
+
+    def test_bad_prior_rejected(self):
+        with pytest.raises(AttackError):
+            FrequencyAttack(0, 9, prior={1: 0.0})
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(AttackError):
+            FrequencyAttack(0, 9).run(np.zeros(3))
+
+    def test_no_surviving_hypothesis(self):
+        """Residuals implying out-of-domain values yield no recovery."""
+        residuals = np.array([[10**6]], dtype=np.int64)
+        outcome = FrequencyAttack(0, 9).run(residuals)
+        assert outcome.recovered is None
+        assert outcome.exact_recovery_rate([5]) == 0.0
+
+
+def _run_tapped_session(secure: bool):
+    """Two-holder numeric session with taps on both §4.1 channels."""
+    schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+    partitions = {
+        "J": DataMatrix(schema, [[13], [42], [7]]),
+        "K": DataMatrix(schema, [[20], [5]]),
+    }
+    suite = ProtocolSuiteConfig(secure_channels=secure)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=3, suite=suite), partitions
+    )
+    tap = Eavesdropper("mallory")
+    session.network.attach_tap("J", "K", tap)
+    session.network.attach_tap("K", "TP", tap)
+    session.execute_protocol()
+    return session, tap
+
+
+class TestEavesdropAttacks:
+    def test_tp_recovers_initiator_candidates_on_insecure_channel(self):
+        session, tap = _run_tapped_session(secure=False)
+        frame = next(f for f in tap.frames if f.kind == "masked_vector")
+        rng_jt = session.third_party.secret_with("J").prng(
+            label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+        )
+        candidates = tp_eavesdrop_initiator_candidates(frame, rng_jt, 64)
+        truth = [13, 42, 7]
+        for value, pair in zip(truth, candidates):
+            assert value in pair
+
+    def test_tp_narrows_responder_to_four_candidates(self):
+        session, tap = _run_tapped_session(secure=False)
+        vector_frame = next(f for f in tap.frames if f.kind == "masked_vector")
+        matrix_frame = next(f for f in tap.frames if f.kind == "comparison_matrix")
+        rng_jt = session.third_party.secret_with("J").prng(
+            label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+        )
+        x_candidates = tp_eavesdrop_initiator_candidates(vector_frame, rng_jt, 64)
+        y_candidates = tp_eavesdrop_responder_candidates(
+            matrix_frame, x_candidates, rng_jt, 64
+        )
+        for truth, candidates in zip([20, 5], y_candidates):
+            assert truth in candidates
+            assert len(candidates) <= 4
+
+    def test_initiator_recovers_responder_exactly(self):
+        """DHJ knows masks, signs and its own inputs -> exact recovery."""
+        session, tap = _run_tapped_session(secure=False)
+        matrix_frame = next(f for f in tap.frames if f.kind == "comparison_matrix")
+        holder = session.holders["J"]
+        rng_jk = holder.secret_with("K").prng(
+            label_grammar.numeric_jk("v", "J", "K"), "hash_drbg"
+        )
+        rng_jt = holder.secret_with("TP").prng(
+            label_grammar.numeric_jt("v", "J", "K"), "hash_drbg"
+        )
+        recovered = initiator_eavesdrop_responder_values(
+            matrix_frame, [13, 42, 7], rng_jk, rng_jt, 64
+        )
+        assert recovered == [20, 5]
+
+    def test_secured_channels_defeat_both_attacks(self):
+        _session, tap = _run_tapped_session(secure=True)
+        assert tap.frames  # traffic still visible, but sealed
+        for frame in tap.frames:
+            assert frame.sealed
+            with pytest.raises(ChannelError):
+                frame.try_read_payload()
+
+    def test_wrong_kind_frame_rejected(self):
+        _session, tap = _run_tapped_session(secure=False)
+        local_frame = next(f for f in tap.frames if f.kind == "comparison_matrix")
+        with pytest.raises(AttackError):
+            tp_eavesdrop_initiator_candidates(local_frame, make_prng(1), 64)

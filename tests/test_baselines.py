@@ -1,0 +1,172 @@
+"""Tests for the three baselines: centralized, sanitization, Atallah."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.atallah import AtallahEditDistance
+from repro.baselines.centralized import (
+    centralized_attribute_matrix,
+    centralized_pipeline,
+)
+from repro.baselines.sanitization import RotationSanitizer
+from repro.clustering.linkage import agglomerative
+from repro.clustering.quality import adjusted_rand_index
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.crypto.prng import make_prng
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.partition import merge_partitions
+from repro.data.synthetic import gaussian_clusters
+from repro.distance.edit import edit_distance
+from repro.distance.local import local_dissimilarity
+from repro.exceptions import ConfigurationError
+from repro.types import AttributeType
+
+
+class TestCentralized:
+    def test_attribute_matrix_types(self, mixed_partitions):
+        pooled, _ = merge_partitions(mixed_partitions)
+        for spec in pooled.schema:
+            matrix = centralized_attribute_matrix(pooled, spec)
+            assert matrix.num_objects == pooled.num_rows
+
+    def test_pipeline_matches_session(self, mixed_partitions):
+        session = ClusteringSession(SessionConfig(num_clusters=2), mixed_partitions)
+        central, dendrogram, labels, index = centralized_pipeline(
+            mixed_partitions, num_clusters=2
+        )
+        assert session.final_matrix().allclose(central, atol=0.0)
+        assert labels is not None and len(labels) == index.total_objects
+
+    def test_pipeline_without_cut(self, mixed_partitions):
+        _, dendrogram, labels, _ = centralized_pipeline(mixed_partitions)
+        assert labels is None
+        assert dendrogram.num_leaves == 9
+
+
+class TestSanitization:
+    def _numeric_partition(self):
+        rows, truth = gaussian_clusters([15, 15], dim=3, separation=10.0, seed=5)
+        schema = [
+            AttributeSpec(f"x{i}", AttributeType.NUMERIC, precision=15)
+            for i in range(3)
+        ]
+        matrix = DataMatrix(schema, [[float(v) for v in r] for r in rows])
+        return matrix, truth
+
+    @staticmethod
+    def _cluster_labels(matrix: DataMatrix, k: int) -> list[int]:
+        data = np.asarray([[float(v) for v in row] for row in matrix.rows])
+        square = np.linalg.norm(data[:, None] - data[None, :], axis=2)
+        from repro.distance.dissimilarity import DissimilarityMatrix
+
+        return agglomerative(
+            DissimilarityMatrix.from_square(square), "average"
+        ).cut_at_k(k)
+
+    def test_pure_rotation_preserves_clustering(self):
+        matrix, truth = self._numeric_partition()
+        sanitized = RotationSanitizer(noise_scale=0.0, seed=1).sanitize(matrix)
+        labels = self._cluster_labels(sanitized, 2)
+        assert adjusted_rand_index(truth, labels) == 1.0
+
+    def test_noise_degrades_accuracy(self):
+        """The family's defining trade-off: more privacy noise, less
+        accuracy -- the contrast with the paper's exact protocol."""
+        matrix, truth = self._numeric_partition()
+        heavy = RotationSanitizer(noise_scale=25.0, seed=1).sanitize(matrix)
+        ari_heavy = adjusted_rand_index(truth, self._cluster_labels(heavy, 2))
+        assert ari_heavy < 1.0
+
+    def test_noise_monotonic_distortion(self):
+        matrix, _ = self._numeric_partition()
+        original = np.asarray([[float(v) for v in r] for r in matrix.rows])
+
+        def distortion(scale: float) -> float:
+            out = RotationSanitizer(noise_scale=scale, seed=2).sanitize(matrix)
+            data = np.asarray([[float(v) for v in r] for r in out.rows])
+            d0 = np.linalg.norm(original[:, None] - original[None, :], axis=2)
+            d1 = np.linalg.norm(data[:, None] - data[None, :], axis=2)
+            return float(np.abs(d0 - d1).mean())
+
+        assert distortion(0.0) < distortion(1.0) < distortion(10.0)
+
+    def test_rejects_non_numeric(self):
+        schema = [AttributeSpec("s", AttributeType.CATEGORICAL)]
+        matrix = DataMatrix(schema, [["a"]])
+        with pytest.raises(ConfigurationError):
+            RotationSanitizer().sanitize(matrix)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            RotationSanitizer(noise_scale=-1.0)
+
+    def test_deterministic(self):
+        matrix, _ = self._numeric_partition()
+        a = RotationSanitizer(noise_scale=0.5, seed=3).sanitize(matrix)
+        b = RotationSanitizer(noise_scale=0.5, seed=3).sanitize(matrix)
+        assert a == b
+
+
+@pytest.fixture(scope="module")
+def atallah():
+    return AtallahEditDistance(
+        DNA_ALPHABET, make_prng("alice"), make_prng("bob"), key_bits=256
+    )
+
+
+class TestAtallah:
+    @pytest.mark.parametrize(
+        "source,target",
+        [
+            ("ACGT", "AGT"),
+            ("AAAA", "TTTT"),
+            ("GATTACA", "GCAT"),
+            ("A", ""),
+            ("", "ACGT"),
+            ("", ""),
+            ("ACGT", "ACGT"),
+        ],
+    )
+    def test_correctness(self, atallah, source, target):
+        result = atallah.compute(source, target)
+        assert result.distance == edit_distance(source, target)
+
+    @given(
+        s=st.text(alphabet="ACGT", max_size=6),
+        t=st.text(alphabet="ACGT", max_size=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_correctness(self, atallah, s, t):
+        assert atallah.compute(s, t).distance == edit_distance(s, t)
+
+    def test_traffic_grows_with_input(self, atallah):
+        short = atallah.compute("AC", "GT").traffic.total_bytes
+        long = atallah.compute("ACGTACGT", "GTACGTAC").traffic.total_bytes
+        assert long > 10 * short
+
+    def test_ciphertext_count_matches_structure(self, atallah):
+        n, m = 3, 4
+        result = atallah.compute("ACG", "TTAA")
+        # n*|A| indicator + n*m equality responses + 6 per DP cell.
+        expected = n * 4 + n * m + 6 * n * m
+        assert result.traffic.ciphertexts == expected
+
+    def test_alphabet_enforced(self, atallah):
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            atallah.compute("AXGT", "ACGT")
+
+    def test_vastly_more_expensive_than_ccm_protocol(self, atallah):
+        """The reason the paper cites [8] only to reject it (T-EDIT)."""
+        from repro.analysis.comm_costs import measure_alphanumeric_protocol
+
+        atallah_bytes = atallah.compute("ACGTACGT", "GTACGTAC").traffic.total_bytes
+        ccm = measure_alphanumeric_protocol(1, 1, length=8)
+        ccm_bytes = ccm["initiator_masked"] + ccm["responder_matrix"]
+        assert atallah_bytes > 20 * ccm_bytes

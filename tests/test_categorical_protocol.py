@@ -1,0 +1,92 @@
+"""Tests for the categorical comparison protocol (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.categorical import (
+    holder_encrypt_column,
+    third_party_categorical_matrix,
+)
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.data.partition import GlobalIndex
+from repro.distance.categorical import categorical_distance
+from repro.distance.local import local_dissimilarity
+from repro.exceptions import ProtocolError
+
+KEY = b"shared-holder-key-0123456789abcd"
+
+
+def _encrypt_sites(columns: dict[str, list[str]], attribute: str = "city"):
+    encryptor = DeterministicEncryptor(KEY)
+    return {
+        site: holder_encrypt_column(encryptor, attribute, values)
+        for site, values in columns.items()
+    }
+
+
+class TestProtocol:
+    def test_matches_plaintext_matrix(self):
+        columns = {
+            "A": ["red", "blue", "red"],
+            "B": ["blue", "green"],
+        }
+        index = GlobalIndex({"A": 3, "B": 2})
+        encrypted = _encrypt_sites(columns)
+        matrix = third_party_categorical_matrix(encrypted, index)
+
+        merged_plain = columns["A"] + columns["B"]
+        expected = local_dissimilarity(merged_plain, categorical_distance)
+        assert matrix.allclose(expected)
+
+    def test_cross_site_equality_detected(self):
+        columns = {"A": ["x"], "B": ["x"], "C": ["y"]}
+        index = GlobalIndex({"A": 1, "B": 1, "C": 1})
+        matrix = third_party_categorical_matrix(_encrypt_sites(columns), index)
+        assert matrix[1, 0] == 0.0  # A0 == B0
+        assert matrix[2, 0] == 1.0  # A0 != C0
+
+    def test_canonical_site_order(self):
+        """Rows must follow sorted site order regardless of dict order."""
+        columns = {"B": ["v"], "A": ["w"]}
+        index = GlobalIndex({"A": 1, "B": 1})
+        matrix = third_party_categorical_matrix(_encrypt_sites(columns), index)
+        assert matrix[1, 0] == 1.0
+
+    def test_missing_site_rejected(self):
+        index = GlobalIndex({"A": 1, "B": 1})
+        with pytest.raises(ProtocolError):
+            third_party_categorical_matrix(_encrypt_sites({"A": ["x"]}), index)
+
+    def test_extra_site_rejected(self):
+        index = GlobalIndex({"A": 1})
+        encrypted = _encrypt_sites({"A": ["x"], "B": ["y"]})
+        with pytest.raises(ProtocolError):
+            third_party_categorical_matrix(encrypted, index)
+
+    def test_size_mismatch_rejected(self):
+        index = GlobalIndex({"A": 2, "B": 1})
+        encrypted = _encrypt_sites({"A": ["x"], "B": ["y"]})
+        with pytest.raises(ProtocolError):
+            third_party_categorical_matrix(encrypted, index)
+
+    def test_different_keys_break_equality(self):
+        """Sites must share one key; differing keys make everything look
+        distinct (silent accuracy loss the group-key setup prevents)."""
+        index = GlobalIndex({"A": 1, "B": 1})
+        enc_a = DeterministicEncryptor(b"a" * 32)
+        enc_b = DeterministicEncryptor(b"b" * 32)
+        encrypted = {
+            "A": holder_encrypt_column(enc_a, "city", ["same"]),
+            "B": holder_encrypt_column(enc_b, "city", ["same"]),
+        }
+        matrix = third_party_categorical_matrix(encrypted, index)
+        assert matrix[1, 0] == 1.0
+
+    def test_tp_sees_only_ciphertexts(self):
+        """The TP input contains no plaintext value."""
+        encrypted = _encrypt_sites({"A": ["topsecret"], "B": ["topsecret"]})
+        for column in encrypted.values():
+            for ciphertext in column:
+                assert b"topsecret" not in ciphertext
+                assert isinstance(ciphertext, bytes)

@@ -1,0 +1,264 @@
+"""Tests for hierarchical clustering, dendrograms, k-medoids and quality.
+
+The linkage implementation is cross-validated against
+``scipy.cluster.hierarchy`` on random non-degenerate inputs for every
+supported method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.kmedoids import k_medoids
+from repro.clustering.linkage import agglomerative
+from repro.clustering.quality import (
+    adjusted_rand_index,
+    average_square_distance,
+    purity,
+    rand_index,
+    silhouette_score,
+)
+from repro.data.synthetic import gaussian_clusters, ring_clusters
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ClusteringError
+from repro.types import LinkageMethod
+
+METHODS = list(LinkageMethod)
+
+
+def _random_matrix(n: int, seed: int) -> DissimilarityMatrix:
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 3))
+    square = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+    return DissimilarityMatrix.from_square(square)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_merge_heights_match(self, method, seed):
+        matrix = _random_matrix(12, seed)
+        ours = agglomerative(matrix, method)
+        theirs = scipy_linkage(matrix.to_scipy_condensed(), method=method.value)
+        assert np.allclose(
+            sorted(ours.heights), sorted(theirs[:, 2]), rtol=1e-8
+        ), method
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_flat_cuts_match(self, method):
+        matrix = _random_matrix(15, 7)
+        ours = agglomerative(matrix, method)
+        theirs = scipy_linkage(matrix.to_scipy_condensed(), method=method.value)
+        for k in (2, 3, 5):
+            our_labels = ours.cut_at_k(k)
+            their_labels = fcluster(theirs, k, criterion="maxclust")
+            assert adjusted_rand_index(our_labels, list(their_labels)) == 1.0
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_linkage_matrix_shape(self, method):
+        matrix = _random_matrix(8, 3)
+        dendrogram = agglomerative(matrix, method)
+        array = dendrogram.to_scipy_linkage()
+        assert array.shape == (7, 4)
+        assert array[-1, 3] == 8  # final merge contains all leaves
+
+
+class TestAgglomerative:
+    def test_string_method_names(self):
+        matrix = _random_matrix(6, 1)
+        assert agglomerative(matrix, "single").num_leaves == 6
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ClusteringError):
+            agglomerative(_random_matrix(4, 1), "centroid")
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_monotone_heights(self, method):
+        dendrogram = agglomerative(_random_matrix(20, 9), method)
+        assert dendrogram.is_monotone()
+
+    def test_single_object(self):
+        d = agglomerative(DissimilarityMatrix.zeros(1), "single")
+        assert d.num_leaves == 1 and d.merges == ()
+
+    def test_two_objects(self):
+        matrix = DissimilarityMatrix.zeros(2)
+        matrix[1, 0] = 3.0
+        d = agglomerative(matrix, "complete")
+        assert d.merges[0].height == 3.0
+
+    def test_deterministic(self):
+        a = agglomerative(_random_matrix(10, 5), "average")
+        b = agglomerative(_random_matrix(10, 5), "average")
+        assert a.to_scipy_linkage().tolist() == b.to_scipy_linkage().tolist()
+
+    def test_single_linkage_chains(self):
+        """Single linkage merges along the chain; complete resists it."""
+        square = np.zeros((4, 4))
+        positions = [0.0, 1.0, 2.0, 10.0]
+        for i in range(4):
+            for j in range(4):
+                square[i, j] = abs(positions[i] - positions[j])
+        matrix = DissimilarityMatrix.from_square(square)
+        single = agglomerative(matrix, "single").cut_at_k(2)
+        assert single[0] == single[1] == single[2] != single[3]
+
+    @given(seed=st.integers(0, 1000), n=st.integers(3, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_cut_sizes(self, seed, n):
+        dendrogram = agglomerative(_random_matrix(n, seed), "average")
+        for k in range(1, n + 1):
+            labels = dendrogram.cut_at_k(k)
+            assert len(set(labels)) == k
+            assert len(labels) == n
+
+
+class TestDendrogram:
+    def _tree(self):
+        # 3 leaves: (0, 1) at h=1, then (+2) at h=2.
+        return Dendrogram(
+            3, [Merge(0, 1, 1.0, 2), Merge(3, 2, 2.0, 3)]
+        )
+
+    def test_cut_at_k(self):
+        tree = self._tree()
+        assert tree.cut_at_k(3) == [0, 1, 2]
+        assert tree.cut_at_k(2) == [0, 0, 1]
+        assert tree.cut_at_k(1) == [0, 0, 0]
+
+    def test_cut_at_height(self):
+        tree = self._tree()
+        assert tree.cut_at_height(0.5) == [0, 1, 2]
+        assert tree.cut_at_height(1.5) == [0, 0, 1]
+        assert tree.cut_at_height(2.5) == [0, 0, 0]
+
+    def test_cut_bounds(self):
+        with pytest.raises(ClusteringError):
+            self._tree().cut_at_k(0)
+        with pytest.raises(ClusteringError):
+            self._tree().cut_at_k(4)
+
+    def test_cophenetic(self):
+        coph = self._tree().cophenetic_matrix()
+        assert coph[0, 1] == 1.0
+        assert coph[0, 2] == coph[1, 2] == 2.0
+        assert np.all(np.diag(coph) == 0)
+
+    def test_cophenetic_ultrametric_property(self):
+        dendrogram = agglomerative(_random_matrix(10, 11), "complete")
+        coph = dendrogram.cophenetic_matrix()
+        n = coph.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert coph[i, j] <= max(coph[i, k], coph[k, j]) + 1e-9
+
+    def test_invalid_merge_counts(self):
+        with pytest.raises(ClusteringError):
+            Dendrogram(3, [Merge(0, 1, 1.0, 2)])
+
+    def test_invalid_node_ids(self):
+        with pytest.raises(ClusteringError):
+            Dendrogram(2, [Merge(0, 5, 1.0, 2)])
+        with pytest.raises(ClusteringError):
+            Dendrogram(2, [Merge(0, 0, 1.0, 2)])
+
+
+class TestKMedoids:
+    def test_recovers_separated_clusters(self):
+        rows, truth = gaussian_clusters([10, 10, 10], dim=2, separation=12.0, seed=3)
+        data = np.asarray(rows)
+        square = np.linalg.norm(data[:, None] - data[None, :], axis=2)
+        matrix = DissimilarityMatrix.from_square(square)
+        result = k_medoids(matrix, 3)
+        assert adjusted_rand_index(truth, result.labels) == 1.0
+        assert result.converged
+
+    def test_fails_on_rings_where_single_linkage_succeeds(self):
+        """The Section 2 argument: partitioning methods produce spherical
+        clusters and split the rings; single linkage recovers them."""
+        rows, truth = ring_clusters([40, 40], seed=4)
+        data = np.asarray(rows)
+        square = np.linalg.norm(data[:, None] - data[None, :], axis=2)
+        matrix = DissimilarityMatrix.from_square(square)
+
+        pam = k_medoids(matrix, 2)
+        hier = agglomerative(matrix, "single").cut_at_k(2)
+        assert adjusted_rand_index(truth, hier) == 1.0
+        assert adjusted_rand_index(truth, pam.labels) < 0.5
+
+    def test_medoids_are_members(self):
+        matrix = _random_matrix(12, 5)
+        result = k_medoids(matrix, 3)
+        assert len(result.medoids) == 3
+        assert all(0 <= m < 12 for m in result.medoids)
+
+    def test_k_validation(self):
+        with pytest.raises(ClusteringError):
+            k_medoids(_random_matrix(5, 1), 0)
+        with pytest.raises(ClusteringError):
+            k_medoids(_random_matrix(5, 1), 6)
+
+    def test_k_equals_n(self):
+        result = k_medoids(_random_matrix(4, 2), 4)
+        assert sorted(result.labels) == [0, 1, 2, 3]
+        assert result.cost == 0.0
+
+    def test_deterministic(self):
+        a = k_medoids(_random_matrix(10, 7), 2)
+        b = k_medoids(_random_matrix(10, 7), 2)
+        assert a.labels == b.labels
+
+
+class TestQuality:
+    def _two_blobs(self):
+        square = np.array(
+            [
+                [0, 1, 9, 9],
+                [1, 0, 9, 9],
+                [9, 9, 0, 1],
+                [9, 9, 1, 0],
+            ],
+            dtype=float,
+        )
+        return DissimilarityMatrix.from_square(square)
+
+    def test_silhouette_good_vs_bad(self):
+        matrix = self._two_blobs()
+        good = silhouette_score(matrix, [0, 0, 1, 1])
+        bad = silhouette_score(matrix, [0, 1, 0, 1])
+        assert good > 0.8 > bad
+
+    def test_silhouette_requires_two_clusters(self):
+        with pytest.raises(ClusteringError):
+            silhouette_score(self._two_blobs(), [0, 0, 0, 0])
+
+    def test_average_square_distance(self):
+        stats = average_square_distance(self._two_blobs(), [0, 0, 1, 1])
+        assert stats == {0: 1.0, 1: 1.0}
+
+    def test_average_square_distance_singleton(self):
+        stats = average_square_distance(self._two_blobs(), [0, 1, 1, 1])
+        assert stats[0] == 0.0
+
+    def test_rand_index_identity(self):
+        assert rand_index([0, 0, 1], [1, 1, 0]) == 1.0  # label-invariant
+        assert rand_index([0, 1, 2], [0, 0, 0]) == 0.0
+
+    def test_adjusted_rand_identity_and_chance(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 1, 0, 1]) < 0.1
+
+    def test_purity(self):
+        assert purity([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+        assert purity([0, 1, 0, 1], [0, 0, 1, 1]) == 0.5
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ClusteringError):
+            rand_index([0], [0, 1])
+        with pytest.raises(ClusteringError):
+            silhouette_score(self._two_blobs(), [0, 1])

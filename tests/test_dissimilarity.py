@@ -1,0 +1,236 @@
+"""Tests for the condensed dissimilarity matrix and its operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.local import local_dissimilarity
+from repro.distance.merge import merge_weighted
+from repro.distance.normalize import max_normalize, min_max_normalize_column
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_zeros(self):
+        d = DissimilarityMatrix.zeros(4)
+        assert d.num_objects == 4
+        assert d[3, 1] == 0.0
+
+    def test_single_object(self):
+        d = DissimilarityMatrix.zeros(1)
+        assert d.condensed.size == 0
+        assert d.max_value() == 0.0
+
+    def test_from_pairwise(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: i + j)
+        assert d[2, 1] == 3
+        assert d[0, 3] == 3
+
+    def test_from_pairwise_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_pairwise(3, lambda i, j: -1)
+
+    def test_from_square_roundtrip(self):
+        d = DissimilarityMatrix.from_pairwise(5, lambda i, j: abs(i - j) * 1.5)
+        assert DissimilarityMatrix.from_square(d.to_square()) == d
+
+    def test_from_square_validation(self):
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_square(np.ones((2, 3)))
+        asym = np.array([[0, 1], [2, 0]], dtype=float)
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_square(asym)
+        bad_diag = np.array([[1.0, 0], [0, 0]])
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_square(bad_diag)
+
+    def test_condensed_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix(3, np.zeros(5))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix(3, np.array([1.0, -0.5, 2.0]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix(3, np.array([1.0, np.inf, 2.0]))
+
+
+class TestIndexing:
+    def test_symmetric_access(self):
+        d = DissimilarityMatrix.zeros(3)
+        d[2, 0] = 5.0
+        assert d[0, 2] == 5.0
+        assert d[2, 0] == 5.0
+
+    def test_diagonal_is_zero(self):
+        d = DissimilarityMatrix.zeros(3)
+        assert d[1, 1] == 0.0
+
+    def test_diagonal_write_guard(self):
+        d = DissimilarityMatrix.zeros(3)
+        d[1, 1] = 0  # allowed no-op
+        with pytest.raises(ConfigurationError):
+            d[1, 1] = 1.0
+
+    def test_out_of_range(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError):
+            _ = d[0, 3]
+
+    def test_invalid_value(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError):
+            d[1, 0] = -1.0
+
+    def test_condensed_read_only(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ValueError):
+            d.condensed[0] = 1.0
+
+    def test_figure2_order(self):
+        """Condensed layout matches Figure 2: row-major below diagonal."""
+        d = DissimilarityMatrix.zeros(4)
+        d[1, 0] = 1
+        d[2, 0] = 2
+        d[2, 1] = 3
+        d[3, 0] = 4
+        d[3, 1] = 5
+        d[3, 2] = 6
+        assert d.condensed.tolist() == [1, 2, 3, 4, 5, 6]
+
+
+class TestBlocksAndSubmatrix:
+    def test_set_block(self):
+        d = DissimilarityMatrix.zeros(5)
+        block = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        d.set_block([2, 3, 4], [0, 1], block)
+        assert d[2, 0] == 1.0 and d[4, 1] == 6.0
+        assert d[0, 2] == 1.0
+
+    def test_set_block_shape_guard(self):
+        d = DissimilarityMatrix.zeros(4)
+        with pytest.raises(ConfigurationError):
+            d.set_block([0, 1], [2], np.zeros((2, 2)))
+
+    def test_set_block_diagonal_guard(self):
+        d = DissimilarityMatrix.zeros(4)
+        with pytest.raises(ConfigurationError):
+            d.set_block([0, 1], [1, 2], np.ones((2, 2)))
+
+    def test_submatrix(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: 10 * i + j)
+        sub = d.submatrix([3, 1])
+        assert sub.num_objects == 2
+        assert sub[1, 0] == d[3, 1]
+
+    def test_submatrix_duplicate_rejected(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError):
+            d.submatrix([0, 0])
+
+
+class TestNormalizationAndStats:
+    def test_normalized_range(self):
+        d = DissimilarityMatrix.from_pairwise(5, lambda i, j: abs(i - j) * 7.0)
+        n = d.normalized()
+        assert n.max_value() == 1.0
+        assert np.all(n.condensed >= 0)
+
+    def test_normalized_preserves_ratios(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: float(i + j))
+        n = d.normalized()
+        assert n[2, 1] / n[3, 2] == pytest.approx(d[2, 1] / d[3, 2])
+
+    def test_all_zero_normalizes_to_zero(self):
+        d = DissimilarityMatrix.zeros(3)
+        assert d.normalized() == d
+
+    def test_max_normalize_alias(self):
+        d = DissimilarityMatrix.from_pairwise(3, lambda i, j: 2.0)
+        assert max_normalize(d).max_value() == 1.0
+
+    def test_mean_value(self):
+        d = DissimilarityMatrix.from_pairwise(3, lambda i, j: 2.0)
+        assert d.mean_value() == 2.0
+        assert DissimilarityMatrix.zeros(1).mean_value() == 0.0
+
+    def test_triangle_inequality_check(self):
+        metric = DissimilarityMatrix.from_pairwise(5, lambda i, j: abs(i - j))
+        assert metric.check_triangle_inequality()
+        broken = DissimilarityMatrix.zeros(3)
+        broken[1, 0] = 1.0
+        broken[2, 1] = 1.0
+        broken[2, 0] = 10.0
+        assert not broken.check_triangle_inequality()
+
+    def test_allclose(self):
+        a = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0)
+        b = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0 + 1e-12)
+        assert a.allclose(b, atol=1e-9)
+        assert not a.allclose(DissimilarityMatrix.zeros(3))
+
+    def test_scipy_condensed_matches_squareform(self):
+        from scipy.spatial.distance import squareform
+
+        d = DissimilarityMatrix.from_pairwise(6, lambda i, j: float(i * 7 + j))
+        assert np.allclose(d.to_scipy_condensed(), squareform(d.to_square()))
+
+
+class TestLocalAndMerge:
+    def test_local_dissimilarity_figure12(self):
+        d = local_dissimilarity([10, 13, 7], lambda a, b: abs(a - b))
+        assert d[1, 0] == 3 and d[2, 0] == 3 and d[2, 1] == 6
+
+    def test_merge_equal_weights(self):
+        a = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0)
+        b = DissimilarityMatrix.from_pairwise(3, lambda i, j: 3.0)
+        merged = merge_weighted([a, b])
+        assert merged[1, 0] == 2.0
+
+    def test_merge_weight_ratios(self):
+        a = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0)
+        b = DissimilarityMatrix.from_pairwise(3, lambda i, j: 3.0)
+        merged = merge_weighted([a, b], [3.0, 1.0])
+        assert merged[1, 0] == pytest.approx(1.5)
+        # Only ratios matter.
+        assert merge_weighted([a, b], [6.0, 2.0])[1, 0] == pytest.approx(1.5)
+
+    def test_merge_validation(self):
+        a = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError):
+            merge_weighted([])
+        with pytest.raises(ConfigurationError):
+            merge_weighted([a, DissimilarityMatrix.zeros(4)])
+        with pytest.raises(ConfigurationError):
+            merge_weighted([a], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            merge_weighted([a], [0.0])
+        with pytest.raises(ConfigurationError):
+            merge_weighted([a], [-1.0])
+
+    def test_min_max_normalize_column(self):
+        assert min_max_normalize_column([2.0, 4.0, 6.0]) == [0.0, 0.5, 1.0]
+        assert min_max_normalize_column([5.0, 5.0]) == [0.0, 0.0]
+        with pytest.raises(ConfigurationError):
+            min_max_normalize_column([])
+
+    @given(
+        values=st.lists(
+            st.integers(-1000, 1000), min_size=3, max_size=12, unique=True
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_normalization_equivalence(self, values):
+        """Section 2.1's claim: normalising the dissimilarity matrix equals
+        min-max normalising the data first (for the |x-y| metric)."""
+        from_raw = local_dissimilarity(
+            values, lambda a, b: float(abs(a - b))
+        ).normalized()
+        scaled = min_max_normalize_column([float(v) for v in values])
+        from_scaled = local_dissimilarity(scaled, lambda a, b: abs(a - b))
+        assert from_raw.allclose(from_scaled, atol=1e-12)

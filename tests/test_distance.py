@@ -1,0 +1,159 @@
+"""Tests for comparison functions: numeric codec, categorical, edit/CCM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distance.categorical import categorical_distance, ciphertext_distance
+from repro.distance.ccm import ccm_equal, ccm_from_strings
+from repro.distance.edit import edit_distance, edit_distance_from_ccm
+from repro.distance.numeric import FixedPointCodec, numeric_distance
+from repro.exceptions import ConfigurationError
+
+
+class TestNumericDistance:
+    def test_basic(self):
+        assert numeric_distance(3, 8) == 5
+        assert numeric_distance(8, 3) == 5
+        assert numeric_distance(-2, 2) == 4
+        assert numeric_distance(1.5, 1.25) == 0.25
+
+
+class TestFixedPointCodec:
+    def test_integer_passthrough(self):
+        codec = FixedPointCodec(0)
+        assert codec.encode(42) == 42
+        assert codec.decode(42) == 42
+        assert isinstance(codec.decode(42), int)
+
+    def test_float_roundtrip_at_precision(self):
+        codec = FixedPointCodec(3)
+        for value in (1.25, -0.875, 1234.567, 0.0):
+            assert codec.decode(codec.encode(value)) == pytest.approx(value, abs=5e-4)
+
+    def test_exact_at_representable_values(self):
+        codec = FixedPointCodec(2)
+        assert codec.decode(codec.encode(12.34)) == 12.34
+
+    def test_int_scaled_exactly(self):
+        codec = FixedPointCodec(4)
+        assert codec.encode(7) == 70000
+
+    def test_distance_decoding(self):
+        codec = FixedPointCodec(2)
+        x, y = codec.encode(10.25), codec.encode(3.5)
+        assert codec.decode_distance(abs(x - y)) == 6.75
+
+    def test_precision_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointCodec(-1)
+        with pytest.raises(ConfigurationError):
+            FixedPointCodec(16)
+
+    def test_encode_column(self):
+        codec = FixedPointCodec(1)
+        assert codec.encode_column([1, 2.5]) == [10, 25]
+
+    @given(
+        x=st.integers(-(10**6), 10**6),
+        y=st.integers(-(10**6), 10**6),
+        precision=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_integer_distance_exact(self, x, y, precision):
+        codec = FixedPointCodec(precision)
+        assert codec.decode_distance(
+            abs(codec.encode(x) - codec.encode(y))
+        ) == pytest.approx(abs(x - y))
+
+
+class TestCategoricalDistance:
+    def test_equality_metric(self):
+        assert categorical_distance("a", "a") == 0
+        assert categorical_distance("a", "b") == 1
+
+    def test_ciphertext_variant(self):
+        assert ciphertext_distance(b"x", b"x") == 0
+        assert ciphertext_distance(b"x", b"y") == 1
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "s,t,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("intention", "execution", 5),
+            ("abc", "bd", 2),
+            ("ACGT", "AGT", 1),
+        ],
+    )
+    def test_known_values(self, s, t, d):
+        assert edit_distance(s, t) == d
+
+    @given(s=st.text(alphabet="ACGT", max_size=25), t=st.text(alphabet="ACGT", max_size=25))
+    @settings(max_examples=80, deadline=None)
+    def test_property_symmetry(self, s, t):
+        assert edit_distance(s, t) == edit_distance(t, s)
+
+    @given(s=st.text(alphabet="ab", max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_property_identity(self, s):
+        assert edit_distance(s, s) == 0
+
+    @given(
+        s=st.text(alphabet="ACGT", max_size=12),
+        t=st.text(alphabet="ACGT", max_size=12),
+        u=st.text(alphabet="ACGT", max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_triangle_inequality(self, s, t, u):
+        assert edit_distance(s, u) <= edit_distance(s, t) + edit_distance(t, u)
+
+    @given(s=st.text(alphabet="ACGT", max_size=20), t=st.text(alphabet="ACGT", max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_length_bounds(self, s, t):
+        d = edit_distance(s, t)
+        assert abs(len(s) - len(t)) <= d <= max(len(s), len(t))
+
+
+class TestCcm:
+    def test_known_ccm(self):
+        ccm = ccm_from_strings("abc", "bd")
+        # rows = target "bd", cols = source "abc"
+        assert ccm.shape == (2, 3)
+        assert ccm.tolist() == [[1, 0, 1], [1, 1, 1]]
+
+    def test_ccm_equal_helper(self):
+        a = ccm_from_strings("ab", "ba")
+        b = ccm_from_strings("ab", "ba")
+        assert ccm_equal(a, b)
+        assert not ccm_equal(a, ccm_from_strings("ab", "bb"))
+        assert not ccm_equal(a, ccm_from_strings("abc", "ba"))
+
+    @given(s=st.text(alphabet="ACGT", max_size=15), t=st.text(alphabet="ACGT", max_size=15))
+    @settings(max_examples=80, deadline=None)
+    def test_property_ccm_expressiveness(self, s, t):
+        """Section 2.3: the CCM is 'equally expressive' -- the DP over the
+        CCM must equal the DP over the strings."""
+        assert edit_distance_from_ccm(ccm_from_strings(s, t)) == edit_distance(s, t)
+
+    def test_empty_string_shapes(self):
+        assert edit_distance_from_ccm(np.ones((0, 4), dtype=np.uint8)) == 4
+        assert edit_distance_from_ccm(np.ones((3, 0), dtype=np.uint8)) == 3
+        assert edit_distance_from_ccm(np.ones((0, 0), dtype=np.uint8)) == 0
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edit_distance_from_ccm(np.zeros(3, dtype=np.uint8))
+
+    def test_nonzero_entries_treated_as_mismatch(self):
+        ccm = np.array([[0, 7], [255, 0]], dtype=np.uint8)
+        reference = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        assert edit_distance_from_ccm(ccm) == edit_distance_from_ccm(reference)

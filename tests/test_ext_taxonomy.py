@@ -1,0 +1,204 @@
+"""Tests for hierarchical categorical attributes (repro.ext.taxonomy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.detenc import DeterministicEncryptor
+from repro.data.partition import GlobalIndex
+from repro.distance.local import local_dissimilarity
+from repro.exceptions import ProtocolError, SchemaError
+from repro.ext.taxonomy import Taxonomy, third_party_taxonomy_matrix
+
+KEY = b"taxonomy-shared-key-0123456789ab"
+
+#: A small product taxonomy:
+#:   goods -> electronics -> {phones, laptops}; goods -> grocery -> fruit
+PARENTS = {
+    "goods": None,
+    "electronics": "goods",
+    "phones": "electronics",
+    "laptops": "electronics",
+    "grocery": "goods",
+    "fruit": "grocery",
+}
+
+
+@pytest.fixture
+def taxonomy():
+    return Taxonomy(PARENTS)
+
+
+class TestStructure:
+    def test_paths(self, taxonomy):
+        assert taxonomy.path("phones") == ("goods", "electronics", "phones")
+        assert taxonomy.path("goods") == ("goods",)
+
+    def test_depths(self, taxonomy):
+        assert taxonomy.depth("goods") == 1
+        assert taxonomy.depth("phones") == 3
+        assert taxonomy.max_depth == 3
+
+    def test_lca_depth(self, taxonomy):
+        assert taxonomy.lca_depth("phones", "laptops") == 2  # electronics
+        assert taxonomy.lca_depth("phones", "fruit") == 1  # goods
+        assert taxonomy.lca_depth("phones", "phones") == 3
+
+    def test_membership(self, taxonomy):
+        assert "phones" in taxonomy
+        assert "cars" not in taxonomy
+
+    def test_unknown_node(self, taxonomy):
+        with pytest.raises(SchemaError):
+            taxonomy.path("cars")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(SchemaError):
+            Taxonomy({"a": "ghost"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchemaError):
+            Taxonomy({"a": "b", "b": "a"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Taxonomy({})
+
+
+class TestMetric:
+    def test_known_distances(self, taxonomy):
+        assert taxonomy.distance("phones", "laptops") == 2
+        assert taxonomy.distance("phones", "fruit") == 4
+        assert taxonomy.distance("phones", "electronics") == 1
+        assert taxonomy.distance("fruit", "fruit") == 0
+
+    def test_metric_axioms(self, taxonomy):
+        nodes = list(PARENTS)
+        for a in nodes:
+            for b in nodes:
+                d = taxonomy.distance(a, b)
+                assert d == taxonomy.distance(b, a)
+                assert (d == 0) == (a == b)
+                for c in nodes:
+                    assert taxonomy.distance(a, c) <= d + taxonomy.distance(b, c)
+
+
+class TestCiphertextProtocol:
+    def test_ciphertext_distance_matches_plaintext(self, taxonomy):
+        enc = DeterministicEncryptor(KEY)
+        nodes = list(PARENTS)
+        for a in nodes:
+            for b in nodes:
+                path_a = taxonomy.encrypt_value(enc, "cat", a)
+                path_b = taxonomy.encrypt_value(enc, "cat", b)
+                assert Taxonomy.distance_from_ciphertext_paths(
+                    path_a, path_b
+                ) == taxonomy.distance(a, b), (a, b)
+
+    def test_same_name_different_depth_no_collision(self):
+        """Positional prefix encoding keeps equal labels at different
+        depths distinct."""
+        tree = Taxonomy({"x": None, "mid": "x", "deep": "mid"})
+        other = Taxonomy({"mid": None})
+        enc = DeterministicEncryptor(KEY)
+        a = tree.encrypt_value(enc, "cat", "mid")  # depth 2
+        b = other.encrypt_value(enc, "cat", "mid")  # depth 1
+        assert a[-1] != b[-1]
+
+    def test_ciphertexts_hide_labels(self, taxonomy):
+        enc = DeterministicEncryptor(KEY)
+        for ciphertext in taxonomy.encrypt_value(enc, "cat", "phones"):
+            assert b"phones" not in ciphertext
+            assert b"electronics" not in ciphertext
+
+    def test_global_matrix(self, taxonomy):
+        enc = DeterministicEncryptor(KEY)
+        columns = {
+            "A": taxonomy.encrypt_column(enc, "cat", ["phones", "fruit"]),
+            "B": taxonomy.encrypt_column(enc, "cat", ["laptops"]),
+        }
+        index = GlobalIndex({"A": 2, "B": 1})
+        matrix = third_party_taxonomy_matrix(columns, index)
+        reference = local_dissimilarity(
+            ["phones", "fruit", "laptops"], taxonomy.distance
+        )
+        assert matrix.allclose(reference)
+
+    def test_matrix_site_validation(self, taxonomy):
+        enc = DeterministicEncryptor(KEY)
+        columns = {"A": taxonomy.encrypt_column(enc, "cat", ["fruit"])}
+        with pytest.raises(ProtocolError):
+            third_party_taxonomy_matrix(columns, GlobalIndex({"A": 1, "B": 1}))
+        with pytest.raises(ProtocolError):
+            third_party_taxonomy_matrix(columns, GlobalIndex({"A": 2}))
+
+    def test_communication_linear_in_depth(self, taxonomy):
+        """Per-holder cost is O(n * depth) ciphertexts."""
+        from repro.network.serialization import serialized_size
+
+        enc = DeterministicEncryptor(KEY)
+        shallow = serialized_size(taxonomy.encrypt_column(enc, "cat", ["goods"] * 10))
+        deep = serialized_size(taxonomy.encrypt_column(enc, "cat", ["phones"] * 10))
+        assert 2.5 < deep / shallow < 3.5  # depth 3 vs depth 1
+
+
+class TestSessionIntegration:
+    """Taxonomy as a first-class schema member in a real session."""
+
+    def _partitions(self, taxonomy):
+        from repro.data.matrix import AttributeSpec, DataMatrix
+        from repro.types import AttributeType
+
+        spec = AttributeSpec(
+            "category", AttributeType.CATEGORICAL, taxonomy=taxonomy
+        )
+        return {
+            "A": DataMatrix([spec], [["phones"], ["fruit"], ["laptops"]]),
+            "B": DataMatrix([spec], [["electronics"], ["grocery"]]),
+        }
+
+    def test_session_exactness(self, taxonomy):
+        from repro.baselines.centralized import centralized_pipeline
+        from repro.core.config import SessionConfig
+        from repro.core.session import ClusteringSession
+
+        partitions = self._partitions(taxonomy)
+        session = ClusteringSession(SessionConfig(num_clusters=2), partitions)
+        central, _, _, _ = centralized_pipeline(partitions)
+        assert session.final_matrix().allclose(central, atol=0.0)
+
+    def test_schema_validates_taxonomy_values(self, taxonomy):
+        from repro.data.matrix import AttributeSpec, DataMatrix
+        from repro.types import AttributeType
+
+        spec = AttributeSpec("c", AttributeType.CATEGORICAL, taxonomy=taxonomy)
+        with pytest.raises(SchemaError):
+            DataMatrix([spec], [["not-a-node"]])
+
+    def test_taxonomy_on_numeric_rejected(self, taxonomy):
+        from repro.data.matrix import AttributeSpec
+        from repro.types import AttributeType
+
+        with pytest.raises(SchemaError):
+            AttributeSpec("c", AttributeType.NUMERIC, taxonomy=taxonomy)
+
+    def test_mixed_schema_with_taxonomy(self, taxonomy):
+        """Taxonomy rides alongside the paper's three native types."""
+        from repro.baselines.centralized import centralized_pipeline
+        from repro.core.config import SessionConfig
+        from repro.core.session import ClusteringSession
+        from repro.data.matrix import AttributeSpec, DataMatrix
+        from repro.types import AttributeType
+
+        schema = [
+            AttributeSpec("price", AttributeType.NUMERIC, precision=0),
+            AttributeSpec("category", AttributeType.CATEGORICAL, taxonomy=taxonomy),
+            AttributeSpec("origin", AttributeType.CATEGORICAL),
+        ]
+        partitions = {
+            "A": DataMatrix(schema, [[700, "phones", "cn"], [3, "fruit", "tr"]]),
+            "B": DataMatrix(schema, [[1400, "laptops", "cn"], [5, "grocery", "tr"]]),
+        }
+        session = ClusteringSession(SessionConfig(num_clusters=2), partitions)
+        central, _, _, _ = centralized_pipeline(partitions)
+        assert session.final_matrix().allclose(central, atol=0.0)

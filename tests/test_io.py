@@ -1,0 +1,87 @@
+"""Tests for artefact persistence (repro.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.linkage import agglomerative
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError
+from repro.io import (
+    load_dendrogram,
+    load_matrix,
+    load_result,
+    save_dendrogram,
+    save_matrix,
+    save_result,
+)
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(9, 2))
+    square = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+    return DissimilarityMatrix.from_square(square)
+
+
+class TestMatrixIO:
+    def test_roundtrip_exact(self, matrix, tmp_path):
+        path = tmp_path / "matrix.npz"
+        save_matrix(matrix, path)
+        assert load_matrix(path) == matrix  # bit-for-bit
+
+    def test_single_object(self, tmp_path):
+        path = tmp_path / "one.npz"
+        save_matrix(DissimilarityMatrix.zeros(1), path)
+        assert load_matrix(path).num_objects == 1
+
+    def test_format_marker_checked(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, format=np.asarray("something-else"), x=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_matrix(path)
+
+
+class TestDendrogramIO:
+    def test_roundtrip_exact(self, matrix, tmp_path):
+        dendrogram = agglomerative(matrix, "average")
+        path = tmp_path / "tree.json"
+        save_dendrogram(dendrogram, path)
+        loaded = load_dendrogram(path)
+        assert loaded.num_leaves == dendrogram.num_leaves
+        assert loaded.merges == dendrogram.merges  # heights exact via repr
+
+    def test_cuts_survive_roundtrip(self, matrix, tmp_path):
+        dendrogram = agglomerative(matrix, "complete")
+        path = tmp_path / "tree.json"
+        save_dendrogram(dendrogram, path)
+        loaded = load_dendrogram(path)
+        for k in (2, 3, 4):
+            assert loaded.cut_at_k(k) == dendrogram.cut_at_k(k)
+
+    def test_format_marker_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ConfigurationError):
+            load_dendrogram(path)
+
+
+class TestResultIO:
+    def test_roundtrip(self, mixed_partitions, tmp_path):
+        session = ClusteringSession(SessionConfig(num_clusters=2), mixed_partitions)
+        result = session.run()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.to_payload() == result.to_payload()
+        assert loaded.format_figure13() == result.format_figure13()
+
+    def test_format_marker_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "nope", "payload": {}}')
+        with pytest.raises(ConfigurationError):
+            load_result(path)

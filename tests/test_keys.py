@@ -1,0 +1,142 @@
+"""Tests for Diffie-Hellman agreement and key derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import (
+    DiffieHellman,
+    PairwiseSecret,
+    agree_pairwise,
+    derive_key,
+    derive_seed,
+    secret_from_passphrase,
+)
+from repro.crypto.prng import make_prng
+from repro.exceptions import KeyAgreementError
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        a = DiffieHellman(make_prng("alice"))
+        b = DiffieHellman(make_prng("bob"))
+        assert a.shared_secret(b.public_value) == b.shared_secret(a.public_value)
+
+    def test_different_pairs_different_secrets(self):
+        a = DiffieHellman(make_prng("a"))
+        b = DiffieHellman(make_prng("b"))
+        c = DiffieHellman(make_prng("c"))
+        ab = a.shared_secret(b.public_value)
+        ac = a.shared_secret(c.public_value)
+        assert ab != ac
+
+    def test_deterministic_from_entropy(self):
+        a1 = DiffieHellman(make_prng("same"))
+        a2 = DiffieHellman(make_prng("same"))
+        assert a1.public_value == a2.public_value
+
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_degenerate_peer_rejected(self, bad):
+        a = DiffieHellman(make_prng("x"))
+        with pytest.raises(KeyAgreementError):
+            a.shared_secret(bad)
+
+    def test_peer_equal_p_minus_1_rejected(self):
+        a = DiffieHellman(make_prng("x"))
+        with pytest.raises(KeyAgreementError):
+            a.shared_secret(a.prime - 1)
+
+    def test_out_of_range_peer_rejected(self):
+        a = DiffieHellman(make_prng("x"))
+        with pytest.raises(KeyAgreementError):
+            a.shared_secret(a.prime + 5)
+
+    def test_small_group_works(self):
+        """Tiny toy group for exhaustive sanity (p=23, g=5)."""
+        a = DiffieHellman(make_prng("a"), prime=23, generator=5)
+        b = DiffieHellman(make_prng("b"), prime=23, generator=5)
+        assert a.shared_secret(b.public_value) == b.shared_secret(a.public_value)
+
+    def test_tiny_prime_rejected(self):
+        with pytest.raises(KeyAgreementError):
+            DiffieHellman(make_prng("a"), prime=3)
+
+
+class TestDerivation:
+    def test_labels_separate_streams(self):
+        secret = b"s" * 32
+        assert derive_seed(secret, "one") != derive_seed(secret, "two")
+        assert derive_key(secret, "one") != derive_seed(secret, "one")
+
+    def test_deterministic(self):
+        secret = b"s" * 32
+        assert derive_key(secret, "label") == derive_key(secret, "label")
+
+    def test_lengths(self):
+        secret = b"s" * 32
+        assert len(derive_key(secret, "l", 16)) == 16
+        assert len(derive_key(secret, "l", 64)) == 64
+        assert len(derive_seed(secret, "l")) == 32
+
+    def test_too_long_rejected(self):
+        with pytest.raises(KeyAgreementError):
+            derive_key(b"s" * 32, "l", 32 * 256)
+
+
+class TestPairwiseSecret:
+    def test_pair_canonical_order(self):
+        s = PairwiseSecret(pair=("B", "A"), secret=b"x" * 32)
+        assert s.pair == ("A", "B")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(KeyAgreementError):
+            PairwiseSecret(pair=("A", "A"), secret=b"x" * 32)
+
+    def test_prng_agreement_across_endpoints(self):
+        """Both endpoints derive the identical generator for a label --
+        the foundational requirement for rng_JK / rng_JT."""
+        s1 = PairwiseSecret(pair=("A", "B"), secret=b"x" * 32)
+        s2 = PairwiseSecret(pair=("B", "A"), secret=b"x" * 32)
+        g1 = s1.prng("attr/num")
+        g2 = s2.prng("attr/num")
+        assert [g1.next_uint64() for _ in range(10)] == [
+            g2.next_uint64() for _ in range(10)
+        ]
+
+    def test_labels_give_independent_prngs(self):
+        s = PairwiseSecret(pair=("A", "B"), secret=b"x" * 32)
+        assert s.prng("age").next_uint64() != s.prng("income").next_uint64()
+
+    def test_prng_kind_override(self):
+        s = PairwiseSecret(pair=("A", "B"), secret=b"x" * 32)
+        assert s.prng("l", kind="lcg64").name == "lcg64"
+
+    def test_key_derivation(self):
+        s = PairwiseSecret(pair=("A", "B"), secret=b"x" * 32)
+        assert len(s.key("channel")) == 32
+        assert s.key("channel") != s.key("detenc")
+
+    def test_passphrase_secret(self):
+        s1 = secret_from_passphrase(("A", "B"), 12345)
+        s2 = secret_from_passphrase(("B", "A"), 12345)
+        assert s1.prng("l").next_uint64() == s2.prng("l").next_uint64()
+
+
+class TestAgreePairwise:
+    def test_all_pairs_present(self):
+        secrets = agree_pairwise(
+            {name: make_prng(name) for name in ("A", "B", "C", "TP")}
+        )
+        assert set(secrets) == {
+            ("A", "B"), ("A", "C"), ("A", "TP"),
+            ("B", "C"), ("B", "TP"), ("C", "TP"),
+        }
+
+    def test_pairs_have_distinct_secrets(self):
+        secrets = agree_pairwise({name: make_prng(name) for name in "ABC"})
+        values = [s.secret for s in secrets.values()]
+        assert len(set(values)) == len(values)
+
+    def test_single_party_rejected(self):
+        with pytest.raises(KeyAgreementError):
+            agree_pairwise({"A": make_prng(1)})

@@ -1,0 +1,149 @@
+"""Tests for the language-statistics attack and the fresh-masks defence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.language import LanguageStatisticsAttack
+from repro.baselines.centralized import centralized_pipeline
+from repro.core.alphanumeric import (
+    initiator_mask_strings,
+    initiator_mask_strings_fresh,
+    responder_ccm_matrices,
+    third_party_distances_fresh,
+)
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.crypto.prng import make_prng
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.synthetic import skewed_strings
+from repro.distance.edit import edit_distance
+from repro.exceptions import AttackError, ConfigurationError
+from repro.types import AttributeType
+
+#: Strongly skewed DNA base frequencies (the "statistics of the input
+#: language" the paper's Section 6 worries about).
+SKEW = [0.55, 0.25, 0.12, 0.08]
+PRIOR = dict(zip("ACGT", SKEW))
+
+
+def _true_offsets(seed: int, length: int) -> list[int]:
+    rng = make_prng(seed)
+    return [rng.next_below(DNA_ALPHABET.size) for _ in range(length)]
+
+
+class TestAttackOnPaperScheme:
+    def test_mask_vector_recovered(self):
+        corpus = skewed_strings(96, 24, SKEW, seed=1)
+        masked = initiator_mask_strings(corpus, DNA_ALPHABET, make_prng(42))
+        attack = LanguageStatisticsAttack(DNA_ALPHABET, PRIOR)
+        outcome = attack.run(masked)
+        true_offsets = _true_offsets(42, 24)
+        assert outcome.offset_recovery_rate(true_offsets) > 0.9
+
+    def test_corpus_unmasked(self):
+        corpus = skewed_strings(96, 24, SKEW, seed=2)
+        masked = initiator_mask_strings(corpus, DNA_ALPHABET, make_prng(43))
+        outcome = LanguageStatisticsAttack(DNA_ALPHABET, PRIOR).run(masked)
+        assert outcome.character_recovery_rate(corpus) > 0.9
+
+    def test_attack_weakens_with_few_samples(self):
+        corpus = skewed_strings(6, 24, SKEW, seed=3)
+        masked = initiator_mask_strings(corpus, DNA_ALPHABET, make_prng(44))
+        outcome = LanguageStatisticsAttack(DNA_ALPHABET, PRIOR, min_samples=8).run(
+            masked
+        )
+        # Below min_samples every position is skipped -> offsets all 0.
+        assert set(outcome.offsets) == {0}
+
+    def test_uniform_language_resists(self):
+        """No skew, no frequency attack -- the structural caveat."""
+        corpus = skewed_strings(96, 24, [0.25] * 4, seed=4)
+        masked = initiator_mask_strings(corpus, DNA_ALPHABET, make_prng(45))
+        outcome = LanguageStatisticsAttack(
+            DNA_ALPHABET, dict(zip("ACGT", [0.25] * 4))
+        ).run(masked)
+        assert outcome.offset_recovery_rate(_true_offsets(45, 24)) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            LanguageStatisticsAttack(DNA_ALPHABET, {"X": 1.0})
+        with pytest.raises(AttackError):
+            LanguageStatisticsAttack(DNA_ALPHABET, {"A": 0.0})
+        with pytest.raises(AttackError):
+            LanguageStatisticsAttack(DNA_ALPHABET, PRIOR).run([])
+
+
+class TestFreshMasksDefence:
+    def test_attack_collapses(self):
+        corpus = skewed_strings(96, 24, SKEW, seed=5)
+        masked = initiator_mask_strings_fresh(corpus, DNA_ALPHABET, make_prng(46))
+        outcome = LanguageStatisticsAttack(DNA_ALPHABET, PRIOR).run(masked)
+        assert outcome.character_recovery_rate(corpus) < 0.55
+
+    def test_fresh_masks_still_correct(self):
+        """The defence must not cost correctness: full protocol round."""
+        strings_j = ["ACGT", "TTTT", "A", "GATTACA"]
+        strings_k = ["ACG", "CATCAT"]
+        rng_j = make_prng(9)
+        rng_tp = make_prng(9)
+        masked = initiator_mask_strings_fresh(strings_j, DNA_ALPHABET, rng_j)
+        matrices = responder_ccm_matrices(strings_k, masked, DNA_ALPHABET)
+        distances = third_party_distances_fresh(matrices, DNA_ALPHABET, rng_tp)
+        for m, t in enumerate(strings_k):
+            for n, s in enumerate(strings_j):
+                assert distances[m][n] == edit_distance(s, t)
+
+    def test_fresh_masks_empty_responder(self):
+        assert third_party_distances_fresh([], DNA_ALPHABET, make_prng(1)) == []
+
+    def test_session_exact_with_fresh_masks(self):
+        """End-to-end: fresh_string_masks preserves zero accuracy loss."""
+        schema = [
+            AttributeSpec("dna", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET)
+        ]
+        partitions = {
+            "A": DataMatrix(schema, [["ACGTAC"], ["TTTTGG"], ["ACGTTC"]]),
+            "B": DataMatrix(schema, [["ACGAAC"], ["TTCTGG"]]),
+        }
+        suite = ProtocolSuiteConfig(fresh_string_masks=True)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, suite=suite), partitions
+        )
+        central, _, _, _ = centralized_pipeline(partitions)
+        assert session.final_matrix().allclose(central, atol=0.0)
+
+    def test_masks_actually_differ_across_strings(self):
+        masked = initiator_mask_strings_fresh(
+            ["AAAA", "AAAA"], DNA_ALPHABET, make_prng(7)
+        )
+        # With per-string resets these would be identical (see the
+        # paper-scheme test in test_alphanumeric_protocol.py).
+        assert masked[0] != masked[1]
+
+    def test_cost_identical_to_paper_scheme(self):
+        """The defence is free on the wire: same message sizes."""
+        from repro.network.serialization import serialized_size
+
+        corpus = skewed_strings(20, 16, SKEW, seed=6)
+        paper = initiator_mask_strings(corpus, DNA_ALPHABET, make_prng(8))
+        fresh = initiator_mask_strings_fresh(corpus, DNA_ALPHABET, make_prng(8))
+        assert serialized_size(paper) == serialized_size(fresh)
+
+
+class TestSkewedStringsGenerator:
+    def test_frequencies_follow_weights(self):
+        corpus = skewed_strings(200, 20, SKEW, seed=7)
+        text = "".join(corpus)
+        freq_a = text.count("A") / len(text)
+        assert 0.5 < freq_a < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            skewed_strings(2, 5, [1.0])
+        with pytest.raises(ConfigurationError):
+            skewed_strings(-1, 5, SKEW)
+        with pytest.raises(ConfigurationError):
+            skewed_strings(2, 5, [0, 0, 0, 0])

@@ -1,0 +1,165 @@
+"""Tests for data matrices and schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix, Schema
+from repro.exceptions import SchemaError
+from repro.types import AttributeType
+
+
+class TestAttributeSpec:
+    def test_numeric_accepts_numbers(self):
+        spec = AttributeSpec("age", AttributeType.NUMERIC)
+        spec.validate_value(5)
+        spec.validate_value(1.5)
+
+    def test_numeric_rejects_bool_and_str(self):
+        spec = AttributeSpec("age", AttributeType.NUMERIC)
+        with pytest.raises(SchemaError):
+            spec.validate_value(True)
+        with pytest.raises(SchemaError):
+            spec.validate_value("5")
+
+    def test_alphanumeric_gets_default_alphabet(self):
+        spec = AttributeSpec("name", AttributeType.ALPHANUMERIC)
+        assert spec.alphabet is not None
+        spec.validate_value("Hello World!")
+
+    def test_alphanumeric_respects_custom_alphabet(self):
+        spec = AttributeSpec("dna", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET)
+        spec.validate_value("ACGT")
+        with pytest.raises(SchemaError):
+            spec.validate_value("XYZ")
+
+    def test_alphabet_on_numeric_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("age", AttributeType.NUMERIC, alphabet=DNA_ALPHABET)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("", AttributeType.NUMERIC)
+
+    @pytest.mark.parametrize("precision", [-1, 16])
+    def test_precision_bounds(self, precision):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", AttributeType.NUMERIC, precision=precision)
+
+    def test_categorical_accepts_strings(self):
+        spec = AttributeSpec("city", AttributeType.CATEGORICAL)
+        spec.validate_value("istanbul")
+        with pytest.raises(SchemaError):
+            spec.validate_value(3)
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema(
+            [
+                AttributeSpec("a", AttributeType.NUMERIC),
+                AttributeSpec("b", AttributeType.CATEGORICAL),
+            ]
+        )
+        assert len(schema) == 2
+        assert schema.names == ("a", "b")
+        assert schema.index_of("b") == 1
+        assert schema.spec("a").attr_type is AttributeType.NUMERIC
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [
+                    AttributeSpec("a", AttributeType.NUMERIC),
+                    AttributeSpec("a", AttributeType.CATEGORICAL),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_name(self):
+        schema = Schema([AttributeSpec("a", AttributeType.NUMERIC)])
+        with pytest.raises(SchemaError):
+            schema.index_of("z")
+
+    def test_equality_and_hash(self):
+        a1 = Schema([AttributeSpec("a", AttributeType.NUMERIC)])
+        a2 = Schema([AttributeSpec("a", AttributeType.NUMERIC)])
+        b = Schema([AttributeSpec("b", AttributeType.NUMERIC)])
+        assert a1 == a2 and hash(a1) == hash(a2)
+        assert a1 != b
+
+
+class TestDataMatrix:
+    SCHEMA = [
+        AttributeSpec("age", AttributeType.NUMERIC),
+        AttributeSpec("city", AttributeType.CATEGORICAL),
+    ]
+
+    def test_from_rows(self):
+        m = DataMatrix.from_rows(self.SCHEMA, [[30, "x"], [40, "y"]])
+        assert m.num_rows == 2
+        assert m.num_attributes == 2
+        assert m.row(1) == (40, "y")
+
+    def test_column_access(self):
+        m = DataMatrix.from_rows(self.SCHEMA, [[30, "x"], [40, "y"]])
+        assert m.column(0) == [30, 40]
+        assert m.column_by_name("city") == ["x", "y"]
+        with pytest.raises(SchemaError):
+            m.column(5)
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(SchemaError):
+            DataMatrix.from_rows(self.SCHEMA, [[30]])
+
+    def test_bad_cell_rejected_with_row_context(self):
+        with pytest.raises(SchemaError, match="row 1"):
+            DataMatrix.from_rows(self.SCHEMA, [[30, "x"], ["oops", "y"]])
+
+    def test_from_columns(self):
+        m = DataMatrix.from_columns(self.SCHEMA, [[30, 40], ["x", "y"]])
+        assert m.rows == ((30, "x"), (40, "y"))
+
+    def test_from_columns_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            DataMatrix.from_columns(self.SCHEMA, [[30, 40], ["x"]])
+
+    def test_from_columns_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            DataMatrix.from_columns(self.SCHEMA, [[30, 40]])
+
+    def test_take(self):
+        m = DataMatrix.from_rows(self.SCHEMA, [[1, "a"], [2, "b"], [3, "c"]])
+        sub = m.take([2, 0])
+        assert sub.rows == ((3, "c"), (1, "a"))
+
+    def test_concat(self):
+        a = DataMatrix.from_rows(self.SCHEMA, [[1, "a"]])
+        b = DataMatrix.from_rows(self.SCHEMA, [[2, "b"]])
+        assert a.concat(b).num_rows == 2
+
+    def test_concat_schema_mismatch(self):
+        a = DataMatrix.from_rows(self.SCHEMA, [[1, "a"]])
+        other = DataMatrix.from_rows(
+            [AttributeSpec("z", AttributeType.NUMERIC)], [[1]]
+        )
+        with pytest.raises(SchemaError):
+            a.concat(other)
+
+    def test_equality(self):
+        a = DataMatrix.from_rows(self.SCHEMA, [[1, "a"]])
+        b = DataMatrix.from_rows(self.SCHEMA, [[1, "a"]])
+        assert a == b and hash(a) == hash(b)
+
+    def test_iteration(self):
+        m = DataMatrix.from_rows(self.SCHEMA, [[1, "a"], [2, "b"]])
+        assert list(m) == [(1, "a"), (2, "b")]
+        assert len(m) == 2
+
+    def test_empty_matrix_allowed(self):
+        m = DataMatrix.from_rows(self.SCHEMA, [])
+        assert m.num_rows == 0

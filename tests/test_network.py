@@ -1,0 +1,271 @@
+"""Tests for serialization, channels and the network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prng import make_prng
+from repro.exceptions import ChannelError, ProtocolError
+from repro.network.channel import Channel, Eavesdropper
+from repro.network.serialization import deserialize, serialize, serialized_size
+from repro.network.simulator import Network
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**200,
+            -(2**200),
+            1.5,
+            -0.0,
+            "",
+            "héllo",
+            b"",
+            b"\x00\xff",
+            [],
+            [1, "two", None],
+            (1, 2),
+            {"a": 1, "b": [2, 3]},
+            [[1, 2], [3, [4]]],
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert deserialize(serialize(value)) == value
+
+    def test_array_roundtrip(self):
+        for dtype in (np.uint8, np.int64, np.float64):
+            arr = np.arange(12, dtype=dtype).reshape(3, 4)
+            out = deserialize(serialize(arr))
+            assert out.dtype == arr.dtype
+            assert np.array_equal(out, arr)
+
+    def test_nested_arrays_in_lists(self):
+        value = [[np.ones((2, 2), dtype=np.uint8)], "tag"]
+        out = deserialize(serialize(value))
+        assert np.array_equal(out[0][0], value[0][0])
+
+    def test_numpy_scalars_coerced(self):
+        assert deserialize(serialize(np.int64(7))) == 7
+        assert deserialize(serialize(np.float64(1.5))) == 1.5
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ChannelError):
+            serialize(object())
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ChannelError):
+            serialize(np.array(["a"], dtype=object))
+
+    def test_non_str_dict_key_rejected(self):
+        with pytest.raises(ChannelError):
+            serialize({1: "x"})
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ChannelError):
+            deserialize(serialize(1) + b"junk")
+
+    def test_truncated_rejected(self):
+        data = serialize([1, 2, 3])
+        with pytest.raises(ChannelError):
+            deserialize(data[:-2])
+
+    def test_int_size_scales_with_magnitude(self):
+        """Cost realism: big masked values cost what big ints cost."""
+        small = serialized_size(1)
+        large = serialized_size(2**512)
+        assert large - small == pytest.approx(64, abs=2)
+
+    def test_bool_not_confused_with_int(self):
+        assert deserialize(serialize(True)) is True
+        assert deserialize(serialize(1)) == 1
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(-(2**70), 2**70),
+                st.floats(allow_nan=False),
+                st.text(max_size=20),
+                st.binary(max_size=20),
+            ),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=5), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, value):
+        assert deserialize(serialize(value)) == value
+
+
+class TestChannel:
+    def test_insecure_transmit(self):
+        ch = Channel("A", "B", secure=False)
+        msg = ch.transmit("A", "B", "kind", "tag", {"x": 1})
+        assert msg.payload == {"x": 1}
+        assert not msg.sealed
+
+    def test_secure_transmit_roundtrip(self):
+        ch = Channel("A", "B", secure=True, key=b"k" * 32, entropy=make_prng(1))
+        msg = ch.transmit("A", "B", "kind", "tag", [1, 2, 3])
+        assert msg.payload == [1, 2, 3]
+        assert msg.sealed
+
+    def test_secure_requires_key(self):
+        with pytest.raises(ChannelError):
+            Channel("A", "B", secure=True)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ChannelError):
+            Channel("A", "A", secure=False)
+
+    def test_non_endpoint_rejected(self):
+        ch = Channel("A", "B", secure=False)
+        with pytest.raises(ChannelError):
+            ch.transmit("A", "C", "k", "", 1)
+
+    def test_stats_directional(self):
+        ch = Channel("A", "B", secure=False)
+        ch.transmit("A", "B", "k", "", [1] * 100)
+        ch.transmit("B", "A", "k", "", 1)
+        assert ch.stats("A", "B").messages == 1
+        assert ch.stats("B", "A").messages == 1
+        assert ch.stats("A", "B").wire_bytes > ch.stats("B", "A").wire_bytes
+
+    def test_kind_stats_separate(self):
+        ch = Channel("A", "B", secure=False)
+        ch.transmit("A", "B", "alpha", "", [1, 2])
+        ch.transmit("A", "B", "beta", "", [1])
+        assert ch.kind_stats("A", "B", "alpha").messages == 1
+        assert ch.kind_stats("A", "B", "beta").messages == 1
+
+    def test_secure_overhead_counted(self):
+        insecure = Channel("A", "B", secure=False)
+        secure = Channel("A", "B", secure=True, key=b"k" * 32, entropy=make_prng(2))
+        payload = [1, 2, 3]
+        insecure.transmit("A", "B", "k", "", payload)
+        secure.transmit("A", "B", "k", "", payload)
+        delta = (
+            secure.stats("A", "B").wire_bytes - insecure.stats("A", "B").wire_bytes
+        )
+        assert delta == 48  # nonce + tag
+
+    def test_eavesdropper_reads_insecure(self):
+        ch = Channel("A", "B", secure=False)
+        tap = Eavesdropper("mallory")
+        ch.attach_tap(tap)
+        ch.transmit("A", "B", "k", "", {"secret": 42})
+        assert len(tap.frames) == 1
+        assert tap.frames[0].try_read_payload() == {"secret": 42}
+
+    def test_eavesdropper_blocked_on_secure(self):
+        ch = Channel("A", "B", secure=True, key=b"k" * 32, entropy=make_prng(3))
+        tap = Eavesdropper("mallory")
+        ch.attach_tap(tap)
+        ch.transmit("A", "B", "k", "", {"secret": 42})
+        with pytest.raises(ChannelError):
+            tap.frames[0].try_read_payload()
+
+    def test_frames_between_filter(self):
+        ch = Channel("A", "B", secure=False)
+        tap = Eavesdropper("m")
+        ch.attach_tap(tap)
+        ch.transmit("A", "B", "k", "", 1)
+        ch.transmit("B", "A", "k", "", 2)
+        assert len(tap.frames_between("A", "B")) == 1
+        assert len(tap.frames_between("B", "A")) == 1
+
+
+class TestNetwork:
+    def _net(self):
+        net = Network()
+        for name in ("A", "B", "TP"):
+            net.add_party(name)
+        net.connect("A", "B", secure=False)
+        net.connect("A", "TP", secure=False)
+        net.connect("B", "TP", secure=False)
+        return net
+
+    def test_send_receive_fifo(self):
+        net = self._net()
+        net.send("A", "B", "k1", 1)
+        net.send("A", "B", "k2", 2)
+        assert net.receive("B").payload == 1
+        assert net.receive("B").payload == 2
+
+    def test_kind_assertion(self):
+        net = self._net()
+        net.send("A", "B", "good", 1)
+        with pytest.raises(ProtocolError):
+            net.receive("B", kind="expected")
+
+    def test_sender_assertion(self):
+        net = self._net()
+        net.send("A", "B", "k", 1)
+        with pytest.raises(ProtocolError):
+            net.receive("B", sender="TP")
+
+    def test_empty_queue_raises(self):
+        net = self._net()
+        with pytest.raises(ProtocolError):
+            net.receive("A")
+
+    def test_duplicate_party_rejected(self):
+        net = self._net()
+        with pytest.raises(ChannelError):
+            net.add_party("A")
+
+    def test_duplicate_channel_rejected(self):
+        net = self._net()
+        with pytest.raises(ChannelError):
+            net.connect("A", "B", secure=False)
+
+    def test_unknown_channel(self):
+        net = Network()
+        net.add_party("A")
+        net.add_party("B")
+        with pytest.raises(ChannelError):
+            net.channel("A", "B")
+
+    def test_byte_accounting(self):
+        net = self._net()
+        net.send("A", "B", "k", [1] * 50)
+        net.send("B", "TP", "k", [1] * 10)
+        assert net.bytes_sent_by("A") > net.bytes_sent_by("B") > 0
+        assert net.bytes_sent_by("TP") == 0
+        assert net.total_bytes() == net.bytes_sent_by("A") + net.bytes_sent_by("B")
+        assert net.bytes_on_link("A", "B") == net.bytes_sent_by("A")
+        assert net.messages_sent_by("A") == 1
+
+    def test_bytes_of_kind(self):
+        net = self._net()
+        net.send("A", "B", "alpha", [1] * 20)
+        net.send("A", "B", "beta", 1)
+        assert net.bytes_of_kind("A", "B", "alpha") > net.bytes_of_kind(
+            "A", "B", "beta"
+        )
+        assert net.bytes_of_kind("A", "B", "gamma") == 0
+
+    def test_assert_drained(self):
+        net = self._net()
+        net.assert_drained()
+        net.send("A", "B", "k", 1)
+        with pytest.raises(ProtocolError):
+            net.assert_drained()
+        net.receive("B")
+        net.assert_drained()
+
+    def test_pending(self):
+        net = self._net()
+        assert net.pending("B") == 0
+        net.send("A", "B", "k", 1)
+        assert net.pending("B") == 1

@@ -1,0 +1,168 @@
+"""Tests for Newick export, new quality metrics, per-tag traffic, and
+the one-call application pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.sessions import run_private_linkage, run_private_outlier_detection
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.linkage import agglomerative
+from repro.clustering.quality import cophenetic_correlation, dunn_index
+from repro.core.config import SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.partition import ObjectRef
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ClusteringError, ConfigurationError
+from repro.types import AttributeType
+
+
+class TestNewick:
+    def _tree(self):
+        return Dendrogram(3, [Merge(0, 1, 1.0, 2), Merge(3, 2, 2.5, 3)])
+
+    def test_known_tree(self):
+        newick = self._tree().to_newick(["a", "b", "c"])
+        assert newick == "((a:1,b:1):1.5,c:2.5);"
+
+    def test_default_labels(self):
+        assert "0:" in self._tree().to_newick()
+
+    def test_single_leaf(self):
+        assert Dendrogram(1, []).to_newick(["only"]) == "only:0;"
+
+    def test_label_count_validated(self):
+        with pytest.raises(ClusteringError):
+            self._tree().to_newick(["a"])
+
+    def test_branch_lengths_sum_to_heights(self):
+        """Root-to-leaf path length equals the final merge height."""
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(8, 2))
+        square = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+        matrix = DissimilarityMatrix.from_square(square)
+        dendrogram = agglomerative(matrix, "complete")
+        newick = dendrogram.to_newick()
+        # Parse crudely: every leaf's path sums branch lengths to the root.
+        # Instead of a parser, verify structural invariants:
+        assert newick.endswith(";")
+        assert newick.count("(") == newick.count(")") == dendrogram.num_leaves - 1
+        for leaf in range(dendrogram.num_leaves):
+            assert f"{leaf}:" in newick
+
+    def test_parses_with_balanced_commas(self):
+        newick = self._tree().to_newick(["x", "y", "z"])
+        assert newick.count(",") == 2
+
+
+class TestNewQualityMetrics:
+    def _blobs(self):
+        square = np.array(
+            [
+                [0, 1, 9, 9],
+                [1, 0, 9, 9],
+                [9, 9, 0, 1],
+                [9, 9, 1, 0],
+            ],
+            dtype=float,
+        )
+        return DissimilarityMatrix.from_square(square)
+
+    def test_dunn_good_vs_bad(self):
+        matrix = self._blobs()
+        assert dunn_index(matrix, [0, 0, 1, 1]) == pytest.approx(9.0)
+        assert dunn_index(matrix, [0, 1, 0, 1]) < 1.0
+
+    def test_dunn_singletons_inf(self):
+        matrix = self._blobs()
+        assert dunn_index(matrix, [0, 1, 2, 3]) == float("inf")
+
+    def test_dunn_requires_two_clusters(self):
+        with pytest.raises(ClusteringError):
+            dunn_index(self._blobs(), [0, 0, 0, 0])
+
+    def test_cophenetic_correlation_high_for_clean_structure(self):
+        matrix = self._blobs()
+        dendrogram = agglomerative(matrix, "average")
+        assert cophenetic_correlation(matrix, dendrogram) > 0.95
+
+    def test_cophenetic_correlation_validations(self):
+        matrix = self._blobs()
+        with pytest.raises(ClusteringError):
+            cophenetic_correlation(matrix, Dendrogram(2, [Merge(0, 1, 1.0, 2)]))
+        flat = DissimilarityMatrix.from_pairwise(4, lambda i, j: 1.0)
+        tree = agglomerative(flat, "single")
+        with pytest.raises(ClusteringError):
+            cophenetic_correlation(flat, tree)
+
+
+class TestTagTraffic:
+    def test_bytes_by_tag_breakdown(self, mixed_partitions):
+        session = ClusteringSession(SessionConfig(num_clusters=2), mixed_partitions)
+        session.execute_protocol()
+        by_tag = session.network.bytes_by_tag()
+        # One tag per attribute plus setup/weights traffic.
+        assert "numeric/age" in by_tag
+        assert "alphanumeric/dna" in by_tag
+        assert "categorical/city" in by_tag
+        assert all(v > 0 for v in by_tag.values())
+        # Tag totals account for all traffic.
+        assert sum(by_tag.values()) == session.total_bytes()
+
+    def test_alphanumeric_dominates_mixed_session(self, mixed_partitions):
+        """CCMs are the quadratic-in-length term; on this workload the
+        string attribute must be the most expensive."""
+        session = ClusteringSession(SessionConfig(num_clusters=2), mixed_partitions)
+        session.execute_protocol()
+        by_tag = session.network.bytes_by_tag()
+        assert by_tag["alphanumeric/dna"] == max(
+            v for t, v in by_tag.items() if "/" in t
+        )
+
+
+class TestApplicationSessions:
+    def test_run_private_linkage(self):
+        schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+        partitions = {
+            "A": DataMatrix(schema, [[100], [500], [900]]),
+            "B": DataMatrix(schema, [[101], [903], [499]]),
+        }
+        matches, session = run_private_linkage(partitions, threshold=0.02)
+        linked = {(m.left.local_id, m.right.local_id) for m in matches}
+        assert linked == {(0, 0), (1, 2), (2, 1)}
+        assert session.total_bytes() > 0
+
+    def test_run_private_linkage_requires_two_sites(self):
+        schema = [AttributeSpec("v", AttributeType.NUMERIC)]
+        partitions = {
+            "A": DataMatrix(schema, [[1]]),
+            "B": DataMatrix(schema, [[2]]),
+            "C": DataMatrix(schema, [[3]]),
+        }
+        with pytest.raises(ConfigurationError):
+            run_private_linkage(partitions, threshold=0.1)
+
+    def test_run_private_outliers(self):
+        schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+        partitions = {
+            "A": DataMatrix(schema, [[10], [11], [12]]),
+            "B": DataMatrix(schema, [[13], [900], [11]]),
+        }
+        report, session = run_private_outlier_detection(
+            partitions, k=2, top_n=1
+        )
+        assert report.flagged == (ObjectRef("B", 1),)
+        assert session.total_bytes() > 0
+
+    def test_run_private_outliers_passes_threshold(self):
+        schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=0)]
+        partitions = {
+            "A": DataMatrix(schema, [[10], [11], [12]]),
+            "B": DataMatrix(schema, [[13], [900], [11]]),
+        }
+        report, _ = run_private_outlier_detection(
+            partitions, k=2, threshold=0.5
+        )
+        assert ObjectRef("B", 1) in report.flagged

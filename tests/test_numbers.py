@@ -1,0 +1,157 @@
+"""Tests for the number-theory helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.numbers import (
+    bytes_to_int,
+    crt_pair,
+    egcd,
+    generate_distinct_primes,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    lcm,
+    modinv,
+    product,
+)
+from repro.crypto.prng import make_prng
+from repro.exceptions import CryptoError
+
+
+class TestEgcd:
+    def test_known_values(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    @given(a=st.integers(1, 10**12), b=st.integers(1, 10**12))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bezout(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a % g == 0 and b % g == 0
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    def test_known(self):
+        assert modinv(3, 7) == 5
+        assert (3 * modinv(3, 7)) % 7 == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(CryptoError):
+            modinv(6, 9)
+
+    @given(a=st.integers(1, 10**9), m=st.integers(2, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_property_inverse(self, a, m):
+        g, _, _ = egcd(a % m, m)
+        if g == 1:
+            assert (a * modinv(a, m)) % m == 1
+        else:
+            with pytest.raises(CryptoError):
+                modinv(a, m)
+
+
+class TestLcm:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(4, 6, 12), (3, 5, 15), (0, 5, 0), (7, 7, 7), (1, 9, 9)]
+    )
+    def test_known(self, a, b, expected):
+        assert lcm(a, b) == expected
+
+    @given(a=st.integers(1, 10**6), b=st.integers(1, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_divisibility(self, a, b):
+        value = lcm(a, b)
+        assert value % a == 0 and value % b == 0
+        assert value <= a * b
+
+
+class TestPrimality:
+    SMALL_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729]
+    SMALL_COMPOSITES = [0, 1, 4, 9, 15, 561, 1105, 7917, 104730]
+    CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", SMALL_COMPOSITES)
+    def test_composites_rejected(self, c):
+        assert not is_probable_prime(c)
+
+    @pytest.mark.parametrize("c", CARMICHAELS)
+    def test_carmichael_numbers_rejected(self, c):
+        """Carmichael numbers fool Fermat tests but not Miller-Rabin."""
+        assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**127 - 1)
+        assert not is_probable_prime(2**127 - 3)
+
+    def test_with_random_witnesses(self):
+        g = make_prng(5)
+        assert is_probable_prime(2**89 - 1, g.rand_bits_callable())
+
+
+class TestGeneration:
+    def test_generated_prime_properties(self):
+        g = make_prng(11)
+        for bits in (16, 32, 64, 128):
+            p = generate_prime(bits, g.rand_bits_callable())
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+            assert p % 2 == 1
+
+    def test_top_two_bits_set(self):
+        """Keygen relies on p*q having exactly 2*bits bits."""
+        g = make_prng(12)
+        p = generate_prime(48, g.rand_bits_callable())
+        q = generate_prime(48, g.rand_bits_callable())
+        assert (p * q).bit_length() == 96
+
+    def test_distinct_primes(self):
+        g = make_prng(13)
+        p, q = generate_distinct_primes(32, g.rand_bits_callable())
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_too_small_rejected(self):
+        g = make_prng(14)
+        with pytest.raises(CryptoError):
+            generate_prime(4, g.rand_bits_callable())
+
+    def test_deterministic_given_seed(self):
+        a = generate_prime(40, make_prng(15).rand_bits_callable())
+        b = generate_prime(40, make_prng(15).rand_bits_callable())
+        assert a == b
+
+
+class TestCrtAndBytes:
+    def test_crt_pair(self):
+        p, q = 11, 13
+        value = 97
+        q_inv_p = modinv(q, p)
+        assert crt_pair(value % p, value % q, p, q, q_inv_p) % (p * q) == value
+
+    @given(n=st.integers(0, 2**256))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bytes_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_negative_encoding_rejected(self):
+        with pytest.raises(CryptoError):
+            int_to_bytes(-1)
+
+    def test_product(self):
+        assert product([]) == 1
+        assert product([2, 3, 7]) == 42

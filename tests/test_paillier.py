@@ -1,0 +1,125 @@
+"""Tests for the from-scratch Paillier cryptosystem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.crypto.prng import make_prng
+from repro.exceptions import CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_paillier_keypair(make_prng("paillier-test"), bits=256)
+
+
+@pytest.fixture()
+def entropy():
+    return make_prng("enc-entropy")
+
+
+class TestKeygen:
+    def test_modulus_size(self, keypair):
+        assert keypair.public_key.bits == 256
+
+    def test_deterministic_from_entropy(self):
+        a = generate_paillier_keypair(make_prng(1), bits=128)
+        b = generate_paillier_keypair(make_prng(1), bits=128)
+        assert a.public_key.n == b.public_key.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_paillier_keypair(make_prng(2), bits=32)
+
+    def test_ciphertext_bytes(self, keypair):
+        assert keypair.public_key.ciphertext_bytes == pytest.approx(64, abs=1)
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("value", [0, 1, -1, 42, -42, 10**20, -(10**20)])
+    def test_roundtrip(self, keypair, entropy, value):
+        c = keypair.public_key.encrypt(value, entropy)
+        assert keypair.private_key.decrypt(c) == value
+
+    def test_probabilistic(self, keypair, entropy):
+        a = keypair.public_key.encrypt(5, entropy)
+        b = keypair.public_key.encrypt(5, entropy)
+        assert a.value != b.value
+        assert keypair.private_key.decrypt(a) == keypair.private_key.decrypt(b)
+
+    def test_plaintext_bound_enforced(self, keypair, entropy):
+        with pytest.raises(CryptoError):
+            keypair.public_key.encrypt(keypair.public_key.max_plaintext + 1, entropy)
+
+    def test_cross_key_decrypt_rejected(self, keypair, entropy):
+        other = generate_paillier_keypair(make_prng("other"), bits=128)
+        c = other.public_key.encrypt(3, entropy)
+        with pytest.raises(CryptoError):
+            keypair.private_key.decrypt(c)
+
+
+class TestHomomorphism:
+    def test_addition(self, keypair, entropy):
+        c = keypair.public_key.encrypt(30, entropy) + keypair.public_key.encrypt(
+            12, entropy
+        )
+        assert keypair.private_key.decrypt(c) == 42
+
+    def test_addition_with_negatives(self, keypair, entropy):
+        c = keypair.public_key.encrypt(-30, entropy) + keypair.public_key.encrypt(
+            12, entropy
+        )
+        assert keypair.private_key.decrypt(c) == -18
+
+    def test_add_plain(self, keypair, entropy):
+        c = keypair.public_key.encrypt(10, entropy).add_plain(-3)
+        assert keypair.private_key.decrypt(c) == 7
+
+    def test_scalar_multiplication(self, keypair, entropy):
+        c = keypair.public_key.encrypt(7, entropy) * 6
+        assert keypair.private_key.decrypt(c) == 42
+        assert keypair.private_key.decrypt(3 * keypair.public_key.encrypt(-2, entropy)) == -6
+
+    def test_negation_and_subtraction(self, keypair, entropy):
+        a = keypair.public_key.encrypt(10, entropy)
+        b = keypair.public_key.encrypt(4, entropy)
+        assert keypair.private_key.decrypt(-a) == -10
+        assert keypair.private_key.decrypt(a - b) == 6
+
+    def test_scalar_type_guard(self, keypair, entropy):
+        with pytest.raises(TypeError):
+            keypair.public_key.encrypt(1, entropy) * 1.5  # noqa: B018
+
+    def test_mixed_key_addition_rejected(self, keypair, entropy):
+        other = generate_paillier_keypair(make_prng("other2"), bits=128)
+        a = keypair.public_key.encrypt(1, entropy)
+        b = other.public_key.encrypt(1, entropy)
+        with pytest.raises(CryptoError):
+            _ = a + b
+
+    def test_rerandomize(self, keypair, entropy):
+        a = keypair.public_key.encrypt(9, entropy)
+        b = a.rerandomize(entropy)
+        assert a.value != b.value
+        assert keypair.private_key.decrypt(b) == 9
+
+    @given(x=st.integers(-(10**12), 10**12), y=st.integers(-(10**12), 10**12))
+    @settings(max_examples=25, deadline=None)
+    def test_property_additive(self, keypair, x, y):
+        entropy = make_prng(x ^ y)
+        cx = keypair.public_key.encrypt(x, entropy)
+        cy = keypair.public_key.encrypt(y, entropy)
+        assert keypair.private_key.decrypt(cx + cy) == x + y
+
+    @given(x=st.integers(-(10**9), 10**9), k=st.integers(-1000, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_scalar(self, keypair, x, k):
+        entropy = make_prng(x ^ k)
+        cx = keypair.public_key.encrypt(x, entropy)
+        assert keypair.private_key.decrypt(cx * k) == x * k
+
+    def test_serialized_size(self, keypair, entropy):
+        c = keypair.public_key.encrypt(1, entropy)
+        assert c.serialized_size() == keypair.public_key.ciphertext_bytes

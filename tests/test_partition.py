@@ -1,0 +1,153 @@
+"""Tests for horizontal partitioning and the global index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.data.partition import (
+    GlobalIndex,
+    ObjectRef,
+    horizontal_partition,
+    merge_partitions,
+)
+from repro.exceptions import PartitionError
+from repro.types import AttributeType
+
+SCHEMA = [AttributeSpec("v", AttributeType.NUMERIC)]
+
+
+def _matrix(n: int) -> DataMatrix:
+    return DataMatrix(SCHEMA, [[i] for i in range(n)])
+
+
+class TestObjectRef:
+    def test_str_format(self):
+        assert str(ObjectRef("A", 3)) == "A3"
+
+    def test_ordering(self):
+        assert ObjectRef("A", 1) < ObjectRef("A", 2) < ObjectRef("B", 0)
+
+
+class TestGlobalIndex:
+    def test_canonical_site_order(self):
+        index = GlobalIndex({"C": 2, "A": 3, "B": 1})
+        assert index.sites == ("A", "B", "C")
+        assert index.total_objects == 6
+        assert index.offset_of("A") == 0
+        assert index.offset_of("B") == 3
+        assert index.offset_of("C") == 4
+
+    def test_positions_and_refs_roundtrip(self):
+        index = GlobalIndex({"A": 2, "B": 2})
+        for pos in range(4):
+            ref = index.ref_at(pos)
+            assert index.global_position(ref) == pos
+
+    def test_refs_iteration(self):
+        index = GlobalIndex({"A": 2, "B": 1})
+        assert [str(r) for r in index.refs()] == ["A0", "A1", "B0"]
+
+    def test_block_ranges(self):
+        index = GlobalIndex({"A": 2, "B": 3})
+        rows, cols = index.block("B", "A")
+        assert list(rows) == [2, 3, 4]
+        assert list(cols) == [0, 1]
+
+    def test_out_of_range_errors(self):
+        index = GlobalIndex({"A": 2})
+        with pytest.raises(PartitionError):
+            index.ref_at(2)
+        with pytest.raises(PartitionError):
+            index.global_position(ObjectRef("A", 2))
+        with pytest.raises(PartitionError):
+            index.size_of("Z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            GlobalIndex({})
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PartitionError):
+            GlobalIndex({"A": -1})
+
+    def test_equality(self):
+        assert GlobalIndex({"A": 1, "B": 2}) == GlobalIndex({"B": 2, "A": 1})
+
+
+class TestHorizontalPartition:
+    def test_even_split(self):
+        parts = horizontal_partition(_matrix(9), ["A", "B", "C"])
+        assert [parts[s].num_rows for s in "ABC"] == [3, 3, 3]
+
+    def test_order_preserved_without_seed(self):
+        parts = horizontal_partition(_matrix(4), ["A", "B"])
+        assert parts["A"].column(0) == [0, 1]
+        assert parts["B"].column(0) == [2, 3]
+
+    def test_proportional_split(self):
+        parts = horizontal_partition(
+            _matrix(10), ["A", "B"], proportions=[4, 1]
+        )
+        assert parts["A"].num_rows == 8
+        assert parts["B"].num_rows == 2
+
+    def test_every_site_gets_a_row(self):
+        parts = horizontal_partition(
+            _matrix(5), ["A", "B", "C"], proportions=[100, 1, 1]
+        )
+        assert all(p.num_rows >= 1 for p in parts.values())
+        assert sum(p.num_rows for p in parts.values()) == 5
+
+    def test_shuffle_deterministic(self):
+        a = horizontal_partition(_matrix(20), ["A", "B"], seed=5)
+        b = horizontal_partition(_matrix(20), ["A", "B"], seed=5)
+        c = horizontal_partition(_matrix(20), ["A", "B"], seed=6)
+        assert a["A"] == b["A"]
+        assert a["A"] != c["A"]
+
+    def test_shuffle_covers_all_rows(self):
+        parts = horizontal_partition(_matrix(12), ["A", "B", "C"], seed=1)
+        values = sorted(
+            v for p in parts.values() for (v,) in p.rows
+        )
+        assert values == list(range(12))
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(PartitionError):
+            horizontal_partition(_matrix(1), ["A", "B"])
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(PartitionError):
+            horizontal_partition(_matrix(4), ["A", "A"])
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(PartitionError):
+            horizontal_partition(_matrix(4), ["A", "B"], proportions=[1])
+        with pytest.raises(PartitionError):
+            horizontal_partition(_matrix(4), ["A", "B"], proportions=[1, 0])
+
+
+class TestMergePartitions:
+    def test_roundtrip(self):
+        original = _matrix(7)
+        parts = horizontal_partition(original, ["A", "B"])
+        merged, index = merge_partitions(parts)
+        assert merged == original
+        assert index.total_objects == 7
+
+    def test_canonical_order_regardless_of_dict_order(self):
+        parts = horizontal_partition(_matrix(6), ["B", "A"])
+        merged, index = merge_partitions({"B": parts["B"], "A": parts["A"]})
+        assert index.sites == ("A", "B")
+        # Site A's rows come first in the merged matrix.
+        assert list(merged.rows[: parts["A"].num_rows]) == list(parts["A"].rows)
+
+    def test_schema_mismatch_rejected(self):
+        other = DataMatrix([AttributeSpec("w", AttributeType.NUMERIC)], [[1]])
+        with pytest.raises(PartitionError):
+            merge_partitions({"A": _matrix(2), "B": other})
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            merge_partitions({})

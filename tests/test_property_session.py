@@ -1,0 +1,113 @@
+"""Hypothesis-driven whole-pipeline properties.
+
+The strongest form of the paper's central claim: for *arbitrary* typed
+data, *arbitrary* partitionings and *arbitrary* seeds, the privately
+constructed dissimilarity matrix is bit-for-bit the centralized one and
+the published result is a valid partition of exactly the input objects.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.centralized import centralized_pipeline
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.types import AttributeType
+
+SCHEMA = [
+    AttributeSpec("num", AttributeType.NUMERIC, precision=2),
+    AttributeSpec("seq", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET),
+    AttributeSpec("cat", AttributeType.CATEGORICAL),
+]
+
+_row = st.tuples(
+    st.one_of(
+        st.integers(-10**6, 10**6),
+        st.decimals(
+            min_value=-1000, max_value=1000, places=2, allow_nan=False
+        ).map(float),
+    ),
+    st.text(alphabet="ACGT", max_size=8),
+    st.sampled_from(["x", "y", "z"]),
+)
+
+_workload = st.lists(_row, min_size=3, max_size=9)
+
+
+def _partition(rows, num_sites):
+    """Deterministic round-robin partition, every site non-empty."""
+    sites = [chr(ord("A") + i) for i in range(num_sites)]
+    buckets = {s: [] for s in sites}
+    for i, row in enumerate(rows):
+        buckets[sites[i % num_sites]].append(list(row))
+    return {
+        s: DataMatrix(SCHEMA, bucket) for s, bucket in buckets.items() if bucket
+    }
+
+
+@given(
+    rows=_workload,
+    num_sites=st.integers(2, 3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_pipeline_exactness(rows, num_sites, seed):
+    num_sites = min(num_sites, len(rows))
+    partitions = _partition(rows, num_sites)
+    if len(partitions) < 2:
+        return
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=seed), partitions
+    )
+    private = session.final_matrix()
+    central, _, _, _ = centralized_pipeline(partitions)
+    assert private.allclose(central, atol=0.0)
+
+
+@given(
+    rows=_workload,
+    num_clusters=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_published_result_is_a_partition(rows, num_clusters, seed):
+    partitions = _partition(rows, 2)
+    if len(partitions) < 2:
+        return
+    total = sum(m.num_rows for m in partitions.values())
+    session = ClusteringSession(
+        SessionConfig(num_clusters=min(num_clusters, total), master_seed=seed),
+        partitions,
+    )
+    result = session.run()
+    members = [m for c in result.clusters for m in c.members]
+    # Every object exactly once; nothing invented.
+    assert len(members) == total
+    assert len(set(members)) == total
+    assert set(members) == set(session.index.refs())
+    assert len(result.clusters) == min(num_clusters, total)
+
+
+@given(batch=st.booleans(), fresh=st.booleans(), seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_property_mode_flags_never_change_results(batch, fresh, seed):
+    """Every protocol-mode combination yields the identical matrix."""
+    rows = [
+        [10, "ACGT", "x"],
+        [12, "ACGA", "x"],
+        [500, "TTTT", "y"],
+        [505, "TTTA", "y"],
+        [11, "ACGT", "z"],
+    ]
+    partitions = _partition(rows, 2)
+    suite = ProtocolSuiteConfig(
+        batch_numeric=batch, fresh_string_masks=fresh, secure_channels=False
+    )
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=seed, suite=suite), partitions
+    )
+    central, _, _, _ = centralized_pipeline(partitions)
+    assert session.final_matrix().allclose(central, atol=0.0)

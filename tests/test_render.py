@@ -1,0 +1,74 @@
+"""Tests for the text dendrogram renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.linkage import agglomerative
+from repro.clustering.render import render_dendrogram
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ClusteringError
+
+
+def _two_blob_dendrogram():
+    rng = np.random.default_rng(4)
+    points = np.concatenate(
+        [rng.normal(0, 0.3, (3, 2)), rng.normal(6, 0.3, (3, 2))]
+    )
+    square = np.linalg.norm(points[:, None] - points[None, :], axis=2)
+    return agglomerative(DissimilarityMatrix.from_square(square), "average")
+
+
+class TestRenderDendrogram:
+    def test_one_line_per_leaf_plus_scale(self):
+        dendrogram = _two_blob_dendrogram()
+        text = render_dendrogram(dendrogram, width=40)
+        lines = text.splitlines()
+        assert len(lines) == dendrogram.num_leaves + 1  # + scale row
+
+    def test_labels_appear(self):
+        dendrogram = _two_blob_dendrogram()
+        labels = [f"obj{i}" for i in range(6)]
+        text = render_dendrogram(dendrogram, labels, width=40)
+        for label in labels:
+            assert label in text
+
+    def test_blob_members_adjacent(self):
+        """Leaf ordering follows the tree, so blob members group."""
+        dendrogram = _two_blob_dendrogram()
+        labels = ["a0", "a1", "a2", "b0", "b1", "b2"]
+        text = render_dendrogram(dendrogram, labels, width=40)
+        order = [
+            line.split()[0] for line in text.splitlines()[:-1]
+        ]
+        first_group = {l[0] for l in order[:3]}
+        assert first_group in ({"a"}, {"b"})
+
+    def test_root_column_shared(self):
+        """Every leaf's bar ends at the root merge column."""
+        dendrogram = _two_blob_dendrogram()
+        text = render_dendrogram(dendrogram, width=40)
+        leaf_lines = text.splitlines()[:-1]
+        root_positions = {line.rstrip().rfind("┤") for line in leaf_lines}
+        assert len(root_positions) == 1
+
+    def test_single_leaf(self):
+        assert render_dendrogram(Dendrogram(1, []), ["only"]) == "only"
+
+    def test_label_count_validated(self):
+        dendrogram = _two_blob_dendrogram()
+        with pytest.raises(ClusteringError):
+            render_dendrogram(dendrogram, ["too", "few"])
+
+    def test_width_validated(self):
+        dendrogram = _two_blob_dendrogram()
+        with pytest.raises(ClusteringError):
+            render_dendrogram(dendrogram, width=5)
+
+    def test_zero_height_tree(self):
+        flat = DissimilarityMatrix.zeros(3)
+        dendrogram = agglomerative(flat, "single")
+        text = render_dendrogram(dendrogram, width=20)
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,271 @@
+"""Integration tests: full sessions across all protocols and configs.
+
+These are the paper's end-to-end story: k holders + TP construct the
+global dissimilarity matrix with zero accuracy loss and publish only
+membership lists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.centralized import centralized_pipeline
+from repro.clustering.quality import adjusted_rand_index
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.results import ClusteringResult
+from repro.core.session import ClusteringSession
+from repro.data.datasets import bird_flu, figure13_toy, gaussian_numeric
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.exceptions import ConfigurationError
+from repro.types import AttributeType
+
+
+class TestExactness:
+    """T-ACC: the private pipeline equals the centralized one, exactly."""
+
+    def test_mixed_attributes_exact(self, mixed_partitions):
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=1), mixed_partitions
+        )
+        private = session.final_matrix()
+        central, _, _, _ = centralized_pipeline(mixed_partitions)
+        assert private.allclose(central, atol=0.0)  # bit-for-bit
+
+    def test_exact_for_every_prng_kind(self, mixed_partitions):
+        from repro.crypto.prng import available_kinds
+
+        central, _, _, _ = centralized_pipeline(mixed_partitions)
+        for kind in available_kinds():
+            suite = ProtocolSuiteConfig(prng_kind=kind)
+            session = ClusteringSession(
+                SessionConfig(num_clusters=2, suite=suite), mixed_partitions
+            )
+            assert session.final_matrix().allclose(central, atol=0.0), kind
+
+    def test_exact_in_per_pair_mode(self, mixed_partitions):
+        suite = ProtocolSuiteConfig(batch_numeric=False)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, suite=suite), mixed_partitions
+        )
+        central, _, _, _ = centralized_pipeline(mixed_partitions)
+        assert session.final_matrix().allclose(central, atol=0.0)
+
+    def test_exact_without_secure_channels(self, mixed_partitions):
+        suite = ProtocolSuiteConfig(secure_channels=False)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, suite=suite), mixed_partitions
+        )
+        central, _, _, _ = centralized_pipeline(mixed_partitions)
+        assert session.final_matrix().allclose(central, atol=0.0)
+
+    def test_clustering_identical_to_centralized(self):
+        ds = gaussian_numeric(num_sites=3, per_cluster=8, num_clusters=3)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=3), ds.partitions
+        )
+        result = session.run()
+        _, _, central_labels, index = centralized_pipeline(
+            ds.partitions, num_clusters=3
+        )
+        private_labels = result.labels_for(list(index.refs()))
+        assert adjusted_rand_index(central_labels, private_labels) == 1.0
+
+
+class TestFigure13:
+    def test_membership_reproduced(self):
+        ds = figure13_toy()
+        session = ClusteringSession(SessionConfig(num_clusters=3), ds.partitions)
+        result = session.run()
+        published = {
+            frozenset(str(m) for m in cluster.members)
+            for cluster in result.clusters
+        }
+        expected = {
+            frozenset({"A0", "A2", "B3", "C2"}),
+            frozenset({"B1", "B2", "C0", "C1"}),
+            frozenset({"A1", "B0"}),
+        }
+        assert published == expected
+
+    def test_format_figure13_layout(self):
+        ds = figure13_toy()
+        session = ClusteringSession(SessionConfig(num_clusters=3), ds.partitions)
+        text = session.run().format_figure13()
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("Cluster1\t")
+        assert "A1, A3, B4, C3" in text  # 1-based ids, per the paper
+
+
+class TestSessionMechanics:
+    def test_deterministic_transcripts(self, mixed_partitions):
+        a = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=9), mixed_partitions
+        )
+        b = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=9), mixed_partitions
+        )
+        ra, rb = a.run(), b.run()
+        assert ra.to_payload() == rb.to_payload()
+        assert a.total_bytes() == b.total_bytes()
+
+    def test_different_seed_different_bytes(self, mixed_partitions):
+        """Masks differ by seed, so big-int wire sizes differ (slightly)."""
+        a = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=1), mixed_partitions
+        )
+        b = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=2), mixed_partitions
+        )
+        ra, rb = a.run(), b.run()
+        # Same published result regardless of masking randomness.
+        assert ra.to_payload() == rb.to_payload()
+
+    def test_all_holders_receive_same_result(self, mixed_partitions):
+        session = ClusteringSession(SessionConfig(num_clusters=2), mixed_partitions)
+        result = session.run()  # run() asserts holder copies match
+        assert isinstance(result, ClusteringResult)
+        assert result.num_objects == 9
+
+    def test_network_drained_after_run(self, mixed_session):
+        mixed_session.run()
+        mixed_session.network.assert_drained()
+
+    def test_quality_statistics_published(self, mixed_session):
+        result = mixed_session.run()
+        assert set(result.quality) == {c.cluster_id for c in result.clusters}
+        assert all(v >= 0 for v in result.quality.values())
+
+    def test_result_payload_roundtrip(self, mixed_session):
+        result = mixed_session.run()
+        clone = ClusteringResult.from_payload(result.to_payload())
+        assert clone.to_payload() == result.to_payload()
+
+    def test_execute_protocol_idempotent(self, mixed_session):
+        mixed_session.execute_protocol()
+        bytes_after_first = mixed_session.total_bytes()
+        mixed_session.execute_protocol()
+        assert mixed_session.total_bytes() == bytes_after_first
+
+    def test_two_holders_minimum(self, numeric_schema):
+        partitions = {
+            "A": DataMatrix(numeric_schema, [[1], [2]]),
+            "B": DataMatrix(numeric_schema, [[100]]),
+        }
+        session = ClusteringSession(SessionConfig(num_clusters=2), partitions)
+        result = session.run()
+        sizes = sorted(len(c.members) for c in result.clusters)
+        assert sizes == [1, 2]
+
+    def test_five_holders(self, numeric_schema):
+        partitions = {
+            name: DataMatrix(numeric_schema, [[i * 100], [i * 100 + 1]])
+            for i, name in enumerate("ABCDE")
+        }
+        session = ClusteringSession(SessionConfig(num_clusters=5), partitions)
+        result = session.run()
+        assert len(result.clusters) == 5
+        assert all(len(c.members) == 2 for c in result.clusters)
+
+
+class TestWeights:
+    def _partitions(self):
+        schema = [
+            AttributeSpec("x", AttributeType.NUMERIC, precision=0),
+            AttributeSpec("y", AttributeType.NUMERIC, precision=0),
+        ]
+        # x separates {A0,B0} vs {A1,B1}; y separates {A0,B1} vs {A1,B0}.
+        return {
+            "A": DataMatrix(schema, [[0, 0], [100, 100]]),
+            "B": DataMatrix(schema, [[1, 99], [99, 1]]),
+        }
+
+    def test_weight_vector_changes_clustering(self):
+        partitions = self._partitions()
+        by_x = ClusteringSession(
+            SessionConfig(num_clusters=2, weights=[1.0, 0.0]), partitions
+        ).run()
+        by_y = ClusteringSession(
+            SessionConfig(num_clusters=2, weights=[0.0, 1.0]), partitions
+        ).run()
+        group = lambda r: {
+            frozenset(str(m) for m in c.members) for c in r.clusters
+        }
+        assert group(by_x) == {frozenset({"A0", "B0"}), frozenset({"A1", "B1"})}
+        assert group(by_y) == {frozenset({"A0", "B1"}), frozenset({"A1", "B0"})}
+
+    def test_per_holder_results(self):
+        partitions = self._partitions()
+        config = SessionConfig(
+            num_clusters=2,
+            per_holder_weights={"A": [1.0, 0.0], "B": [0.0, 1.0]},
+        )
+        results = ClusteringSession(config, partitions).run_per_holder()
+        assert set(results) == {"A", "B"}
+        group = lambda r: {
+            frozenset(str(m) for m in c.members) for c in r.clusters
+        }
+        assert group(results["A"]) != group(results["B"])
+
+    def test_weight_length_validated(self, mixed_partitions):
+        config = SessionConfig(num_clusters=2, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            ClusteringSession(config, mixed_partitions).run()
+
+
+class TestValidation:
+    def test_single_holder_rejected(self, numeric_schema):
+        with pytest.raises(ConfigurationError):
+            ClusteringSession(
+                SessionConfig(), {"A": DataMatrix(numeric_schema, [[1]])}
+            )
+
+    def test_tp_name_collision_rejected(self, numeric_schema):
+        partitions = {
+            "TP": DataMatrix(numeric_schema, [[1]]),
+            "B": DataMatrix(numeric_schema, [[2]]),
+        }
+        with pytest.raises(ConfigurationError):
+            ClusteringSession(SessionConfig(), partitions)
+
+    def test_schema_mismatch_rejected(self, numeric_schema):
+        other_schema = [AttributeSpec("other", AttributeType.NUMERIC)]
+        partitions = {
+            "A": DataMatrix(numeric_schema, [[1]]),
+            "B": DataMatrix(other_schema, [[2]]),
+        }
+        with pytest.raises(ConfigurationError):
+            ClusteringSession(SessionConfig(), partitions)
+
+    def test_empty_site_rejected(self, numeric_schema):
+        partitions = {
+            "A": DataMatrix(numeric_schema, [[1]]),
+            "B": DataMatrix(numeric_schema, []),
+        }
+        with pytest.raises(ConfigurationError):
+            ClusteringSession(SessionConfig(), partitions)
+
+    def test_bad_config_values(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            SessionConfig(linkage="not-a-method")
+        with pytest.raises(ConfigurationError):
+            ProtocolSuiteConfig(prng_kind="bogus")
+        with pytest.raises(ConfigurationError):
+            ProtocolSuiteConfig(mask_bits=8)
+        with pytest.raises(ConfigurationError):
+            ProtocolSuiteConfig(categorical_digest_size=64)
+
+
+class TestDnaEndToEnd:
+    def test_bird_flu_scenario(self):
+        """The Section 1 motivating example, end to end."""
+        ds = bird_flu(num_institutions=3, per_cluster=5, num_strains=3)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=3, linkage="average"), ds.partitions
+        )
+        result = session.run()
+        truth = ds.labels_in_global_order()
+        predicted = result.labels_for(list(ds.index.refs()))
+        assert adjusted_rand_index(truth, predicted) > 0.8

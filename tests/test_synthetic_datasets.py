@@ -1,0 +1,164 @@
+"""Tests for synthetic generators and named datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import datasets
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.synthetic import (
+    categorical_column,
+    dna_clusters,
+    gaussian_clusters,
+    integer_clusters,
+    mutate_sequence,
+    ring_clusters,
+    zipf_weights,
+)
+from repro.distance.edit import edit_distance
+from repro.exceptions import ConfigurationError
+
+
+class TestGaussianClusters:
+    def test_shapes_and_labels(self):
+        rows, labels = gaussian_clusters([5, 7], dim=3, seed=1)
+        assert len(rows) == 12 and len(labels) == 12
+        assert all(len(r) == 3 for r in rows)
+        assert labels == [0] * 5 + [1] * 7
+
+    def test_deterministic(self):
+        a, _ = gaussian_clusters([4], seed=9)
+        b, _ = gaussian_clusters([4], seed=9)
+        assert a == b
+
+    def test_separation_controls_structure(self):
+        rows, labels = gaussian_clusters([20, 20], separation=20.0, seed=2)
+        data = np.asarray(rows)
+        center0 = data[:20].mean(axis=0)
+        center1 = data[20:].mean(axis=0)
+        within = np.linalg.norm(data[:20] - center0, axis=1).mean()
+        assert np.linalg.norm(center0 - center1) > 3 * within
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_clusters([])
+        with pytest.raises(ConfigurationError):
+            gaussian_clusters([0])
+        with pytest.raises(ConfigurationError):
+            gaussian_clusters([3], dim=0)
+
+
+class TestIntegerClusters:
+    def test_integrality_and_centers(self):
+        rows, labels = integer_clusters([10, 10], separation=100, spread=3, seed=3)
+        assert all(isinstance(v, int) for row in rows for v in row)
+        first = [r[0] for r, l in zip(rows, labels) if l == 0]
+        second = [r[0] for r, l in zip(rows, labels) if l == 1]
+        assert max(first) < min(second)
+
+
+class TestDnaClusters:
+    def test_alphabet_and_sizes(self):
+        seqs, labels = dna_clusters([4, 4, 4], length=30, seed=4)
+        assert len(seqs) == 12
+        for s in seqs:
+            DNA_ALPHABET.validate(s)
+
+    def test_cluster_structure_in_edit_space(self):
+        """Within-cluster edit distances must undercut between-cluster."""
+        seqs, labels = dna_clusters([5, 5], length=40, seed=5)
+        within, between = [], []
+        for i in range(len(seqs)):
+            for j in range(i):
+                d = edit_distance(seqs[i], seqs[j])
+                (within if labels[i] == labels[j] else between).append(d)
+        assert float(np.mean(within)) < float(np.mean(between))
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            dna_clusters([3], within_rate=0.5, between_rate=0.1)
+
+    def test_mutate_sequence_never_empty(self):
+        rng = np.random.default_rng(0)
+        out = mutate_sequence("A", 1.0, rng)
+        assert len(out) >= 1
+        DNA_ALPHABET.validate(out)
+
+
+class TestCategoricalAndRings:
+    def test_categorical_column(self):
+        col = categorical_column(50, ["a", "b"], seed=6)
+        assert len(col) == 50 and set(col) <= {"a", "b"}
+
+    def test_categorical_weights_skew(self):
+        col = categorical_column(500, ["hot", "cold"], weights=[9, 1], seed=7)
+        assert col.count("hot") > 350
+
+    def test_categorical_validation(self):
+        with pytest.raises(ConfigurationError):
+            categorical_column(5, [])
+        with pytest.raises(ConfigurationError):
+            categorical_column(5, ["a"], weights=[1, 2])
+        with pytest.raises(ConfigurationError):
+            categorical_column(5, ["a"], weights=[0])
+
+    def test_zipf_weights(self):
+        w = zipf_weights(4)
+        assert w[0] > w[1] > w[2] > w[3] > 0
+
+    def test_rings_radii(self):
+        rows, labels = ring_clusters([30, 30], radii=[1.0, 4.0], seed=8)
+        data = np.asarray(rows)
+        radius = np.linalg.norm(data, axis=1)
+        inner = radius[np.asarray(labels) == 0]
+        outer = radius[np.asarray(labels) == 1]
+        assert inner.max() < outer.min()
+
+    def test_rings_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring_clusters([10], radii=[1.0, 2.0])
+
+
+class TestNamedDatasets:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            datasets.bird_flu,
+            datasets.customer_segmentation,
+            datasets.gaussian_numeric,
+            datasets.rings,
+            datasets.zipf_categorical,
+        ],
+    )
+    def test_dataset_consistency(self, builder):
+        ds = builder()
+        index = ds.index
+        assert index.total_objects == sum(
+            m.num_rows for m in ds.partitions.values()
+        )
+        assert set(ds.labels) == set(index.refs())
+        flat = ds.labels_in_global_order()
+        assert len(flat) == index.total_objects
+        schemas = {m.schema for m in ds.partitions.values()}
+        assert len(schemas) == 1
+
+    def test_datasets_deterministic(self):
+        a = datasets.bird_flu(seed=3)
+        b = datasets.bird_flu(seed=3)
+        assert a.partitions["A"] == b.partitions["A"]
+        assert a.labels == b.labels
+
+    def test_figure13_layout(self):
+        ds = datasets.figure13_toy()
+        assert [ds.partitions[s].num_rows for s in ("A", "B", "C")] == [3, 4, 3]
+        assert ds.num_clusters == 3
+
+    def test_bird_flu_schema(self):
+        ds = datasets.bird_flu()
+        spec = ds.schema.spec("dna")
+        assert spec.alphabet is DNA_ALPHABET
+
+    def test_site_name_bounds(self):
+        with pytest.raises(ConfigurationError):
+            datasets.bird_flu(num_institutions=0)

@@ -1,0 +1,106 @@
+"""Protocol transcript structure: the exact message choreography.
+
+Pins the message sequence of a minimal session against the paper's
+protocol order (Figure 11 driving Figures 4-6 / 8-10 / §4.3).  Any
+change to who-sends-what-when shows up here first.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.session import ClusteringSession
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.network.channel import Eavesdropper
+from repro.types import AttributeType
+
+SCHEMA = [
+    AttributeSpec("num", AttributeType.NUMERIC, precision=0),
+    AttributeSpec("seq", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET),
+    AttributeSpec("cat", AttributeType.CATEGORICAL),
+]
+
+
+def _transcript(num_sites: int = 2) -> list[tuple[str, str, str]]:
+    """(sender, recipient, kind) triples of a full session, in order."""
+    rows = [[i, "ACGT", "x"] for i in range(num_sites * 2)]
+    partitions = {
+        chr(ord("A") + s): DataMatrix(SCHEMA, rows[2 * s : 2 * s + 2])
+        for s in range(num_sites)
+    }
+    suite = ProtocolSuiteConfig(secure_channels=False)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, suite=suite), partitions
+    )
+    tap = Eavesdropper("observer")
+    sites = list(session.index.sites)
+    for i, a in enumerate(sites + ["TP"]):
+        for b in (sites + ["TP"])[i + 1 :]:
+            session.network.attach_tap(a, b, tap)
+    session.run()
+    return [(f.sender, f.recipient, f.kind) for f in tap.frames]
+
+
+class TestTranscript:
+    def test_two_party_choreography(self):
+        transcript = _transcript(2)
+        expected = [
+            # group key setup (categorical attribute present)
+            ("A", "B", "group_key"),
+            # attribute 1: numeric (Figure 11 + Figures 4-6)
+            ("A", "TP", "local_matrix"),
+            ("B", "TP", "local_matrix"),
+            ("A", "B", "masked_vector"),
+            ("B", "TP", "comparison_matrix"),
+            # attribute 2: alphanumeric (Figures 8-10)
+            ("A", "TP", "local_matrix"),
+            ("B", "TP", "local_matrix"),
+            ("A", "B", "masked_strings"),
+            ("B", "TP", "ccm_matrices"),
+            # attribute 3: categorical (§4.3 -- no cross rounds)
+            ("A", "TP", "encrypted_column"),
+            ("B", "TP", "encrypted_column"),
+            # weights (Section 5)
+            ("A", "TP", "weights"),
+            ("B", "TP", "weights"),
+            # publication (Figure 13)
+            ("TP", "A", "result"),
+            ("TP", "B", "result"),
+        ]
+        assert transcript == expected
+
+    def test_three_party_protocol_run_count(self):
+        """C(k, 2) comparison-protocol runs per non-categorical attribute."""
+        transcript = _transcript(3)
+        comparison_runs = [t for t in transcript if t[2] == "comparison_matrix"]
+        ccm_runs = [t for t in transcript if t[2] == "ccm_matrices"]
+        assert len(comparison_runs) == 3  # C(3,2)
+        assert len(ccm_runs) == 3
+
+    def test_initiator_is_lexicographically_smaller(self):
+        """All parties derive the initiator without negotiation."""
+        transcript = _transcript(3)
+        for sender, recipient, kind in transcript:
+            if kind in ("masked_vector", "masked_strings"):
+                assert sender < recipient
+
+    def test_tp_never_talks_to_holders_before_publication(self):
+        """The TP is a sink until it publishes (Section 3: it governs by
+        receiving, never by revealing)."""
+        transcript = _transcript(2)
+        tp_sends = [t for t in transcript if t[0] == "TP"]
+        assert all(kind == "result" for _, _, kind in tp_sends)
+        first_tp_send = transcript.index(tp_sends[0])
+        assert all(t[0] != "TP" for t in transcript[:first_tp_send])
+
+    def test_holders_never_exchange_raw_kinds(self):
+        """Holder-to-holder traffic carries only masked/setup payloads."""
+        transcript = _transcript(3)
+        holder_links = [
+            t for t in transcript if t[0] != "TP" and t[1] != "TP"
+        ]
+        assert {kind for _, _, kind in holder_links} <= {
+            "group_key",
+            "masked_vector",
+            "masked_strings",
+        }
