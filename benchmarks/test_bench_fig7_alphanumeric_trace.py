@@ -31,6 +31,11 @@ class SequenceRng:
         self._pos += 1
         return value
 
+    def next_below_block(self, count, bound):
+        return np.asarray(
+            [self.next_below(bound) for _ in range(count)], dtype=np.int64
+        )
+
     def reset(self):
         self._pos = 0
 

@@ -33,6 +33,20 @@ R = (0, 1, 3) masks to s' = "acb"; t = "bd" yields
 M = [[d, b, a], [b, d, c]] as letters; unmasking gives
 CCM = [[1, 0, 1], [1, 1, 1]], whose single zero says s[1] == t[0] = 'b'.
 The test suite pins this trace literally.
+
+Vectorization
+-------------
+The per-string / per-row re-initialisation of Figures 8 and 10 means the
+mask vector ``R`` is the *same stream prefix* every time, so one
+:meth:`~repro.crypto.prng.ReseedablePRNG.next_below_block` draw (plus one
+``reset``) covers all strings/rows; masking, intermediary construction
+and binarisation are modular array arithmetic; and the edit-distance DPs
+batch across equal-shape string pairs.  Outputs are bitwise identical to
+the scalar reference in :mod:`repro.core.reference` -- not a single
+protocol message changes.  (Exactness note: a scalar Figure 8/10 run
+consumes its *entry* stream for the first string/row and the
+*post-reset* stream afterwards; the vectorized code reproduces both, so
+equivalence holds even for generators passed in mid-stream.)
 """
 
 from __future__ import annotations
@@ -43,7 +57,7 @@ import numpy as np
 
 from repro.crypto.prng import ReseedablePRNG
 from repro.data.alphabet import Alphabet
-from repro.distance.edit import edit_distance_from_ccm
+from repro.distance.edit import edit_distances_from_ccms
 from repro.exceptions import ProtocolError
 
 
@@ -51,6 +65,13 @@ def _require_byte_codes(alphabet: Alphabet) -> None:
     if alphabet.size > 256:
         raise ProtocolError(
             f"alphabet of size {alphabet.size} exceeds the uint8 wire encoding"
+        )
+
+
+def _require_2d(intermediary: np.ndarray) -> None:
+    if intermediary.ndim != 2:
+        raise ProtocolError(
+            f"intermediary CCM must be 2-D, got shape {intermediary.shape}"
         )
 
 
@@ -64,15 +85,24 @@ def initiator_mask_strings(
     The per-string re-initialisation means character position ``p`` of
     *any* string is always shifted by the same ``R[p]``; that is what
     lets the TP unmask CCM columns without knowing which strings meet.
+    One block draw therefore serves every string (the first string reads
+    the entry-state stream, the rest the post-reset stream, exactly as
+    the scalar loop does).
     """
-    masked = []
-    for text in strings:
-        alphabet.validate(text)
-        shifted = [
-            alphabet.shift_char(ch, rng_jt.next_below(alphabet.size)) for ch in text
-        ]
+    strings = list(strings)
+    if not strings:
+        return []
+    codes = [alphabet.encode_validated(text) for text in strings]
+    size = alphabet.size
+    first_masks = rng_jt.next_below_block(codes[0].size, size)
+    rng_jt.reset()
+    if len(codes) > 1:
+        longest = max(c.size for c in codes[1:])
+        rest_masks = rng_jt.next_below_block(longest, size)
         rng_jt.reset()
-        masked.append("".join(shifted))
+    masked = [alphabet.decode_array((codes[0] + first_masks) % size)]
+    for arr in codes[1:]:
+        masked.append(alphabet.decode_array((arr + rest_masks[: arr.size]) % size))
     return masked
 
 
@@ -85,20 +115,54 @@ def responder_ccm_matrices(
 
     ``result[m][n][q, p] = (code(s'_n[p]) - code(t_m[q])) mod |A|`` as a
     uint8 array.  No randomness is involved on this side; the masking
-    DHJ applied already hides the source characters from DHK.
+    DHJ applied already hides the source characters from DHK.  Strings
+    are encoded once and every pair is a single broadcast subtraction.
     """
     _require_byte_codes(alphabet)
+    own_codes = [alphabet.encode_validated(own) for own in own_strings]
+    masked_codes = [alphabet.encode_array(masked) for masked in masked_initiator]
+    size = alphabet.size
     result: list[list[np.ndarray]] = []
-    for own in own_strings:
-        alphabet.validate(own)
-        own_codes = np.asarray(alphabet.encode(own), dtype=np.int64)
-        row: list[np.ndarray] = []
-        for masked in masked_initiator:
-            masked_codes = np.asarray(alphabet.encode(masked), dtype=np.int64)
-            diff = (masked_codes[None, :] - own_codes[:, None]) % alphabet.size
-            row.append(diff.astype(np.uint8))
-        result.append(row)
+    for own in own_codes:
+        own_col = own[:, None]
+        result.append(
+            [
+                ((masked[None, :] - own_col) % size).astype(np.uint8)
+                for masked in masked_codes
+            ]
+        )
     return result
+
+
+def _mask_vectors(
+    rng_jt: ReseedablePRNG, first_cols: int, longest: int, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Entry-state masks for the first decoded row, post-reset masks for
+    every later row (the Figure 10 per-row re-initialisation)."""
+    first_masks = rng_jt.next_below_block(first_cols, size)
+    rng_jt.reset()
+    rest_masks = rng_jt.next_below_block(longest, size)
+    rng_jt.reset()
+    return first_masks, rest_masks
+
+
+def _binarize(
+    intermediary: np.ndarray,
+    row_masks: np.ndarray,
+    later_masks: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """One CCM: row 0 unmasked with ``row_masks``, rows 1+ with
+    ``later_masks`` (they coincide whenever the generator started fresh)."""
+    cols = intermediary.shape[1]
+    ccm = (
+        (intermediary.astype(np.int64) - later_masks[None, :cols]) % size != 0
+    ).astype(np.uint8)
+    if ccm.shape[0]:
+        ccm[0] = (
+            (intermediary[0].astype(np.int64) - row_masks[:cols]) % size != 0
+        ).astype(np.uint8)
+    return ccm
 
 
 def third_party_decode_ccm(
@@ -110,41 +174,57 @@ def third_party_decode_ccm(
 
     The generator is re-initialised after every *row*: each row spans the
     same source-character positions, so it consumes the same mask prefix
-    ``R[0..p-1]``.
+    ``R[0..p-1]`` -- regenerated here with one block draw per stream
+    state instead of one scalar draw per cell.
     """
+    _require_2d(intermediary)
     rows, cols = intermediary.shape
-    ccm = np.ones((rows, cols), dtype=np.uint8)
-    for q in range(rows):
-        for p in range(cols):
-            mask = rng_jt.next_below(alphabet.size)
-            if alphabet.unshift_code(int(intermediary[q, p]), mask) == 0:
-                ccm[q, p] = 0
-        rng_jt.reset()
-    return ccm
+    if rows == 0:
+        return np.ones((0, cols), dtype=np.uint8)
+    first_masks, rest_masks = _mask_vectors(rng_jt, cols, cols, alphabet.size)
+    return _binarize(intermediary, first_masks, rest_masks, alphabet.size)
 
 
 def third_party_distances(
     intermediary_matrices: Sequence[Sequence[np.ndarray]],
     alphabet: Alphabet,
     rng_jt: ReseedablePRNG,
-) -> list[list[int]]:
+) -> np.ndarray:
     """Figure 10 (full) -- binarise every CCM and run the edit-distance DP.
 
     Returns the cross-site block ``J_K[m][n]`` = edit distance between
-    responder string ``m`` and initiator string ``n``.
+    responder string ``m`` and initiator string ``n`` as an int64 array.
+    Equal-shape pairs share one batched DP.
     """
-    distances: list[list[int]] = []
-    for row in intermediary_matrices:
-        out_row = []
+    rows_of_matrices = [list(row) for row in intermediary_matrices]
+    if not rows_of_matrices:
+        return np.zeros((0, 0), dtype=np.int64)
+    flat: list[np.ndarray] = []
+    for row in rows_of_matrices:
+        if len(row) != len(rows_of_matrices[0]):
+            raise ProtocolError("ragged intermediary CCM matrix")
         for intermediary in row:
-            if intermediary.ndim != 2:
-                raise ProtocolError(
-                    f"intermediary CCM must be 2-D, got shape {intermediary.shape}"
-                )
-            ccm = third_party_decode_ccm(intermediary, alphabet, rng_jt)
-            out_row.append(edit_distance_from_ccm(ccm))
-        distances.append(out_row)
-    return distances
+            _require_2d(intermediary)
+            flat.append(intermediary)
+    size = alphabet.size
+    populated = [m.shape[1] for m in flat if m.shape[0] > 0]
+    if populated:
+        longest = max(populated)
+        first_masks, rest_masks = _mask_vectors(
+            rng_jt, populated[0], longest, size
+        )
+    ccms = []
+    decoded_any = False
+    for intermediary in flat:
+        if intermediary.shape[0] == 0:
+            ccms.append(intermediary)
+            continue
+        row_masks = rest_masks if decoded_any else first_masks
+        ccms.append(_binarize(intermediary, row_masks, rest_masks, size))
+        decoded_any = True
+    distances = edit_distances_from_ccms(ccms)
+    n_cols = len(rows_of_matrices[0])
+    return distances.reshape(len(rows_of_matrices), n_cols)
 
 
 # -- fresh-masks extension (addresses the paper's Section 6 open problem) ------
@@ -166,15 +246,15 @@ def initiator_mask_strings_fresh(
     rng_jt: ReseedablePRNG,
 ) -> list[str]:
     """Mask every character with a fresh draw (no per-string reset)."""
+    strings = list(strings)
+    codes = [alphabet.encode_validated(text) for text in strings]
+    size = alphabet.size
+    masks = rng_jt.next_below_block(sum(c.size for c in codes), size)
     masked = []
-    for text in strings:
-        alphabet.validate(text)
-        masked.append(
-            "".join(
-                alphabet.shift_char(ch, rng_jt.next_below(alphabet.size))
-                for ch in text
-            )
-        )
+    offset = 0
+    for arr in codes:
+        masked.append(alphabet.decode_array((arr + masks[offset : offset + arr.size]) % size))
+        offset += arr.size
     return masked
 
 
@@ -182,42 +262,39 @@ def third_party_distances_fresh(
     intermediary_matrices: Sequence[Sequence[np.ndarray]],
     alphabet: Alphabet,
     rng_jt: ReseedablePRNG,
-) -> list[list[int]]:
+) -> np.ndarray:
     """TP side of the fresh-masks variant.
 
     The mask vector of initiator string ``n`` occupies stream positions
     ``sum(len(s_0..n-1)) .. +len(s_n)``; string lengths are read off the
     CCM column counts, so no extra message is needed.
     """
-    if not intermediary_matrices:
-        return []
-    first_row = intermediary_matrices[0]
-    masks: list[list[int]] = []
+    rows_of_matrices = [list(row) for row in intermediary_matrices]
+    if not rows_of_matrices:
+        return np.zeros((0, 0), dtype=np.int64)
+    first_row = rows_of_matrices[0]
+    size = alphabet.size
+    lengths = []
     for intermediary in first_row:
-        if intermediary.ndim != 2:
-            raise ProtocolError(
-                f"intermediary CCM must be 2-D, got shape {intermediary.shape}"
-            )
-        masks.append(
-            [rng_jt.next_below(alphabet.size) for _ in range(intermediary.shape[1])]
-        )
-    distances: list[list[int]] = []
-    for row in intermediary_matrices:
+        _require_2d(intermediary)
+        lengths.append(intermediary.shape[1])
+    stream = rng_jt.next_below_block(sum(lengths), size)
+    bounds = np.cumsum([0] + lengths)
+    masks = [stream[bounds[n] : bounds[n + 1]] for n in range(len(lengths))]
+    ccms: list[np.ndarray] = []
+    for row in rows_of_matrices:
         if len(row) != len(masks):
             raise ProtocolError("ragged intermediary CCM matrix")
-        out_row = []
         for n, intermediary in enumerate(row):
-            if intermediary.ndim != 2 or intermediary.shape[1] != len(masks[n]):
+            if intermediary.ndim != 2 or intermediary.shape[1] != masks[n].size:
                 raise ProtocolError(
                     f"CCM column count {intermediary.shape} does not match "
-                    f"initiator string {n} length {len(masks[n])}"
+                    f"initiator string {n} length {masks[n].size}"
                 )
-            rows_q, cols_p = intermediary.shape
-            ccm = np.ones((rows_q, cols_p), dtype=np.uint8)
-            for q in range(rows_q):
-                for p in range(cols_p):
-                    if alphabet.unshift_code(int(intermediary[q, p]), masks[n][p]) == 0:
-                        ccm[q, p] = 0
-            out_row.append(edit_distance_from_ccm(ccm))
-        distances.append(out_row)
-    return distances
+            ccms.append(
+                ((intermediary.astype(np.int64) - masks[n][None, :]) % size != 0).astype(
+                    np.uint8
+                )
+            )
+    distances = edit_distances_from_ccms(ccms)
+    return distances.reshape(len(rows_of_matrices), len(first_row))

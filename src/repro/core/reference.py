@@ -1,0 +1,178 @@
+"""Scalar reference implementations of the comparison protocols.
+
+These are the original per-element, one-scalar-draw-per-mask protocol
+steps, kept verbatim as the executable specification of the paper's
+pseudocode (Figures 4-6 and 8-10).  The production engine in
+:mod:`repro.core.numeric` and :mod:`repro.core.alphanumeric` is
+vectorized; its contract is to produce *byte-identical* protocol
+messages to these functions.  Property tests assert that equivalence,
+and ``benchmarks/test_bench_vectorized.py`` measures the speedup
+against this baseline.
+
+Do not "optimise" this module: its value is being the slow, obviously
+paper-shaped version.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.prng import ReseedablePRNG
+from repro.data.alphabet import Alphabet
+from repro.exceptions import ProtocolError
+
+
+def _signed(value: int, negate: bool) -> int:
+    return -value if negate else value
+
+
+# -- numeric, batch mode (Figures 4-6 verbatim) --------------------------------
+
+
+def initiator_mask_batch(
+    values: Sequence[int],
+    rng_jk: ReseedablePRNG,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[int]:
+    """Figure 4 -- DHJ's step (scalar reference)."""
+    masked = []
+    for value in values:
+        negate = rng_jk.next_sign_bit() == 1
+        mask = rng_jt.next_bits(mask_bits)
+        masked.append(mask + _signed(value, negate))
+    return masked
+
+
+def responder_matrix_batch(
+    own_values: Sequence[int],
+    masked_initiator: Sequence[int],
+    rng_jk: ReseedablePRNG,
+) -> list[list[int]]:
+    """Figure 5 -- DHK's step (scalar reference)."""
+    matrix: list[list[int]] = []
+    for own in own_values:
+        row = []
+        for masked in masked_initiator:
+            initiator_negated = rng_jk.next_sign_bit() == 1
+            row.append(masked + _signed(own, not initiator_negated))
+        rng_jk.reset()
+        matrix.append(row)
+    return matrix
+
+
+def third_party_unmask_batch(
+    comparison_matrix: Sequence[Sequence[int]],
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Figure 6 -- TP's step (scalar reference)."""
+    distances: list[list[int]] = []
+    for row in comparison_matrix:
+        out_row = []
+        for entry in row:
+            mask = rng_jt.next_bits(mask_bits)
+            out_row.append(abs(entry - mask))
+        rng_jt.reset()
+        distances.append(out_row)
+    return distances
+
+
+# -- numeric, per-pair mode ----------------------------------------------------
+
+
+def initiator_mask_per_pair(
+    values: Sequence[int],
+    responder_size: int,
+    rng_jk: ReseedablePRNG,
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Per-pair DHJ step (scalar reference)."""
+    if responder_size < 0:
+        raise ProtocolError(f"responder_size must be >= 0, got {responder_size}")
+    matrix = []
+    for _m in range(responder_size):
+        row = []
+        for value in values:
+            negate = rng_jk.next_sign_bit() == 1
+            mask = rng_jt.next_bits(mask_bits)
+            row.append(mask + _signed(value, negate))
+        matrix.append(row)
+    return matrix
+
+
+def responder_matrix_per_pair(
+    own_values: Sequence[int],
+    masked_matrix: Sequence[Sequence[int]],
+    rng_jk: ReseedablePRNG,
+) -> list[list[int]]:
+    """Per-pair DHK step (scalar reference)."""
+    if len(masked_matrix) != len(own_values):
+        raise ProtocolError(
+            f"masked matrix has {len(masked_matrix)} rows for "
+            f"{len(own_values)} responder values"
+        )
+    matrix = []
+    for own, masked_row in zip(own_values, masked_matrix):
+        row = []
+        for masked in masked_row:
+            initiator_negated = rng_jk.next_sign_bit() == 1
+            row.append(masked + _signed(own, not initiator_negated))
+        matrix.append(row)
+    return matrix
+
+
+def third_party_unmask_per_pair(
+    comparison_matrix: Sequence[Sequence[int]],
+    rng_jt: ReseedablePRNG,
+    mask_bits: int,
+) -> list[list[int]]:
+    """Per-pair TP step (scalar reference)."""
+    distances = []
+    for row in comparison_matrix:
+        out_row = []
+        for entry in row:
+            mask = rng_jt.next_bits(mask_bits)
+            out_row.append(abs(entry - mask))
+        distances.append(out_row)
+    return distances
+
+
+# -- alphanumeric (Figures 8 and 10) -------------------------------------------
+
+
+def initiator_mask_strings(
+    strings: Sequence[str],
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> list[str]:
+    """Figure 8 -- DHJ's step (scalar reference)."""
+    masked = []
+    for text in strings:
+        alphabet.validate(text)
+        shifted = [
+            alphabet.shift_char(ch, rng_jt.next_below(alphabet.size)) for ch in text
+        ]
+        rng_jt.reset()
+        masked.append("".join(shifted))
+    return masked
+
+
+def third_party_decode_ccm(
+    intermediary: np.ndarray,
+    alphabet: Alphabet,
+    rng_jt: ReseedablePRNG,
+) -> np.ndarray:
+    """Figure 10 inner loops -- TP binarises one CCM (scalar reference)."""
+    rows, cols = intermediary.shape
+    ccm = np.ones((rows, cols), dtype=np.uint8)
+    for q in range(rows):
+        for p in range(cols):
+            mask = rng_jt.next_below(alphabet.size)
+            if alphabet.unshift_code(int(intermediary[q, p]), mask) == 0:
+                ccm[q, p] = 0
+        rng_jt.reset()
+    return ccm

@@ -31,13 +31,28 @@ the sign decision.  Taken literally with an LCG that expression is a
 deterministic alternation; we read the decision bit from the top of the
 word instead, which preserves the protocol (both sharers of the seed
 compute the same bit) while remaining sound for every generator here.
+
+Block draws
+-----------
+The vectorized protocol engine consumes randomness in blocks:
+:meth:`ReseedablePRNG.next_words`, :meth:`~ReseedablePRNG.next_bits_block`,
+:meth:`~ReseedablePRNG.next_sign_bits` and
+:meth:`~ReseedablePRNG.next_below_block` return numpy arrays.  The hard
+invariant -- property-tested over every generator kind -- is that a block
+draw consumes the *identical word stream* as the corresponding sequence
+of scalar draws: ``g.next_words(n)`` equals ``[g.next_uint64() for _ in
+range(n)]`` drawn from the same state, and leaves ``draws`` and
+:meth:`~ReseedablePRNG.reset` semantics unchanged.  Cross-party alignment
+therefore never depends on whether a party drew scalar or blocked.
 """
 
 from __future__ import annotations
 
 import abc
 import hashlib
-from typing import Callable, ClassVar, Union
+from typing import Any, Callable, ClassVar, Union
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, CryptoError
 
@@ -51,29 +66,41 @@ def _seed_to_bytes(seed: SeedLike, domain: str) -> bytes:
 
     Domain separation guarantees that e.g. an :class:`Lcg64` and a
     :class:`HashDRBG` constructed from the same shared secret do not leak
-    correlated streams.
+    correlated streams.  Seed *types* are domain-separated too: the hash
+    input carries a type tag so that ``make_prng(97)``, ``make_prng(b"a")``
+    and ``make_prng("a")`` (whose raw byte encodings coincide) emit
+    unrelated streams.
     """
     if isinstance(seed, int):
+        tag = b"i"
         if seed < 0:
             raw = b"-" + abs(seed).to_bytes((abs(seed).bit_length() + 7) // 8 or 1, "big")
         else:
             raw = seed.to_bytes((seed.bit_length() + 7) // 8 or 1, "big")
     elif isinstance(seed, bytes):
+        tag = b"b"
         raw = seed
     elif isinstance(seed, str):
+        tag = b"s"
         raw = seed.encode("utf-8")
     else:
         raise ConfigurationError(f"unsupported seed type: {type(seed).__name__}")
-    return hashlib.sha256(b"repro.prng|" + domain.encode() + b"|" + raw).digest()
+    return hashlib.sha256(
+        b"repro.prng|" + domain.encode() + b"|" + tag + b"|" + raw
+    ).digest()
 
 
 class ReseedablePRNG(abc.ABC):
     """Deterministic generator that can be restored to its seed state.
 
     Subclasses implement :meth:`_reseed` (derive internal state from the
-    normalised seed bytes) and :meth:`next_uint64` (produce the next raw
-    64-bit word).  Everything else -- top-bit extraction, unbiased range
-    sampling, arbitrary-width integers -- is shared here.
+    normalised seed bytes) and :meth:`_next_word` (produce the next raw
+    64-bit word); they may additionally override :meth:`_next_words` with
+    a native block implementation and must expose their internal state
+    via :meth:`_get_state` / :meth:`_set_state` (used by the exact
+    rejection-sampling rewind in :meth:`next_below_block`).  Everything
+    else -- top-bit extraction, unbiased range sampling, arbitrary-width
+    integers, block adapters -- is shared here.
     """
 
     name: ClassVar[str] = "abstract"
@@ -106,6 +133,23 @@ class ReseedablePRNG(abc.ABC):
     @abc.abstractmethod
     def _next_word(self) -> int:
         """Produce the next raw 64-bit word."""
+
+    @abc.abstractmethod
+    def _get_state(self) -> Any:
+        """Snapshot the internal state (for exact block-draw rewinds)."""
+
+    @abc.abstractmethod
+    def _set_state(self, state: Any) -> None:
+        """Restore a state captured by :meth:`_get_state`."""
+
+    def _next_words(self, count: int) -> np.ndarray:
+        """Produce ``count`` raw words as ``uint64``; subclasses override
+        with native block stepping."""
+        return np.fromiter(
+            (self._next_word() for _ in range(count)), dtype=np.uint64, count=count
+        )
+
+    # -- scalar draws -------------------------------------------------------
 
     def next_uint64(self) -> int:
         """Next raw 64-bit word as a non-negative int."""
@@ -148,6 +192,104 @@ class ReseedablePRNG(abc.ABC):
         """Single decision bit (0 or 1); the protocol's ``Next() % 2``."""
         return self.next_bits(1)
 
+    # -- block draws --------------------------------------------------------
+
+    def next_words(self, count: int) -> np.ndarray:
+        """Block of ``count`` raw words; identical stream to ``count``
+        :meth:`next_uint64` calls."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.uint64)
+        words = self._next_words(count)
+        self._draws += count
+        return words
+
+    def next_bits_block(self, count: int, bits: int) -> np.ndarray:
+        """Block of ``count`` values, each of exactly ``bits`` random bits.
+
+        Equals ``[g.next_bits(bits) for _ in range(count)]`` drawn from
+        the same state.  Returns a ``uint64`` array for widths up to 64;
+        wider values come back as an object array of Python ints (the
+        exact-arithmetic fallback the >64-bit mask configurations use).
+        """
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if bits <= 64:
+            return self.next_words(count) >> np.uint64(64 - bits)
+        words_per_value = (bits + 63) // 64
+        words = self.next_words(count * words_per_value).reshape(
+            count, words_per_value
+        )
+        values = [0] * count
+        remaining = bits
+        for column in range(words_per_value):
+            take = min(64, remaining)
+            remaining -= take
+            chunk = (words[:, column] >> np.uint64(64 - take)).tolist()
+            for i in range(count):
+                values[i] = (values[i] << take) | chunk[i]
+        out = np.empty(count, dtype=object)
+        out[:] = values
+        return out
+
+    def next_sign_bits(self, count: int) -> np.ndarray:
+        """Block of ``count`` decision bits (0/1, ``uint64``); identical
+        stream to ``count`` :meth:`next_sign_bit` calls."""
+        return self.next_words(count) >> np.uint64(63)
+
+    def next_below_block(self, count: int, bound: int) -> np.ndarray:
+        """Block of ``count`` uniform integers in ``[0, bound)``.
+
+        Replays the exact scalar rejection-sampling word stream: candidates
+        are drawn speculatively in chunks and the generator is rewound to
+        consume precisely as many words as ``count`` scalar
+        :meth:`next_below` calls would have.
+        """
+        if bound <= 0:
+            raise ConfigurationError(f"bound must be positive, got {bound}")
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        out = np.zeros(count, dtype=np.int64)
+        if bound == 1 or count == 0:
+            return out
+        bits = bound.bit_length()
+        if bits > 63:
+            # Wide bounds are outside the protocols' hot path; defer to the
+            # scalar sampler (object array keeps arbitrary precision).
+            wide = np.empty(count, dtype=object)
+            wide[:] = [self.next_below(bound) for _ in range(count)]
+            return wide
+        accepted = 0
+        shift = np.uint64(64 - bits)
+        np_bound = np.uint64(bound)
+        while accepted < count:
+            need = count - accepted
+            # Acceptance probability is >= 1/2; x2 plus slack makes a
+            # second round rare without over-drawing wildly.
+            chunk = 2 * need + 8
+            state = self._get_state()
+            draws = self._draws
+            words = self.next_words(chunk)
+            candidates = words >> shift
+            ok = candidates < np_bound
+            hits = int(ok.sum())
+            if accepted + hits >= count:
+                # Rewind, then consume exactly the words the scalar
+                # sampler would have used for the final acceptance.
+                cut = int(np.flatnonzero(ok)[need - 1]) + 1
+                self._set_state(state)
+                self._draws = draws
+                self.next_words(cut)
+                out[accepted:] = candidates[ok][:need].astype(np.int64)
+                accepted = count
+            else:
+                out[accepted : accepted + hits] = candidates[ok].astype(np.int64)
+                accepted += hits
+        return out
+
     def rand_bits_callable(self) -> Callable[[int], int]:
         """Adapter matching the ``rand_bits(k)`` signature of
         :mod:`repro.crypto.numbers`."""
@@ -163,6 +305,10 @@ class Lcg64(ReseedablePRNG):
     Full 64-bit state transition ``s <- a*s + c mod 2^64``.  Exposed for
     benchmarking and as a worked example of *why* :meth:`next_bits` reads
     top bits: the k-th lowest bit of an LCG has period at most ``2^k``.
+    Block draws unroll the recurrence in closed form --
+    ``s_i = a^i s_0 + c (a^{i-1} + ... + 1)`` -- with numpy ``uint64``
+    cumulative products/sums (which wrap mod 2^64 exactly like the
+    scalar transition).
     """
 
     name: ClassVar[str] = "lcg64"
@@ -173,16 +319,34 @@ class Lcg64(ReseedablePRNG):
     def _reseed(self) -> None:
         self._state = int.from_bytes(self._seed_bytes[:8], "big")
 
+    def _get_state(self) -> int:
+        return self._state
+
+    def _set_state(self, state: int) -> None:
+        self._state = state
+
     def _next_word(self) -> int:
         self._state = (self._A * self._state + self._C) & _MASK64
         return self._state
+
+    def _next_words(self, count: int) -> np.ndarray:
+        powers = np.cumprod(np.full(count, self._A, dtype=np.uint64))
+        geometric = np.empty(count, dtype=np.uint64)
+        geometric[0] = 1
+        geometric[1:] = powers[:-1]
+        partial_sums = np.cumsum(geometric, dtype=np.uint64)
+        words = powers * np.uint64(self._state) + np.uint64(self._C) * partial_sums
+        self._state = int(words[-1])
+        return words
 
 
 class XorShift64Star(ReseedablePRNG):
     """Marsaglia xorshift64* generator.
 
     Requires a non-zero state; the seed normalisation makes an all-zero
-    state astronomically unlikely, but we guard anyway.
+    state astronomically unlikely, but we guard anyway.  Block draws run
+    the (inherently sequential) xorshift recurrence over Python ints and
+    vectorise the output multiply into one numpy ``uint64`` operation.
     """
 
     name: ClassVar[str] = "xorshift64star"
@@ -192,6 +356,12 @@ class XorShift64Star(ReseedablePRNG):
     def _reseed(self) -> None:
         self._state = int.from_bytes(self._seed_bytes[8:16], "big") or 0x9E3779B97F4A7C15
 
+    def _get_state(self) -> int:
+        return self._state
+
+    def _set_state(self, state: int) -> None:
+        self._state = state
+
     def _next_word(self) -> int:
         x = self._state
         x ^= x >> 12
@@ -200,6 +370,17 @@ class XorShift64Star(ReseedablePRNG):
         self._state = x
         return (x * self._MULT) & _MASK64
 
+    def _next_words(self, count: int) -> np.ndarray:
+        states = np.empty(count, dtype=np.uint64)
+        x = self._state
+        for i in range(count):
+            x ^= x >> 12
+            x = (x ^ (x << 25)) & _MASK64
+            x ^= x >> 27
+            states[i] = x
+        self._state = x
+        return states * np.uint64(self._MULT)
+
 
 class HashDRBG(ReseedablePRNG):
     """SHA-256 counter-mode deterministic random bit generator.
@@ -207,7 +388,9 @@ class HashDRBG(ReseedablePRNG):
     Output block ``i`` is ``SHA-256(seed_bytes || i)``; blocks are buffered
     and served as 64-bit words.  Unpredictable without the seed under
     standard hash assumptions, with period far beyond any protocol run --
-    this is the generator the paper's security analysis presumes.
+    this is the generator the paper's security analysis presumes.  Block
+    draws hash many counter blocks at once from a cached SHA-256 midstate
+    and split the concatenated digests with one numpy big-endian view.
     """
 
     name: ClassVar[str] = "hash_drbg"
@@ -215,11 +398,19 @@ class HashDRBG(ReseedablePRNG):
     def _reseed(self) -> None:
         self._counter = 0
         self._buffer: list[int] = []
+        self._midstate = hashlib.sha256(self._seed_bytes)
+
+    def _get_state(self) -> tuple[int, list[int]]:
+        return (self._counter, list(self._buffer))
+
+    def _set_state(self, state: tuple[int, list[int]]) -> None:
+        self._counter, buffer = state
+        self._buffer = list(buffer)
 
     def _refill(self) -> None:
-        digest = hashlib.sha256(
-            self._seed_bytes + self._counter.to_bytes(8, "big")
-        ).digest()
+        block = self._midstate.copy()
+        block.update(self._counter.to_bytes(8, "big"))
+        digest = block.digest()
         self._counter += 1
         self._buffer = [
             int.from_bytes(digest[off : off + 8], "big") for off in (24, 16, 8, 0)
@@ -229,6 +420,30 @@ class HashDRBG(ReseedablePRNG):
         if not self._buffer:
             self._refill()
         return self._buffer.pop()
+
+    def _next_words(self, count: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.uint64)
+        filled = 0
+        while self._buffer and filled < count:
+            out[filled] = self._buffer.pop()
+            filled += 1
+        remaining = count - filled
+        if remaining:
+            blocks = (remaining + 3) // 4
+            midstate = self._midstate
+            first = self._counter
+            digests = bytearray()
+            for counter in range(first, first + blocks):
+                block = midstate.copy()
+                block.update(counter.to_bytes(8, "big"))
+                digests += block.digest()
+            self._counter = first + blocks
+            words = np.frombuffer(bytes(digests), dtype=">u8").astype(np.uint64)
+            out[filled:] = words[:remaining]
+            # Scalar draws pop from the end, so unconsumed words of the
+            # last hash block are stored in reverse serve order.
+            self._buffer = [int(w) for w in words[remaining:][::-1]]
+        return out
 
 
 _KINDS: dict[str, type[ReseedablePRNG]] = {

@@ -54,7 +54,13 @@ class DissimilarityMatrix:
 
     @classmethod
     def from_square(cls, square: np.ndarray, atol: float = 1e-9) -> "DissimilarityMatrix":
-        """Validate and condense a full square distance matrix."""
+        """Validate and condense a full square distance matrix.
+
+        The strict lower triangle is lifted with one fancy-indexing read
+        and routed through the validating constructor, so negative or
+        non-finite entries are rejected exactly like any other
+        construction path.
+        """
         square = np.asarray(square, dtype=np.float64)
         if square.ndim != 2 or square.shape[0] != square.shape[1]:
             raise ConfigurationError(f"square matrix expected, got shape {square.shape}")
@@ -63,11 +69,7 @@ class DissimilarityMatrix:
         if not np.allclose(np.diag(square), 0.0, atol=atol):
             raise ConfigurationError("diagonal must be zero")
         n = square.shape[0]
-        out = cls(n)
-        for i in range(1, n):
-            row_start = i * (i - 1) // 2
-            out._values[row_start : row_start + i] = square[i, :i]
-        return out
+        return cls(n, square[np.tril_indices(n, -1)])
 
     @classmethod
     def from_pairwise(
@@ -138,28 +140,44 @@ class DissimilarityMatrix:
 
         The third party uses this to drop a comparison-protocol output
         (a ``len(rows) x len(cols)`` matrix of distances) into the global
-        matrix.  Row/column index sets must be disjoint -- cross-site
-        blocks never touch the diagonal.
+        matrix, as one fancy-indexed write over the condensed triangle.
+        Row/column index sets must each be duplicate-free (a duplicate
+        would silently let a later block entry overwrite an earlier one)
+        and mutually disjoint -- cross-site blocks never touch the
+        diagonal.
         """
+        rows = list(rows)
+        cols = list(cols)
         block = np.asarray(block, dtype=np.float64)
         if block.shape != (len(rows), len(cols)):
             raise ConfigurationError(
                 f"block shape {block.shape} != ({len(rows)}, {len(cols)})"
             )
+        if len(set(rows)) != len(rows) or len(set(cols)) != len(cols):
+            raise ConfigurationError("block row/column indices must be unique")
         if set(rows) & set(cols):
             raise ConfigurationError("cross block must not intersect the diagonal")
-        for bi, i in enumerate(rows):
-            for bj, j in enumerate(cols):
-                self[i, j] = block[bi, bj]
+        if block.size == 0:
+            return
+        row_idx = np.asarray(rows, dtype=np.int64)
+        col_idx = np.asarray(cols, dtype=np.int64)
+        for name, idx in (("row", row_idx), ("column", col_idx)):
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self._n):
+                raise ConfigurationError(
+                    f"block {name} indices out of range for {self._n} objects"
+                )
+        if np.any(block < 0) or np.any(~np.isfinite(block)):
+            raise ConfigurationError("block distances must be non-negative and finite")
+        upper = np.maximum(row_idx[:, None], col_idx[None, :])
+        lower = np.minimum(row_idx[:, None], col_idx[None, :])
+        self._values[upper * (upper - 1) // 2 + lower] = block
 
     # -- whole-matrix operations ----------------------------------------------
 
     def to_square(self) -> np.ndarray:
         """Full symmetric square matrix (copies)."""
         square = np.zeros((self._n, self._n), dtype=np.float64)
-        for i in range(1, self._n):
-            row_start = i * (i - 1) // 2
-            square[i, :i] = self._values[row_start : row_start + i]
+        square[np.tril_indices(self._n, -1)] = self._values
         return square + square.T
 
     def to_scipy_condensed(self) -> np.ndarray:
@@ -168,14 +186,8 @@ class DissimilarityMatrix:
         Used by tests that cross-validate our clustering against
         ``scipy.cluster.hierarchy``.
         """
-        n = self._n
-        out = np.empty(n * (n - 1) // 2, dtype=np.float64)
-        pos = 0
-        for i in range(n - 1):
-            for j in range(i + 1, n):
-                out[pos] = self._values[self._position(j, i)]
-                pos += 1
-        return out
+        i, j = np.triu_indices(self._n, 1)
+        return self._values[j * (j - 1) // 2 + i]
 
     def max_value(self) -> float:
         """Largest pairwise distance (the Figure 11 normaliser)."""
@@ -198,13 +210,39 @@ class DissimilarityMatrix:
         indices = list(indices)
         if len(set(indices)) != len(indices):
             raise ConfigurationError("submatrix indices must be unique")
-        out = DissimilarityMatrix(len(indices)) if indices else None
-        if out is None:
+        if not indices:
             raise ConfigurationError("submatrix needs at least one index")
-        for a, i in enumerate(indices):
-            for b in range(a):
-                out[a, b] = self[i, indices[b]]
-        return out
+        idx = np.asarray(indices, dtype=np.int64)
+        if int(idx.min()) < 0 or int(idx.max()) >= self._n:
+            raise ConfigurationError(
+                f"submatrix indices out of range for {self._n} objects"
+            )
+        a, b = np.tril_indices(len(indices), -1)
+        gi, gj = idx[a], idx[b]
+        upper = np.maximum(gi, gj)
+        lower = np.minimum(gi, gj)
+        return DissimilarityMatrix(
+            len(indices), self._values[upper * (upper - 1) // 2 + lower]
+        )
+
+    def set_diagonal_block(self, offset: int, local: "DissimilarityMatrix") -> None:
+        """Place a (validated) local matrix on the diagonal at ``offset``.
+
+        This is how the third party drops one holder's Figure 12 output
+        into the global matrix: the local condensed triangle lands in the
+        global condensed triangle with one fancy-indexed write.
+        """
+        size = local.num_objects
+        if offset < 0 or offset + size > self._n:
+            raise ConfigurationError(
+                f"diagonal block [{offset}, {offset + size}) out of range "
+                f"for {self._n} objects"
+            )
+        if size < 2:
+            return
+        i, j = np.tril_indices(size, -1)
+        gi, gj = i + offset, j + offset
+        self._values[gi * (gi - 1) // 2 + gj] = local._values
 
     def copy(self) -> "DissimilarityMatrix":
         return DissimilarityMatrix(self._n, self._values.copy())

@@ -41,6 +41,14 @@ def _pack_length(value: int) -> bytes:
     return struct.pack(">I", value)
 
 
+def _encode_int(value: int) -> bytes:
+    """One integer's wire bytes: tag, sign byte, 4-byte length, magnitude."""
+    sign = b"\x01" if value < 0 else b"\x00"
+    magnitude = abs(value)
+    body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+    return _TAG_INT + sign + _pack_length(len(body)) + body
+
+
 def _encode(obj: Any, out: list[bytes]) -> None:
     if obj is None:
         out.append(_TAG_NONE)
@@ -48,13 +56,7 @@ def _encode(obj: Any, out: list[bytes]) -> None:
         out.append(_TAG_BOOL)
         out.append(b"\x01" if obj else b"\x00")
     elif isinstance(obj, int):
-        sign = b"\x01" if obj < 0 else b"\x00"
-        magnitude = abs(obj)
-        body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
-        out.append(_TAG_INT)
-        out.append(sign)
-        out.append(_pack_length(len(body)))
-        out.append(body)
+        out.append(_encode_int(obj))
     elif isinstance(obj, float):
         out.append(_TAG_FLOAT)
         out.append(struct.pack(">d", obj))
@@ -70,8 +72,14 @@ def _encode(obj: Any, out: list[bytes]) -> None:
     elif isinstance(obj, list):
         out.append(_TAG_LIST)
         out.append(_pack_length(len(obj)))
-        for item in obj:
-            _encode(item, out)
+        # Fast path for the protocols' hot payloads (masked vectors and
+        # comparison-matrix rows are flat lists of Python ints); emits
+        # byte-identical output to the generic recursion.
+        if obj and all(type(item) is int for item in obj):
+            out.append(b"".join(map(_encode_int, obj)))
+        else:
+            for item in obj:
+                _encode(item, out)
     elif isinstance(obj, tuple):
         out.append(_TAG_TUPLE)
         out.append(_pack_length(len(obj)))
@@ -142,7 +150,24 @@ def _decode(reader: _Reader) -> Any:
     if tag == _TAG_BYTES:
         return reader.take(reader.length())
     if tag == _TAG_LIST:
-        return [_decode(reader) for _ in range(reader.length())]
+        count = reader.length()
+        # Fast path mirroring the encoder's: a run of plain integers is
+        # parsed with local slicing instead of per-element recursion.
+        data = reader._data
+        pos = reader._pos
+        end = len(data)
+        items: list[Any] = []
+        while len(items) < count and pos + 6 <= end and data[pos] == 0x49:  # b"I"
+            body_len = int.from_bytes(data[pos + 2 : pos + 6], "big")
+            body_end = pos + 6 + body_len
+            if body_end > end:
+                raise ChannelError("truncated message")
+            value = int.from_bytes(data[pos + 6 : body_end], "big")
+            items.append(-value if data[pos + 1] == 1 else value)
+            pos = body_end
+        reader._pos = pos
+        items.extend(_decode(reader) for _ in range(count - len(items)))
+        return items
     if tag == _TAG_TUPLE:
         return tuple(_decode(reader) for _ in range(reader.length()))
     if tag == _TAG_DICT:

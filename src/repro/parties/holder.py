@@ -20,13 +20,32 @@ from repro.crypto.detenc import DeterministicEncryptor
 from repro.crypto.prng import ReseedablePRNG
 from repro.data.matrix import AttributeSpec, DataMatrix
 from repro.distance.dissimilarity import DissimilarityMatrix
-from repro.distance.edit import edit_distance
+from repro.distance.edit import pairwise_edit_distances
 from repro.distance.local import local_dissimilarity
 from repro.distance.numeric import FixedPointCodec
 from repro.exceptions import ProtocolError
 from repro.network.simulator import Network
 from repro.parties.base import Party
 from repro.types import AttributeType
+
+
+#: Encoded magnitudes below 2^51 keep ``|a - b|`` under 2^52, where the
+#: float64 descaling is exact, so the broadcast local matrix matches the
+#: scalar Figure 12 loop bit for bit.
+_EXACT_LOCAL_BOUND = 1 << 51
+
+
+def _numeric_condensed(encoded: list[int], codec: FixedPointCodec) -> np.ndarray | None:
+    """Condensed ``|a - b|`` distances via broadcasting, or ``None`` when
+    magnitudes force the exact scalar fallback."""
+    try:
+        arr = np.asarray(encoded, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        return None
+    if arr.size and int(np.abs(arr).max()) >= _EXACT_LOCAL_BOUND:
+        return None
+    i, j = np.tril_indices(arr.size, -1)
+    return codec.decode_distance_array(np.abs(arr[i] - arr[j]))
 
 
 class DataHolder(Party):
@@ -70,11 +89,16 @@ class DataHolder(Party):
         if spec.attr_type is AttributeType.NUMERIC:
             codec = self._codec(spec)
             encoded = codec.encode_column(column)
+            condensed = _numeric_condensed(encoded, codec)
+            if condensed is not None:
+                return DissimilarityMatrix(len(encoded), condensed)
             return local_dissimilarity(
                 encoded, lambda a, b: codec.decode_distance(abs(a - b))
             )
         if spec.attr_type is AttributeType.ALPHANUMERIC:
-            return local_dissimilarity(column, edit_distance)
+            return DissimilarityMatrix(
+                len(column), pairwise_edit_distances(column).astype(np.float64)
+            )
         raise ProtocolError(
             f"local matrices are not built for {spec.attr_type.value} attributes; "
             "the third party constructs the categorical matrix globally"

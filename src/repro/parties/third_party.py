@@ -80,11 +80,9 @@ class ThirdParty(Party):
         condensed = np.asarray(message.payload["condensed"], dtype=np.float64)
         size = self.index.size_of(holder)
         local = DissimilarityMatrix(size, condensed)
-        target = self._matrix_for(attribute)
-        offset = self.index.offset_of(holder)
-        for i in range(size):
-            for j in range(i):
-                target[offset + i, offset + j] = local[i, j]
+        self._matrix_for(attribute).set_diagonal_block(
+            self.index.offset_of(holder), local
+        )
 
     # -- numeric cross blocks (Figure 6) -------------------------------------------
 
@@ -111,10 +109,7 @@ class ThirdParty(Party):
                 matrix, rng_jt, self._suite.mask_bits
             )
         codec = FixedPointCodec(spec.precision)
-        block = np.asarray(
-            [[codec.decode_distance(v) for v in row] for row in encoded],
-            dtype=np.float64,
-        )
+        block = codec.decode_distance_array(encoded)
         rows, cols = self.index.block(responder, initiator)
         self._matrix_for(attribute).set_block(list(rows), list(cols), block)
 
@@ -141,7 +136,7 @@ class ThirdParty(Party):
             distances = alnum_protocol.third_party_distances(
                 matrices, spec.alphabet, rng_jt
             )
-        block = np.asarray(distances, dtype=np.float64)
+        block = distances.astype(np.float64)
         rows, cols = self.index.block(responder, initiator)
         self._matrix_for(attribute).set_block(list(rows), list(cols), block)
 

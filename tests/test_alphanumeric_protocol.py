@@ -44,6 +44,9 @@ class SequenceRng:
         self._pos += 1
         return value
 
+    def next_below_block(self, count, bound):
+        return np.asarray([self.next_below(bound) for _ in range(count)], dtype=np.int64)
+
     def reset(self):
         self._pos = 0
 
@@ -77,7 +80,7 @@ class TestFigure7Trace:
             FIGURE7_ALPHABET,
             SequenceRng([0, 1, 3]),
         )
-        assert distances == [[edit_distance("abc", "bd")]]
+        assert distances.tolist() == [[edit_distance("abc", "bd")]]
 
 
 class TestCcmRecovery:
@@ -132,7 +135,7 @@ class TestDistances:
 
     def test_different_lengths(self):
         result = run_protocol(["AC"], ["ACGTACGT"], DNA_ALPHABET)
-        assert result == [[6]]
+        assert result.tolist() == [[6]]
 
     def test_custom_alphabet(self):
         alphabet = Alphabet("xyz!")

@@ -47,6 +47,19 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             DissimilarityMatrix.from_square(bad_diag)
 
+    def test_from_square_rejects_negative_entries(self):
+        """Regression: ``from_square`` used to write into storage directly,
+        bypassing the constructor's non-negativity check."""
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_square(
+                np.array([[0.0, -1.0], [-1.0, 0.0]])
+            )
+
+    def test_from_square_rejects_nonfinite_entries(self):
+        square = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        with pytest.raises(ConfigurationError):
+            DissimilarityMatrix.from_square(square)
+
     def test_condensed_length_validation(self):
         with pytest.raises(ConfigurationError):
             DissimilarityMatrix(3, np.zeros(5))
@@ -122,6 +135,43 @@ class TestBlocksAndSubmatrix:
         with pytest.raises(ConfigurationError):
             d.set_block([0, 1], [1, 2], np.ones((2, 2)))
 
+    def test_set_block_duplicate_rows_rejected(self):
+        """Regression: duplicate indices used to let later block entries
+        silently overwrite earlier ones."""
+        d = DissimilarityMatrix.zeros(5)
+        with pytest.raises(ConfigurationError):
+            d.set_block([2, 2], [0, 1], np.ones((2, 2)))
+        with pytest.raises(ConfigurationError):
+            d.set_block([3, 4], [0, 0], np.ones((2, 2)))
+
+    def test_set_block_out_of_range_rejected(self):
+        d = DissimilarityMatrix.zeros(4)
+        with pytest.raises(ConfigurationError):
+            d.set_block([3, 4], [0, 1], np.ones((2, 2)))
+
+    def test_set_block_invalid_values_rejected(self):
+        d = DissimilarityMatrix.zeros(4)
+        with pytest.raises(ConfigurationError):
+            d.set_block([2, 3], [0, 1], np.array([[1.0, -2.0], [3.0, 4.0]]))
+        with pytest.raises(ConfigurationError):
+            d.set_block([2, 3], [0, 1], np.full((2, 2), np.nan))
+
+    def test_set_diagonal_block(self):
+        local = DissimilarityMatrix.from_pairwise(3, lambda i, j: 10 * i + j)
+        d = DissimilarityMatrix.zeros(6)
+        d.set_diagonal_block(2, local)
+        for i in range(3):
+            for j in range(i):
+                assert d[2 + i, 2 + j] == local[i, j]
+        assert d[1, 0] == 0.0 and d[5, 1] == 0.0
+
+    def test_set_diagonal_block_out_of_range(self):
+        d = DissimilarityMatrix.zeros(4)
+        with pytest.raises(ConfigurationError):
+            d.set_diagonal_block(2, DissimilarityMatrix.zeros(3))
+        with pytest.raises(ConfigurationError):
+            d.set_diagonal_block(-1, DissimilarityMatrix.zeros(2))
+
     def test_submatrix(self):
         d = DissimilarityMatrix.from_pairwise(4, lambda i, j: 10 * i + j)
         sub = d.submatrix([3, 1])
@@ -132,6 +182,36 @@ class TestBlocksAndSubmatrix:
         d = DissimilarityMatrix.zeros(3)
         with pytest.raises(ConfigurationError):
             d.submatrix([0, 0])
+
+    def test_submatrix_out_of_range_rejected(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError):
+            d.submatrix([0, 3])
+        with pytest.raises(ConfigurationError):
+            d.submatrix([-1, 1])
+
+    @given(
+        n=st.integers(2, 10),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_square_condensed_roundtrips(self, n, seed):
+        """Fancy-indexed from_square/to_square/to_scipy_condensed agree
+        with the element-wise definitions."""
+        rng = np.random.default_rng(seed)
+        square = np.abs(rng.normal(size=(n, n)))
+        square = (square + square.T) / 2
+        np.fill_diagonal(square, 0.0)
+        d = DissimilarityMatrix.from_square(square)
+        assert np.allclose(d.to_square(), square)
+        from scipy.spatial.distance import squareform
+
+        assert np.allclose(d.to_scipy_condensed(), squareform(square))
+        order = list(rng.permutation(n))
+        sub = d.submatrix(order)
+        for a, i in enumerate(order):
+            for b, j in enumerate(order):
+                assert sub[a, b] == pytest.approx(square[i, j])
 
 
 class TestNormalizationAndStats:

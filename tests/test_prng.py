@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -67,6 +68,18 @@ class TestDeterminism:
 
     def test_seed_property(self, kind):
         assert make_prng(99, kind).seed == 99
+
+    def test_seed_types_are_domain_separated(self, kind):
+        """Regression: ``97``, ``b"a"`` and ``"a"`` share raw byte
+        encodings; the type tag must still split their streams."""
+        streams = {
+            label: make_prng(seed, kind).next_uint64()
+            for label, seed in (("int", 97), ("bytes", b"a"), ("str", "a"))
+        }
+        assert len(set(streams.values())) == 3
+
+    def test_negative_seed_distinct_from_positive(self, kind):
+        assert make_prng(-5, kind).next_uint64() != make_prng(5, kind).next_uint64()
 
 
 @pytest.mark.parametrize("kind", ALL_KINDS)
@@ -152,6 +165,103 @@ class TestKindSpecifics:
         g = make_prng(10)
         f = g.rand_bits_callable()
         assert 0 <= f(17) < 2**17
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestBlockDraws:
+    """The vectorized engine's hard invariant: block draws consume the
+    identical word stream as the corresponding scalar draws."""
+
+    def test_next_words_equals_scalar_stream(self, kind):
+        for count in (1, 3, 4, 5, 9, 64, 257):
+            block, scalar = make_prng("w", kind), make_prng("w", kind)
+            assert block.next_words(count).tolist() == [
+                scalar.next_uint64() for _ in range(count)
+            ]
+            assert block.draws == scalar.draws == count
+
+    def test_block_and_scalar_interleave(self, kind):
+        block, scalar = make_prng(3, kind), make_prng(3, kind)
+        block.next_uint64()
+        scalar.next_uint64()
+        assert block.next_words(7).tolist() == [
+            scalar.next_uint64() for _ in range(7)
+        ]
+        assert block.next_uint64() == scalar.next_uint64()
+
+    def test_sign_bits_block(self, kind):
+        block, scalar = make_prng(4, kind), make_prng(4, kind)
+        assert block.next_sign_bits(100).tolist() == [
+            scalar.next_sign_bit() for _ in range(100)
+        ]
+
+    def test_below_block_consumes_identical_rejections(self, kind):
+        for bound in (1, 2, 3, 4, 5, 26, 1000, 2**40):
+            block, scalar = make_prng(bound, kind), make_prng(bound, kind)
+            assert block.next_below_block(50, bound).tolist() == [
+                scalar.next_below(bound) for _ in range(50)
+            ]
+            assert block.draws == scalar.draws
+            # The word AFTER the block must line up too (exact rewind).
+            assert block.next_uint64() == scalar.next_uint64()
+
+    def test_reset_after_block(self, kind):
+        g = make_prng("rb", kind)
+        first = g.next_words(17)
+        g.reset()
+        assert g.draws == 0
+        assert np.array_equal(g.next_words(17), first)
+
+    def test_empty_blocks_touch_nothing(self, kind):
+        g, h = make_prng(6, kind), make_prng(6, kind)
+        g.next_words(0)
+        g.next_sign_bits(0)
+        g.next_below_block(0, 7)
+        assert g.draws == 0
+        assert g.next_uint64() == h.next_uint64()
+
+    def test_invalid_arguments(self, kind):
+        g = make_prng(7, kind)
+        with pytest.raises(ConfigurationError):
+            g.next_words(-1)
+        with pytest.raises(ConfigurationError):
+            g.next_bits_block(4, 0)
+        with pytest.raises(ConfigurationError):
+            g.next_below_block(4, 0)
+
+
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    seed=st.integers(min_value=0, max_value=2**64),
+    count=st.integers(0, 40),
+    bits=st.integers(1, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bits_block_equals_scalar(kind, seed, count, bits):
+    """Any kind, any width (incl. >64 bits): block == scalar sequence,
+    with matching draw counters and reset behaviour."""
+    block, scalar = make_prng(seed, kind), make_prng(seed, kind)
+    values = block.next_bits_block(count, bits)
+    assert values.tolist() == [scalar.next_bits(bits) for _ in range(count)]
+    assert block.draws == scalar.draws
+    block.reset()
+    scalar.reset()
+    assert block.draws == scalar.draws == 0
+    assert block.next_bits(bits) == scalar.next_bits(bits)
+
+
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    seed=st.integers(min_value=0, max_value=2**32),
+    count=st.integers(0, 30),
+    bound=st.integers(1, 2**70),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_below_block_equals_scalar(kind, seed, count, bound):
+    block, scalar = make_prng(seed, kind), make_prng(seed, kind)
+    values = block.next_below_block(count, bound)
+    assert list(values) == [scalar.next_below(bound) for _ in range(count)]
+    assert block.draws == scalar.draws
 
 
 @given(seed=st.integers(min_value=0, max_value=2**64), bits=st.integers(1, 200))
