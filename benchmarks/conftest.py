@@ -10,7 +10,32 @@ the reference numbers.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def persist_bench(name: str, payload: dict) -> Path:
+    """Merge measured numbers into ``BENCH_<name>.json`` at the repo root.
+
+    Benchmarks persist their headline results so the perf trajectory is
+    recorded per PR (CI uploads every ``BENCH_*.json`` as an artifact).
+    Merging keeps one file per bench module with the latest value under
+    each key.
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing.update(payload)
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def report(title: str, rows: list[tuple], headers: tuple) -> None:
@@ -30,3 +55,10 @@ def report(title: str, rows: list[tuple], headers: tuple) -> None:
 @pytest.fixture
 def table():
     return report
+
+
+@pytest.fixture
+def bench_store():
+    """The :func:`persist_bench` writer, as a fixture (no package import
+    needed from benchmark modules)."""
+    return persist_bench

@@ -8,18 +8,25 @@ require pair-wise comparison of individual private data objects"
 privately constructed dissimilarity matrix:
 
 * :mod:`repro.apps.linkage` -- private record linkage across two sites,
-* :mod:`repro.apps.outliers` -- distance-based outlier detection.
+* :mod:`repro.apps.outliers` -- distance-based outlier detection,
+* :mod:`repro.apps.sessions` -- one-call pipelines and the
+  setup-amortising :class:`~repro.apps.sessions.SessionBatch` runner.
 """
 
 from repro.apps.linkage import LinkageMatch, private_record_linkage
 from repro.apps.outliers import OutlierReport, knn_outliers
-from repro.apps.sessions import run_private_linkage, run_private_outlier_detection
+from repro.apps.sessions import (
+    SessionBatch,
+    run_private_linkage,
+    run_private_outlier_detection,
+)
 
 __all__ = [
     "LinkageMatch",
     "private_record_linkage",
     "OutlierReport",
     "knn_outliers",
+    "SessionBatch",
     "run_private_linkage",
     "run_private_outlier_detection",
 ]

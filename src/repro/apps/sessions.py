@@ -3,19 +3,89 @@
 The record linkage and outlier detection applications (Sections 1 and 6)
 both consist of "run the paper's construction, then consume the matrix".
 These helpers package that sequence so application code never touches
-protocol internals.
+protocol internals.  :class:`SessionBatch` serves the heavy-traffic
+deployment shape: the same consortium of sites running the protocol over
+many datasets, with per-session setup amortised away.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.apps.linkage import LinkageMatch, private_record_linkage
 from repro.apps.outliers import OutlierReport, knn_outliers
 from repro.core.config import SessionConfig
-from repro.core.session import ClusteringSession
+from repro.core.results import ClusteringResult
+from repro.core.session import ClusteringSession, session_entropy
+from repro.crypto.keys import PairwiseSecret, agree_pairwise
 from repro.data.matrix import DataMatrix
 from repro.exceptions import ConfigurationError
+
+
+class SessionBatch:
+    """Amortises party setup across many sessions of one consortium.
+
+    Pairwise Diffie-Hellman key agreement costs ``C(k+1, 2)`` modular
+    exponentiations in a 2048-bit group -- for small workloads it
+    dominates a session's runtime.  A batch runs the agreement *once*
+    for a fixed set of site names (deriving exactly the secrets a
+    standalone session with the same ``config.master_seed`` would
+    derive, so transcripts are byte-identical) and then mints sessions
+    against the cached secrets.
+
+    Example
+    -------
+    >>> batch = SessionBatch(SessionConfig(num_clusters=2), ["A", "B"])
+    >>> results = batch.run_many([partitions_jan, partitions_feb])
+    ... # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        sites: Sequence[str],
+        tp_name: str = "TP",
+    ) -> None:
+        sites = list(sites)
+        if len(sites) < 2:
+            raise ConfigurationError(
+                f"the protocol requires k >= 2 data holders, got {len(sites)}"
+            )
+        if len(set(sites)) != len(sites):
+            raise ConfigurationError(f"duplicate site names: {sites}")
+        if tp_name in sites:
+            raise ConfigurationError(
+                f"third party name {tp_name!r} collides with a data holder"
+            )
+        self.config = config
+        self.sites = sites
+        self.tp_name = tp_name
+        names = sorted(sites) + [tp_name]
+        self._secrets: dict[tuple[str, str], PairwiseSecret] = agree_pairwise(
+            {
+                name: session_entropy(config.master_seed, f"dh|{name}")
+                for name in names
+            }
+        )
+
+    def session(self, partitions: Mapping[str, DataMatrix]) -> ClusteringSession:
+        """A fresh session over ``partitions``, reusing the cached secrets."""
+        if set(partitions) != set(self.sites):
+            raise ConfigurationError(
+                f"partitions cover {sorted(partitions)}, batch is for {sorted(self.sites)}"
+            )
+        return ClusteringSession(
+            self.config,
+            partitions,
+            tp_name=self.tp_name,
+            shared_secrets=self._secrets,
+        )
+
+    def run_many(
+        self, partition_batches: Iterable[Mapping[str, DataMatrix]]
+    ) -> list[ClusteringResult]:
+        """Run one full session per element of ``partition_batches``."""
+        return [self.session(partitions).run() for partitions in partition_batches]
 
 
 def run_private_linkage(

@@ -43,6 +43,14 @@ class ProtocolSuiteConfig:
         extension that closes the paper's Section 6 open problem: a
         continuous mask stream defeating language-statistics attacks at
         identical communication cost.
+    construction_schedule:
+        Ordering policy of the construction scheduler
+        (:data:`repro.core.scheduler.SCHEDULE_POLICIES`).
+        ``"sequential"`` replays the seed's exact global message order
+        (byte-identical sealed transcripts); ``"interleaved"`` overlaps
+        local-matrix transfers and comparison rounds across attributes
+        and holder pairs -- identical protocol messages and byte counts,
+        frames just ride the channels in a pipelined order.
     """
 
     prng_kind: str = DEFAULT_PRNG_KIND
@@ -51,6 +59,7 @@ class ProtocolSuiteConfig:
     secure_channels: bool = True
     categorical_digest_size: int = 16
     fresh_string_masks: bool = False
+    construction_schedule: str = "sequential"
 
     def __post_init__(self) -> None:
         if self.prng_kind not in available_kinds():
@@ -64,6 +73,13 @@ class ProtocolSuiteConfig:
         if not 8 <= self.categorical_digest_size <= 32:
             raise ConfigurationError(
                 f"categorical_digest_size must be in [8, 32], got {self.categorical_digest_size}"
+            )
+        from repro.core.scheduler import SCHEDULE_POLICIES
+
+        if self.construction_schedule not in SCHEDULE_POLICIES:
+            raise ConfigurationError(
+                f"unknown construction_schedule {self.construction_schedule!r}; "
+                f"available: {SCHEDULE_POLICIES}"
             )
 
 

@@ -11,19 +11,24 @@ For each attribute chosen for clustering, the third party
    negotiation --
 
 then normalises the completed matrix into [0, 1] (Figure 11 step 4).
-This module is the deterministic driver of that sequence over the
-in-process parties; it performs no unmasking or maths itself.
+
+Since the transport PR this sequence is expressed as a step graph and
+executed by :class:`repro.core.scheduler.ConstructionScheduler`: the
+``"sequential"`` policy replays the seed's exact order, while
+``"interleaved"`` overlaps local-matrix transfers, protocol rounds and
+TP block-writes across attributes and holder pairs.  These functions are
+the deterministic drivers over the in-process parties; they perform no
+unmasking or maths themselves.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Mapping
 
+from repro.core.scheduler import ConstructionScheduler
 from repro.data.matrix import AttributeSpec
-from repro.exceptions import ProtocolError
 from repro.parties.holder import DataHolder
 from repro.parties.third_party import ThirdParty
-from repro.types import AttributeType
 
 
 def construct_attribute(
@@ -33,44 +38,25 @@ def construct_attribute(
 ) -> None:
     """Build the global dissimilarity matrix for one attribute.
 
-    Drives holders and the third party through the Figure 11 sequence;
-    on return ``third_party.attribute_matrix(spec.name)`` is available.
+    Drives holders and the third party through the Figure 11 sequence
+    (seed order); on return ``third_party.attribute_matrix(spec.name)``
+    is available.
     """
-    sites = list(third_party.index.sites)
-    if set(sites) != set(holders):
-        raise ProtocolError(
-            f"holders {sorted(holders)} do not match index sites {sites}"
-        )
+    construct_attributes([spec], holders, third_party)
 
-    if spec.attr_type is AttributeType.CATEGORICAL:
-        for site in sites:
-            holders[site].send_categorical(spec, third_party.name)
-            third_party.receive_encrypted_column(site)
-        third_party.finalize_categorical(spec.name)
-    else:
-        for site in sites:
-            holders[site].send_local_matrix(third_party.name, spec)
-            third_party.receive_local_matrix(site)
-        for j_index, initiator in enumerate(sites):
-            for responder in sites[j_index + 1 :]:
-                if spec.attr_type is AttributeType.NUMERIC:
-                    holders[initiator].numeric_initiate(
-                        spec,
-                        responder,
-                        third_party.name,
-                        responder_size=third_party.index.size_of(responder),
-                    )
-                    holders[responder].numeric_respond(
-                        spec, initiator, third_party.name
-                    )
-                    third_party.receive_numeric_block(responder)
-                else:
-                    holders[initiator].alnum_initiate(
-                        spec, responder, third_party.name
-                    )
-                    holders[responder].alnum_respond(
-                        spec, initiator, third_party.name
-                    )
-                    third_party.receive_alnum_block(responder)
 
-    third_party.finalize_attribute(spec.name)
+def construct_attributes(
+    specs: Iterable[AttributeSpec],
+    holders: Mapping[str, DataHolder],
+    third_party: ThirdParty,
+    policy: str = "sequential",
+) -> list[str]:
+    """Build the global matrices for many attributes under one schedule.
+
+    Returns the realized step schedule (useful to assert pipelining in
+    tests and to debug protocol choreography).
+    """
+    scheduler = ConstructionScheduler(holders, third_party, policy=policy)
+    for spec in specs:
+        scheduler.add_attribute(spec)
+    return scheduler.run()

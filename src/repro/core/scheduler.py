@@ -1,0 +1,301 @@
+"""Pipelined construction scheduling (Figure 11 as a step graph).
+
+The seed drove matrix construction as one strictly sequential loop:
+every holder's local matrix shipped and landed before the first
+comparison run started, and every attribute completed before the next
+began.  Nothing in the protocol requires that -- each of the ``C(k, 2)``
+comparison runs per attribute uses its own pairwise-derived generators,
+and the third party's block writes touch disjoint regions -- so this
+module decomposes construction into *schedulable steps* (ship local
+matrix, initiate, respond, absorb a block, finalize) with explicit
+dependencies, and executes any interleaving the dependency graph and the
+FIFO network admit.
+
+Two ordering policies ship:
+
+* ``"sequential"`` replays the seed's exact global order -- on sealed
+  channels every wire byte, including each frame's position in the
+  per-channel nonce stream, is byte-identical to the seed transcript.
+* ``"interleaved"`` runs wave-by-wave across attributes and holder
+  pairs: all local-matrix transfers are in flight before the comparison
+  rounds drain them, and every pair's protocol run overlaps with every
+  other's.  This is the schedule a deployment with real (concurrent)
+  links would follow.
+
+Correctness under reordering rests on two mechanisms.  *PRNG isolation*:
+every protocol run derives its generators from pairwise secrets under
+attribute-and-pair-scoped labels (:mod:`repro.core.labels`), so no
+schedule can change any party's protocol PRNG stream -- the protocol
+*messages* are byte-identical under every policy, and the property tests
+pin that.  *Queue gating*: a step that consumes a message runs only when
+that exact message (kind and sender) is at the head of its party's FIFO
+queue (:meth:`repro.network.simulator.Network.peek`), so interleaving
+can never mis-deliver; an impossible schedule degrades to a
+:class:`~repro.exceptions.ProtocolError` deadlock report, never to a
+wrong matrix.  What *does* legitimately differ between policies is the
+assignment of channel nonces to frames (a sealed frame's position in its
+channel's nonce stream depends on the schedule), which changes no
+payload, no byte count and no statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.data.matrix import AttributeSpec
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.parties.holder import DataHolder
+from repro.parties.third_party import ThirdParty
+from repro.types import AttributeType
+
+#: Ordering policies accepted by :class:`ConstructionScheduler`.
+SCHEDULE_POLICIES = ("sequential", "interleaved")
+
+# Wave ranks for the interleaved policy: steps of one wave across all
+# attributes and pairs are eligible before the next wave starts draining.
+_SEND_LOCAL, _RECV_LOCAL, _INITIATE, _RESPOND, _RECV_BLOCK, _FINALIZE = range(6)
+
+
+@dataclass
+class Step:
+    """One schedulable unit of the construction choreography.
+
+    ``receives`` gates execution on ``(party, kind, sender)`` being the
+    head of ``party``'s delivery queue; ``None`` means the step only
+    sends or computes.  ``order`` is the policy-assigned priority key --
+    the executor always runs the lowest-ordered runnable step, so the
+    key fully determines the schedule among admissible ones.
+    """
+
+    name: str
+    run: Callable[[], None]
+    deps: tuple[str, ...] = ()
+    receives: tuple[str, str, str] | None = None
+    order: tuple = ()
+
+
+class ConstructionScheduler:
+    """Builds and executes the step graph for a set of attributes.
+
+    Parameters
+    ----------
+    holders:
+        ``{site: DataHolder}`` -- must match the third party's index.
+    third_party:
+        The TP whose matrices the steps fill.
+    policy:
+        One of :data:`SCHEDULE_POLICIES`.
+    """
+
+    def __init__(
+        self,
+        holders: Mapping[str, DataHolder],
+        third_party: ThirdParty,
+        policy: str = "sequential",
+    ) -> None:
+        if policy not in SCHEDULE_POLICIES:
+            raise ConfigurationError(
+                f"unknown schedule policy {policy!r}; available: {SCHEDULE_POLICIES}"
+            )
+        sites = list(third_party.index.sites)
+        if set(sites) != set(holders):
+            raise ProtocolError(
+                f"holders {sorted(holders)} do not match index sites {sites}"
+            )
+        self.policy = policy
+        self._holders = dict(holders)
+        self._tp = third_party
+        self._sites = sites
+        self._steps: list[Step] = []
+        self._names: set[str] = set()
+        self._attr_index = 0
+        self._seq = 0
+
+    # -- graph construction ------------------------------------------------
+
+    def _add(
+        self,
+        name: str,
+        run: Callable[[], None],
+        wave: int,
+        lane: int,
+        deps: tuple[str, ...] = (),
+        receives: tuple[str, str, str] | None = None,
+    ) -> str:
+        """Register a step; ``lane`` spreads one wave across pairs/sites."""
+        if name in self._names:
+            raise ProtocolError(f"duplicate construction step {name!r}")
+        if self.policy == "sequential":
+            order: tuple = (self._seq,)
+        else:
+            order = (wave, lane, self._attr_index, self._seq)
+        self._seq += 1
+        self._names.add(name)
+        self._steps.append(
+            Step(name=name, run=run, deps=deps, receives=receives, order=order)
+        )
+        return name
+
+    def add_attribute(self, spec: AttributeSpec) -> None:
+        """Append the Figure 11 steps for one attribute to the graph."""
+        tp = self._tp
+        sites = self._sites
+        attr = spec.name
+        finalize_deps: list[str] = []
+
+        if spec.attr_type is AttributeType.CATEGORICAL:
+            for lane, site in enumerate(sites):
+                sent = self._add(
+                    f"{attr}:send_encrypted[{site}]",
+                    lambda site=site: self._holders[site].send_categorical(spec, tp.name),
+                    wave=_SEND_LOCAL,
+                    lane=lane,
+                )
+                finalize_deps.append(
+                    self._add(
+                        f"{attr}:recv_encrypted[{site}]",
+                        lambda site=site: tp.receive_encrypted_column(site),
+                        wave=_RECV_LOCAL,
+                        lane=lane,
+                        deps=(sent,),
+                        receives=(tp.name, "encrypted_column", site),
+                    )
+                )
+            self._add(
+                f"{attr}:finalize",
+                lambda: (tp.finalize_categorical(attr), tp.finalize_attribute(attr)),
+                wave=_FINALIZE,
+                lane=0,
+                deps=tuple(finalize_deps),
+            )
+            self._attr_index += 1
+            return
+
+        numeric = spec.attr_type is AttributeType.NUMERIC
+        for lane, site in enumerate(sites):
+            sent = self._add(
+                f"{attr}:send_local[{site}]",
+                lambda site=site: self._holders[site].send_local_matrix(tp.name, spec),
+                wave=_SEND_LOCAL,
+                lane=lane,
+            )
+            finalize_deps.append(
+                self._add(
+                    f"{attr}:recv_local[{site}]",
+                    lambda site=site: tp.receive_local_matrix(site),
+                    wave=_RECV_LOCAL,
+                    lane=lane,
+                    deps=(sent,),
+                    receives=(tp.name, "local_matrix", site),
+                )
+            )
+
+        masked_kind = (
+            ("masked_vector" if tp.suite.batch_numeric else "masked_matrix")
+            if numeric
+            else "masked_strings"
+        )
+        block_kind = "comparison_matrix" if numeric else "ccm_matrices"
+        pair_lane = 0
+        for j_index, initiator in enumerate(sites):
+            for responder in sites[j_index + 1 :]:
+                pair = f"{initiator}->{responder}"
+                if numeric:
+                    initiated = self._add(
+                        f"{attr}:initiate[{pair}]",
+                        lambda i=initiator, r=responder: self._holders[i].numeric_initiate(
+                            spec, r, tp.name, responder_size=tp.index.size_of(r)
+                        ),
+                        wave=_INITIATE,
+                        lane=pair_lane,
+                    )
+                    responded = self._add(
+                        f"{attr}:respond[{pair}]",
+                        lambda i=initiator, r=responder: self._holders[r].numeric_respond(
+                            spec, i, tp.name
+                        ),
+                        wave=_RESPOND,
+                        lane=pair_lane,
+                        deps=(initiated,),
+                        receives=(responder, masked_kind, initiator),
+                    )
+                    absorb = lambda r=responder: tp.receive_numeric_block(r)
+                else:
+                    initiated = self._add(
+                        f"{attr}:initiate[{pair}]",
+                        lambda i=initiator, r=responder: self._holders[i].alnum_initiate(
+                            spec, r, tp.name
+                        ),
+                        wave=_INITIATE,
+                        lane=pair_lane,
+                    )
+                    responded = self._add(
+                        f"{attr}:respond[{pair}]",
+                        lambda i=initiator, r=responder: self._holders[r].alnum_respond(
+                            spec, i, tp.name
+                        ),
+                        wave=_RESPOND,
+                        lane=pair_lane,
+                        deps=(initiated,),
+                        receives=(responder, masked_kind, initiator),
+                    )
+                    absorb = lambda r=responder: tp.receive_alnum_block(r)
+                finalize_deps.append(
+                    self._add(
+                        f"{attr}:recv_block[{pair}]",
+                        absorb,
+                        wave=_RECV_BLOCK,
+                        lane=pair_lane,
+                        deps=(responded,),
+                        receives=(tp.name, block_kind, responder),
+                    )
+                )
+                pair_lane += 1
+
+        self._add(
+            f"{attr}:finalize",
+            lambda: tp.finalize_attribute(attr),
+            wave=_FINALIZE,
+            lane=0,
+            deps=tuple(finalize_deps),
+        )
+        self._attr_index += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def _runnable(self, step: Step, done: set[str]) -> bool:
+        if any(dep not in done for dep in step.deps):
+            return False
+        if step.receives is not None:
+            party, kind, sender = step.receives
+            head = self._tp.network.peek(party)
+            if head is None or head.kind != kind or head.sender != sender:
+                return False
+        return True
+
+    def run(self) -> list[str]:
+        """Execute every step; returns the realized schedule (step names).
+
+        Always runs the lowest-ordered runnable step, so execution is
+        deterministic for a given policy.  The scan is O(steps^2) in the
+        worst case, which is irrelevant next to the protocol work a step
+        performs (sessions schedule at most a few thousand steps).
+        """
+        pending = sorted(self._steps, key=lambda step: step.order)
+        done: set[str] = set()
+        trace: list[str] = []
+        while pending:
+            for index, step in enumerate(pending):
+                if self._runnable(step, done):
+                    del pending[index]
+                    step.run()
+                    done.add(step.name)
+                    trace.append(step.name)
+                    break
+            else:
+                blocked = [step.name for step in pending]
+                raise ProtocolError(
+                    f"construction schedule deadlocked; blocked steps: {blocked}"
+                )
+        return trace

@@ -17,10 +17,10 @@ from typing import Mapping
 
 from repro.core import labels
 from repro.core.config import SessionConfig
-from repro.core.construction import construct_attribute
+from repro.core.construction import construct_attributes
 from repro.core.results import ClusteringResult
-from repro.crypto.keys import agree_pairwise
-from repro.crypto.prng import make_prng
+from repro.crypto.keys import PairwiseSecret, agree_pairwise
+from repro.crypto.prng import ReseedablePRNG, make_prng
 from repro.data.matrix import DataMatrix, Schema
 from repro.data.partition import GlobalIndex
 from repro.distance.dissimilarity import DissimilarityMatrix
@@ -29,6 +29,16 @@ from repro.network.simulator import Network
 from repro.parties.holder import DataHolder
 from repro.parties.third_party import ThirdParty
 from repro.types import AttributeType, LinkageMethod
+
+
+def session_entropy(master_seed: int, label: str) -> ReseedablePRNG:
+    """Session-deterministic cryptographic entropy source.
+
+    Module-level so that :class:`repro.apps.sessions.SessionBatch` can
+    pre-derive the exact DH entropy a standalone session would use --
+    batched and standalone sessions share byte-identical transcripts.
+    """
+    return make_prng(f"session|{master_seed}|{label}", "hash_drbg")
 
 
 class ClusteringSession:
@@ -44,6 +54,13 @@ class ClusteringSession:
         list of Section 3); at least two holders are required.
     tp_name:
         Name of the third party (must differ from every site name).
+    shared_secrets:
+        Optional pre-agreed ``{(a, b): PairwiseSecret}`` covering every
+        party pair (sites plus third party).  When given, the session
+        skips Diffie-Hellman key agreement -- this is how
+        :class:`repro.apps.sessions.SessionBatch` amortises setup across
+        many sessions.  Passing the secrets a standalone session would
+        have derived leaves every transcript byte unchanged.
     """
 
     def __init__(
@@ -51,6 +68,7 @@ class ClusteringSession:
         config: SessionConfig,
         partitions: Mapping[str, DataMatrix],
         tp_name: str = "TP",
+        shared_secrets: Mapping[tuple[str, str], PairwiseSecret] | None = None,
     ) -> None:
         if len(partitions) < 2:
             raise ConfigurationError(
@@ -75,26 +93,44 @@ class ClusteringSession:
         self.network = Network()
         self._constructed = False
         self._weights_collected = False
+        #: Step names in the order the construction scheduler ran them
+        #: (populated by :meth:`execute_protocol`).
+        self.construction_trace: list[str] = []
 
-        self._setup_parties()
+        self._setup_parties(shared_secrets)
 
     # -- setup ------------------------------------------------------------
 
     def _entropy(self, label: str):
         """Session-deterministic cryptographic entropy source."""
-        return make_prng(f"session|{self.config.master_seed}|{label}", "hash_drbg")
+        return session_entropy(self.config.master_seed, label)
 
-    def _setup_parties(self) -> None:
+    def _setup_parties(
+        self, shared_secrets: Mapping[tuple[str, str], PairwiseSecret] | None
+    ) -> None:
         suite = self.config.suite
         names = sorted(self.partitions) + [self.tp_name]
         for name in names:
             self.network.add_party(name)
 
-        # Pairwise Diffie-Hellman key agreement (out-of-band setup; the
-        # paper's cost analysis starts after secrets are shared).
-        secrets = agree_pairwise(
-            {name: self._entropy(f"dh|{name}") for name in names}
-        )
+        if shared_secrets is None:
+            # Pairwise Diffie-Hellman key agreement (out-of-band setup;
+            # the paper's cost analysis starts after secrets are shared).
+            secrets = agree_pairwise(
+                {name: self._entropy(f"dh|{name}") for name in names}
+            )
+        else:
+            sorted_names = sorted(names)
+            expected = {
+                (a, b)
+                for i, a in enumerate(sorted_names)
+                for b in sorted_names[i + 1 :]
+            }
+            if set(shared_secrets) != expected:
+                raise ConfigurationError(
+                    f"shared_secrets must cover exactly the pairs {sorted(expected)}"
+                )
+            secrets = dict(shared_secrets)
 
         self.holders: dict[str, DataHolder] = {
             site: DataHolder(
@@ -153,8 +189,12 @@ class ClusteringSession:
             for site in sites[1:]:
                 self.holders[site].receive_group_key(leader)
 
-        for spec in self.schema:
-            construct_attribute(spec, self.holders, self.third_party)
+        self.construction_trace = construct_attributes(
+            self.schema,
+            self.holders,
+            self.third_party,
+            policy=self.config.suite.construction_schedule,
+        )
 
         for site in sites:
             self.holders[site].send_weights(self.tp_name, self._holder_weights(site))

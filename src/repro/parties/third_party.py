@@ -61,6 +61,12 @@ class ThirdParty(Party):
         self._pending_categorical: dict[str, dict[str, list[bytes]]] = {}
         self._weights: dict[str, list[float]] = {}
 
+    @property
+    def suite(self) -> ProtocolSuiteConfig:
+        """Protocol suite configuration (read by the scheduler to know
+        which message kinds a comparison run exchanges)."""
+        return self._suite
+
     # -- storage helpers ------------------------------------------------------
 
     def _matrix_for(self, attribute: str) -> DissimilarityMatrix:

@@ -87,6 +87,39 @@ class TestSerialization:
         assert deserialize(serialize(True)) is True
         assert deserialize(serialize(1)) == 1
 
+    def test_numpy_bool_scalars(self):
+        """np.bool_ is neither bool nor np.integer; it gets the bool tag."""
+        assert deserialize(serialize(np.bool_(True))) is True
+        assert deserialize(serialize(np.bool_(False))) is False
+        assert serialize(np.bool_(True)) == serialize(True)
+        assert deserialize(serialize([np.bool_(True), 1])) == [True, 1]
+
+    def test_truncated_int_run_raises_not_misparses(self):
+        """A declared count with a truncated I-run tail must raise."""
+        data = serialize([2**40, 2**41, 2**42])
+        for cut in range(1, len(data)):
+            with pytest.raises(ChannelError, match="truncated message"):
+                deserialize(data[:cut])
+
+    def test_malformed_length_field_in_run(self):
+        """A record whose length field points past the buffer raises."""
+        good = bytearray(serialize([7] * 50))
+        # Corrupt one record's length field to a huge value.
+        good[6 + 3 * 7 + 4] = 0xFF
+        with pytest.raises(ChannelError):
+            deserialize(bytes(good))
+
+    def test_serialized_size_matches_serialize(self):
+        values = [
+            None, True, np.bool_(False), 0, -(2**200), 1.5, "héllo", b"\x00",
+            [1, "two", None], [2**64 - 1, 2**64, -5], (1, 2),
+            {"a": 1, "b": [2, 3]}, np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.int64(7), np.float64(1.5),
+        ]
+        for value in values:
+            assert serialized_size(value) == len(serialize(value)), value
+        assert serialized_size(values) == len(serialize(values))
+
     @given(
         st.recursive(
             st.one_of(

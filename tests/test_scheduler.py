@@ -1,0 +1,249 @@
+"""The pipelined construction scheduler and the session batch runner.
+
+Pins the scheduler's two core guarantees -- (1) the ``sequential``
+policy replays the seed's exact choreography, and (2) the
+``interleaved`` policy overlaps attributes and holder pairs while
+changing no protocol message, no byte count and no result -- plus the
+queue-gating that makes arbitrary admissible interleavings safe, and
+the :class:`repro.apps.sessions.SessionBatch` setup amortisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sessions import SessionBatch
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
+from repro.core.scheduler import SCHEDULE_POLICIES, ConstructionScheduler, Step
+from repro.core.session import ClusteringSession
+from repro.data.alphabet import DNA_ALPHABET
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.channel import Eavesdropper
+from repro.types import AttributeType
+
+SCHEMA = [
+    AttributeSpec("num", AttributeType.NUMERIC, precision=0),
+    AttributeSpec("seq", AttributeType.ALPHANUMERIC, alphabet=DNA_ALPHABET),
+    AttributeSpec("cat", AttributeType.CATEGORICAL),
+]
+
+
+def _partitions(num_sites: int = 3):
+    rows = [[i, "ACGT" if i % 2 else "TTGT", f"c{i % 3}"] for i in range(num_sites * 2)]
+    return {
+        chr(ord("A") + s): DataMatrix(SCHEMA, rows[2 * s : 2 * s + 2])
+        for s in range(num_sites)
+    }
+
+
+def _tapped_session(schedule: str, secure: bool = False, num_sites: int = 3):
+    suite = ProtocolSuiteConfig(
+        secure_channels=secure, construction_schedule=schedule
+    )
+    partitions = _partitions(num_sites)
+    session = ClusteringSession(
+        SessionConfig(num_clusters=2, master_seed=3, suite=suite), partitions
+    )
+    taps = {}
+    names = sorted(partitions) + ["TP"]
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            tap = Eavesdropper(f"{a}|{b}")
+            session.network.attach_tap(a, b, tap)
+            taps[(a, b)] = tap
+    return session, taps
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolSuiteConfig(construction_schedule="chaotic")
+
+    def test_scheduler_rejects_unknown_policy(self):
+        session, _ = _tapped_session("sequential")
+        with pytest.raises(ConfigurationError):
+            ConstructionScheduler(session.holders, session.third_party, policy="nope")
+
+    def test_policies_registry(self):
+        assert set(SCHEDULE_POLICIES) == {"sequential", "interleaved"}
+
+    def test_holder_site_mismatch_rejected(self):
+        session, _ = _tapped_session("sequential")
+        holders = dict(session.holders)
+        holders.pop(next(iter(holders)))
+        with pytest.raises(ProtocolError):
+            ConstructionScheduler(holders, session.third_party)
+
+
+class TestSequentialReplaysSeed:
+    def test_global_frame_order_is_seed_order(self):
+        """The sequential schedule reproduces the seed's who-sends-what-when
+        (the same choreography test_transcript pins in detail)."""
+        suite = ProtocolSuiteConfig(secure_channels=False)
+        partitions = _partitions(2)
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=3, suite=suite), partitions
+        )
+        shared = Eavesdropper("global")
+        names = sorted(partitions) + ["TP"]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                session.network.attach_tap(a, b, shared)
+        session.run()
+        kinds = [f.kind for f in shared.frames]
+        assert kinds == [
+            "group_key",
+            "local_matrix", "local_matrix", "masked_vector", "comparison_matrix",
+            "local_matrix", "local_matrix", "masked_strings", "ccm_matrices",
+            "encrypted_column", "encrypted_column",
+            "weights", "weights",
+            "result", "result",
+        ]
+
+
+class TestInterleavedEquivalence:
+    def test_results_and_stats_match_sequential(self):
+        seq_session, seq_taps = _tapped_session("sequential", secure=True)
+        seq_result = seq_session.run()
+        int_session, int_taps = _tapped_session("interleaved", secure=True)
+        int_result = int_session.run()
+
+        assert seq_result.to_payload() == int_result.to_payload()
+        assert (
+            seq_session.final_matrix().condensed.tolist()
+            == int_session.final_matrix().condensed.tolist()
+        )
+        assert seq_session.total_bytes() == int_session.total_bytes()
+        for link in seq_taps:
+            a, b = link
+            seq_channel = seq_session.network.channel(a, b)
+            int_channel = int_session.network.channel(a, b)
+            for x, y in ((a, b), (b, a)):
+                assert seq_channel.stats(x, y) == int_channel.stats(x, y)
+
+    def test_insecure_frames_identical_up_to_order(self):
+        """Without sealing, frames are raw payload bytes: reordering is
+        the *only* difference the scheduler may introduce."""
+        seq_session, seq_taps = _tapped_session("sequential", secure=False)
+        seq_session.run()
+        int_session, int_taps = _tapped_session("interleaved", secure=False)
+        int_session.run()
+        for link in seq_taps:
+            seq_frames = sorted(
+                (f.sender, f.recipient, f.kind, f.wire) for f in seq_taps[link].frames
+            )
+            int_frames = sorted(
+                (f.sender, f.recipient, f.kind, f.wire) for f in int_taps[link].frames
+            )
+            assert seq_frames == int_frames, f"payload bytes changed on {link}"
+
+    def test_trace_overlaps_pairs_and_attributes(self):
+        session, _ = _tapped_session("interleaved")
+        session.run()
+        trace = session.construction_trace
+        # Protocol rounds overlap: several initiates are in flight before
+        # the TP absorbs the first comparison block.
+        first_block = next(i for i, name in enumerate(trace) if ":recv_block" in name)
+        assert sum(1 for name in trace[:first_block] if ":initiate" in name) >= 3
+        # Attributes overlap: the second attribute starts before the
+        # first finalizes.
+        num_finalize = trace.index("num:finalize")
+        assert any(name.startswith("seq:") for name in trace[:num_finalize])
+
+    def test_sequential_trace_is_attribute_major(self):
+        session, _ = _tapped_session("sequential")
+        session.run()
+        trace = session.construction_trace
+        num_steps = [i for i, name in enumerate(trace) if name.startswith("num:")]
+        seq_steps = [i for i, name in enumerate(trace) if name.startswith("seq:")]
+        assert max(num_steps) < min(seq_steps)
+
+
+class TestQueueGating:
+    def test_deadlock_reported_not_misdelivered(self):
+        """A step graph whose receive can never be satisfied fails loudly."""
+        session, _ = _tapped_session("sequential")
+        scheduler = ConstructionScheduler(session.holders, session.third_party)
+        scheduler._steps.append(
+            Step(
+                name="ghost",
+                run=lambda: None,
+                receives=("TP", "never_sent", "A"),
+                order=(0,),
+            )
+        )
+        with pytest.raises(ProtocolError, match="deadlock"):
+            scheduler.run()
+
+    def test_duplicate_step_rejected(self):
+        session, _ = _tapped_session("sequential")
+        scheduler = ConstructionScheduler(session.holders, session.third_party)
+        scheduler.add_attribute(SCHEMA[0])
+        with pytest.raises(ProtocolError, match="duplicate"):
+            scheduler.add_attribute(SCHEMA[0])
+
+    def test_network_peek(self):
+        session, _ = _tapped_session("sequential")
+        network = session.network
+        assert network.peek("TP") is None
+        network.send("A", "TP", "probe", 1)
+        head = network.peek("TP")
+        assert head is not None and head.kind == "probe"
+        assert network.pending("TP") == 1  # peek does not pop
+        network.receive("TP")
+
+
+class TestSessionBatch:
+    def test_transcripts_byte_identical_to_standalone(self):
+        partitions = _partitions()
+        config = SessionConfig(num_clusters=2, master_seed=3)
+        standalone = ClusteringSession(config, partitions)
+        shared_standalone = Eavesdropper("s")
+        names = sorted(partitions) + ["TP"]
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                standalone.network.attach_tap(a, b, shared_standalone)
+        standalone_result = standalone.run()
+
+        batch = SessionBatch(config, sorted(partitions))
+        batched = batch.session(partitions)
+        shared_batched = Eavesdropper("b")
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                batched.network.attach_tap(a, b, shared_batched)
+        batched_result = batched.run()
+
+        assert standalone_result.to_payload() == batched_result.to_payload()
+        assert [f.wire for f in shared_standalone.frames] == [
+            f.wire for f in shared_batched.frames
+        ]
+
+    def test_run_many(self):
+        batch = SessionBatch(SessionConfig(num_clusters=2, master_seed=9), ["A", "B", "C"])
+        results = batch.run_many([_partitions(), _partitions()])
+        assert len(results) == 2
+        assert results[0].to_payload() == results[1].to_payload()
+
+    def test_validation(self):
+        config = SessionConfig(num_clusters=2)
+        with pytest.raises(ConfigurationError):
+            SessionBatch(config, ["A"])
+        with pytest.raises(ConfigurationError):
+            SessionBatch(config, ["A", "A"])
+        with pytest.raises(ConfigurationError):
+            SessionBatch(config, ["A", "TP"])
+        batch = SessionBatch(config, ["A", "B"])
+        with pytest.raises(ConfigurationError):
+            batch.session({"A": _partitions()["A"], "C": _partitions()["C"]})
+
+    def test_session_rejects_wrong_secret_pairs(self):
+        config = SessionConfig(num_clusters=2)
+        batch = SessionBatch(config, ["A", "B"])
+        partitions = {k: v for k, v in _partitions().items() if k in ("A", "B")}
+        with pytest.raises(ConfigurationError, match="shared_secrets"):
+            ClusteringSession(
+                config,
+                partitions,
+                shared_secrets={("A", "B"): batch._secrets[("A", "B")]},
+            )
