@@ -1,0 +1,60 @@
+"""Fail if any persisted benchmark speedup regressed below its gate.
+
+Walks every ``BENCH_*.json`` at the repo root; any JSON object carrying
+both a ``speedup`` and a ``gate`` key is a gated measurement, and the
+recorded speedup must meet the recorded gate.  Benchmarks persist the
+gate they actually ran under (CI relaxes the bars via env vars for noisy
+shared runners), so this check is consistent in both environments while
+still catching a bench that silently recorded a regression.
+
+Usage: ``python benchmarks/check_gates.py`` (exit code 1 on regression).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def gated_entries(node, path=""):
+    """Yield (path, speedup, gate) for every gated object in the tree."""
+    if isinstance(node, dict):
+        if "speedup" in node and "gate" in node:
+            yield path, float(node["speedup"]), float(node["gate"])
+        for key, value in node.items():
+            yield from gated_entries(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from gated_entries(value, f"{path}[{index}]")
+
+
+def main() -> int:
+    failures = []
+    checked = 0
+    for bench_file in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(bench_file.read_text())
+        except (OSError, ValueError) as error:
+            failures.append(f"{bench_file.name}: unreadable ({error})")
+            continue
+        for path, speedup, gate in gated_entries(payload):
+            checked += 1
+            status = "ok" if speedup >= gate else "REGRESSED"
+            print(f"{bench_file.name}:{path}: {speedup}x (gate {gate}x) {status}")
+            if speedup < gate:
+                failures.append(
+                    f"{bench_file.name}:{path}: {speedup}x below gate {gate}x"
+                )
+    if not checked:
+        print("no gated benchmark entries found")
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

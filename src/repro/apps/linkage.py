@@ -41,11 +41,7 @@ def _cross_block(
     matrix: DissimilarityMatrix, index: GlobalIndex, site_a: str, site_b: str
 ) -> np.ndarray:
     rows, cols = index.block(site_a, site_b)
-    block = np.empty((len(rows), len(cols)), dtype=np.float64)
-    for bi, i in enumerate(rows):
-        for bj, j in enumerate(cols):
-            block[bi, bj] = matrix[i, j]
-    return block
+    return matrix.cross_block(rows, cols)
 
 
 def private_record_linkage(

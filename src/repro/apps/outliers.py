@@ -62,8 +62,9 @@ def knn_outliers(
 
     square = matrix.to_square()
     np.fill_diagonal(square, np.inf)
-    sorted_rows = np.sort(square, axis=1)
-    scores = sorted_rows[:, k - 1]
+    # Partial selection: only the k-th order statistic per row is needed,
+    # not a fully sorted row.
+    scores = np.partition(square, k - 1, axis=1)[:, k - 1]
 
     if threshold is not None:
         flagged_positions = [i for i in range(n) if scores[i] > threshold]

@@ -7,14 +7,20 @@ third party runs these algorithms locally once the matrix is built
 :class:`repro.distance.DissimilarityMatrix` and never touches raw data:
 
 * :mod:`repro.clustering.linkage` -- agglomerative hierarchical
-  clustering via Lance-Williams updates (single, complete, average,
-  weighted, ward), the paper's primary downstream consumer,
+  clustering via nearest-neighbor chains over condensed storage (single,
+  complete, average, weighted, ward; O(n^2) time, O(n^2/2) memory), the
+  paper's primary downstream consumer,
 * :mod:`repro.clustering.dendrogram` -- merge trees, cuts by cluster
   count or height, cophenetic distances,
-* :mod:`repro.clustering.kmedoids` -- PAM, the partitioning baseline for
-  the hierarchical-vs-partitioning discussion of Section 2,
+* :mod:`repro.clustering.kmedoids` -- PAM with FasterPAM-style
+  whole-candidate SWAP evaluation, the partitioning baseline for the
+  hierarchical-vs-partitioning discussion of Section 2,
 * :mod:`repro.clustering.quality` -- internal metrics the TP may publish
-  (Section 5) and external accuracy metrics for the experiments.
+  (Section 5) and external accuracy metrics for the experiments, all in
+  condensed-array form,
+* :mod:`repro.clustering.reference` -- the seed implementations, kept
+  verbatim; the equivalence suite holds the fast layer to their exact
+  outputs.
 """
 
 from repro.clustering.dendrogram import Dendrogram, cut_at_k, fcluster_by_height

@@ -13,7 +13,25 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.distance.dissimilarity import condensed_position
 from repro.exceptions import ClusteringError
+
+#: Characters that force a Newick label into quoted form: the structural
+#: metacharacters of the grammar, whitespace, and underscore (which an
+#: unquoted label would decode back to a blank).
+_NEWICK_UNSAFE = set("()[]{}:;,'\" \t\r\n_")
+
+
+def _newick_label(label: str) -> str:
+    """Quote/escape a leaf label per the Newick spec when necessary.
+
+    Safe labels pass through untouched; anything containing a
+    metacharacter (or an empty label) is wrapped in single quotes with
+    embedded single quotes doubled, the spec's escape rule.
+    """
+    if label and not any(ch in _NEWICK_UNSAFE for ch in label):
+        return label
+    return "'" + label.replace("'", "''") + "'"
 
 
 @dataclass(frozen=True)
@@ -72,9 +90,14 @@ class Dendrogram:
 
     # -- cutting ----------------------------------------------------------
 
-    def _labels_after(self, num_merges: int) -> list[int]:
-        """Flat labels after applying the first ``num_merges`` merges."""
-        parent = list(range(self._n + num_merges))
+    def _labels_applying(self, selected: Sequence[bool]) -> list[int]:
+        """Flat labels after applying exactly the ``selected`` merges.
+
+        The selection must be downward closed: a selected merge's operand
+        nodes must themselves be selected (or leaves), so every union
+        joins fully-formed clusters.
+        """
+        parent = list(range(self._n + len(self._merges)))
 
         def find(x: int) -> int:
             while parent[x] != x:
@@ -82,8 +105,9 @@ class Dendrogram:
                 x = parent[x]
             return x
 
-        for step in range(num_merges):
-            merge = self._merges[step]
+        for step, merge in enumerate(self._merges):
+            if not selected[step]:
+                continue
             new_node = self._n + step
             parent[find(merge.left)] = new_node
             parent[find(merge.right)] = new_node
@@ -96,6 +120,12 @@ class Dendrogram:
             labels.append(roots[root])
         return labels
 
+    def _labels_after(self, num_merges: int) -> list[int]:
+        """Flat labels after applying the first ``num_merges`` merges."""
+        return self._labels_applying(
+            [step < num_merges for step in range(len(self._merges))]
+        )
+
     def cut_at_k(self, k: int) -> list[int]:
         """Flat clustering with exactly ``k`` clusters.
 
@@ -107,9 +137,24 @@ class Dendrogram:
         return self._labels_after(self._n - k)
 
     def cut_at_height(self, height: float) -> list[int]:
-        """Flat clustering keeping every merge with ``merge.height <= height``."""
-        num_merges = sum(1 for m in self._merges if m.height <= height)
-        return self._labels_after(num_merges)
+        """Flat clustering keeping every merge with ``merge.height <= height``.
+
+        The qualifying merges are applied together with their *structural
+        closure* -- the merges that built their operands -- so the result
+        is exactly the connected components of the "cophenetic distance
+        <= height" graph.  For monotone dendrograms the closure is the
+        plain prefix of qualifying merges; under height inversions
+        (possible in hand-built or non-standard trees) applying a prefix
+        of the qualifying *count* could pick the wrong subset, which is
+        why the selection is per-merge.
+        """
+        selected = [m.height <= height for m in self._merges]
+        for step in range(len(self._merges) - 1, -1, -1):
+            if selected[step]:
+                for node in (self._merges[step].left, self._merges[step].right):
+                    if node >= self._n:
+                        selected[node - self._n] = True
+        return self._labels_applying(selected)
 
     def to_newick(self, leaf_labels: Sequence[str] | None = None) -> str:
         """Serialise the tree in Newick format (with branch lengths).
@@ -118,7 +163,9 @@ class Dendrogram:
         natural export for the paper's bird-flu DNA scenario.  Branch
         length of a node is its parent's merge height minus its own
         (leaves have height 0), so root-to-leaf path lengths reproduce
-        the merge heights.
+        the merge heights.  Labels containing Newick metacharacters are
+        quoted per the spec (single quotes, with embedded quotes doubled),
+        so hostile labels round-trip through standard parsers.
         """
         if leaf_labels is None:
             leaf_labels = [str(i) for i in range(self._n)]
@@ -126,6 +173,7 @@ class Dendrogram:
             raise ClusteringError(
                 f"{len(leaf_labels)} labels for {self._n} leaves"
             )
+        leaf_labels = [_newick_label(label) for label in leaf_labels]
         if self._n == 1:
             return f"{leaf_labels[0]}:0;"
         heights: dict[int, float] = {leaf: 0.0 for leaf in range(self._n)}
@@ -144,20 +192,36 @@ class Dendrogram:
         (root,) = rendered.values()
         return root + ";"
 
+    def cophenetic_condensed(self) -> np.ndarray:
+        """Cophenetic distances in condensed layout (pair ``(i, j)``,
+        ``i > j``, at ``i*(i-1)/2 + j`` -- the
+        :class:`~repro.distance.dissimilarity.DissimilarityMatrix` order).
+
+        Each merge writes its height over the left-member x right-member
+        pair block in one fancy-indexed scatter; every pair is written
+        exactly once, so the whole walk is O(n^2) with no Python-level
+        pair loop.
+        """
+        out = np.zeros(self._n * (self._n - 1) // 2, dtype=np.float64)
+        members: dict[int, np.ndarray] = {
+            leaf: np.array([leaf], dtype=np.int64) for leaf in range(self._n)
+        }
+        for step, merge in enumerate(self._merges):
+            left = members.pop(merge.left)
+            right = members.pop(merge.right)
+            a = np.repeat(left, right.size)
+            b = np.tile(right, left.size)
+            out[condensed_position(a, b)] = merge.height
+            members[self._n + step] = np.concatenate([left, right])
+        return out
+
     def cophenetic_matrix(self) -> np.ndarray:
         """Square matrix of cophenetic distances (height of the lowest
         common merge of every leaf pair); a standard dendrogram invariant
         used by the property tests."""
         coph = np.zeros((self._n, self._n), dtype=np.float64)
-        members: dict[int, list[int]] = {leaf: [leaf] for leaf in range(self._n)}
-        for step, merge in enumerate(self._merges):
-            left = members.pop(merge.left)
-            right = members.pop(merge.right)
-            for a in left:
-                for b in right:
-                    coph[a, b] = coph[b, a] = merge.height
-            members[self._n + step] = left + right
-        return coph
+        coph[np.tril_indices(self._n, -1)] = self.cophenetic_condensed()
+        return coph + coph.T
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Dendrogram(leaves={self._n}, top={self._merges[-1].height if self._merges else 0:.4g})"

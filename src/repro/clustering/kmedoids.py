@@ -9,9 +9,25 @@ distances, so it runs on the same private dissimilarity matrix -- which
 makes the comparison fair: where even PAM fails (non-spherical shapes),
 the paper's argument holds a fortiori against k-means.
 
-Implementation: classic PAM -- greedy BUILD initialisation followed by
-SWAP steps, each accepting the single best medoid/non-medoid exchange
-until no exchange lowers total cost.  Deterministic throughout.
+Implementation
+--------------
+The seed implementation (preserved in
+:func:`repro.clustering.reference.reference_k_medoids`) is textbook PAM:
+greedy BUILD, then SWAP steps that re-assign every object for every
+medoid/candidate pair -- O(k^2 n^2) per iteration.  This module keeps
+PAM's steepest-descent *trajectory* (same swaps, same order, same
+results) but evaluates it FasterPAM-style (Schubert & Rousseeuw):
+cached nearest/second-nearest medoid distance arrays turn the cost delta
+of swapping medoid m for candidate c into
+
+    delta(m, c) =   sum_{i: nearest(i)=m}  min(d(i,c), dsecond(i)) - dnearest(i)
+                  + sum_{i: nearest(i)!=m} min(d(i,c) - dnearest(i), 0)
+
+so one whole-candidate numpy evaluation scores every (m, c) pair in
+O(n^2 + n k) per iteration.  BUILD is likewise a single vectorized gain
+computation per added medoid.  Deterministic throughout, and identical
+to the reference trajectory (the winner selection replays the seed's
+scan order and its 1e-12 strict-improvement rule).
 """
 
 from __future__ import annotations
@@ -22,6 +38,10 @@ import numpy as np
 
 from repro.distance.dissimilarity import DissimilarityMatrix
 from repro.exceptions import ClusteringError
+
+#: Candidate columns are scored in blocks of this many to bound the
+#: working set at O(n * block) instead of O(n^2) scratch.
+_CANDIDATE_BLOCK = 512
 
 
 @dataclass(frozen=True)
@@ -44,24 +64,86 @@ def _assignment_cost(square: np.ndarray, medoids: list[int]) -> tuple[np.ndarray
 
 
 def _build_init(square: np.ndarray, k: int) -> list[int]:
-    """PAM BUILD: greedily add the medoid that most reduces total cost."""
+    """PAM BUILD: greedily add the medoid that most reduces total cost.
+
+    One numpy gain computation per added medoid: rows of
+    ``nearest - square`` clipped at zero are exactly the per-candidate
+    columns the seed loop evaluated one by one (the matrix is symmetric),
+    summed along the contiguous axis so the reductions -- and therefore
+    the greedy tie-breaking -- match the seed bit for bit.
+    """
     n = square.shape[0]
     first = int(square.sum(axis=1).argmin())
     medoids = [first]
+    is_medoid = np.zeros(n, dtype=bool)
+    is_medoid[first] = True
     nearest = square[:, first].copy()
     while len(medoids) < k:
-        best_gain = -np.inf
-        best_candidate = -1
-        for candidate in range(n):
-            if candidate in medoids:
-                continue
-            gain = float(np.maximum(nearest - square[:, candidate], 0.0).sum())
-            if gain > best_gain:
-                best_gain = gain
-                best_candidate = candidate
-        medoids.append(best_candidate)
-        nearest = np.minimum(nearest, square[:, best_candidate])
+        gains = np.maximum(nearest[None, :] - square, 0.0).sum(axis=1)
+        gains[is_medoid] = -np.inf
+        best = int(gains.argmax())
+        medoids.append(best)
+        is_medoid[best] = True
+        nearest = np.minimum(nearest, square[:, best])
     return medoids
+
+
+def _swap_deltas(
+    square: np.ndarray,
+    medoid_idx: np.ndarray,
+    nearest: np.ndarray,
+    dnearest: np.ndarray,
+    dsecond: np.ndarray,
+) -> np.ndarray:
+    """Cost deltas of every (medoid position, candidate) swap, (k, n)."""
+    n = square.shape[0]
+    k = medoid_idx.shape[0]
+    member = [nearest == m for m in range(k)]
+    deltas = np.empty((k, n), dtype=np.float64)
+    dnear_col = dnearest[:, None]
+    dsecond_col = dsecond[:, None]
+    for start in range(0, n, _CANDIDATE_BLOCK):
+        block = slice(start, min(start + _CANDIDATE_BLOCK, n))
+        d_c = square[:, block]
+        reduction = np.minimum(d_c - dnear_col, 0.0)
+        shared = reduction.sum(axis=0)
+        # For points losing their nearest medoid, the reduction term is
+        # replaced by min(d(i,c), dsecond(i)) - dnearest(i).
+        correction = np.minimum(d_c, dsecond_col) - dnear_col - reduction
+        for m in range(k):
+            deltas[m, block] = shared + correction[member[m]].sum(axis=0)
+    deltas[:, medoid_idx] = np.inf
+    return deltas
+
+
+def _select_swap(deltas: np.ndarray) -> tuple[int, int] | None:
+    """Replay the seed's scan over the delta table.
+
+    The seed walks medoids (list order) then candidates (ascending) and
+    accepts a swap only when it beats the incumbent by more than 1e-12.
+    The accepted entries form a record chain (each acceptance lowers the
+    incumbent by > 1e-12), so the full scan is reproduced exactly by
+    jumping to the next improving entry until none remains -- one
+    vectorized comparison per acceptance, and the chain is short (its
+    length is bounded by the number of epsilon-separated records).
+    """
+    flat = deltas.ravel()
+    if not flat.min() < -1e-12:
+        return None
+    best = 0.0
+    winner = -1
+    position = 0
+    while position < flat.size:
+        improving = flat[position:] < best - 1e-12
+        step = int(np.argmax(improving))
+        if not improving[step]:
+            break
+        winner = position + step
+        best = float(flat[winner])
+        position = winner + 1
+    if winner < 0:
+        return None
+    return divmod(winner, deltas.shape[1])
 
 
 def k_medoids(
@@ -88,27 +170,26 @@ def k_medoids(
 
     iterations = 0
     converged = False
-    _, cost = _assignment_cost(square, medoids)
+    row_index = np.arange(n)
+    # Unlike the seed, no running cost is tracked: acceptance decisions
+    # are made purely on deltas, and the final cost is recomputed below.
     while iterations < max_iterations:
         iterations += 1
-        best_cost = cost
-        best_swap: tuple[int, int] | None = None
-        medoid_set = set(medoids)
-        for mi, medoid in enumerate(medoids):
-            for candidate in range(n):
-                if candidate in medoid_set:
-                    continue
-                trial = medoids.copy()
-                trial[mi] = candidate
-                _, trial_cost = _assignment_cost(square, trial)
-                if trial_cost < best_cost - 1e-12:
-                    best_cost = trial_cost
-                    best_swap = (mi, candidate)
-        if best_swap is None:
+        medoid_idx = np.asarray(medoids, dtype=np.int64)
+        distances = square[:, medoid_idx]
+        nearest = distances.argmin(axis=1)
+        dnearest = distances[row_index, nearest]
+        if k > 1:
+            distances[row_index, nearest] = np.inf
+            dsecond = distances.min(axis=1)
+        else:
+            dsecond = np.full(n, np.inf)
+        deltas = _swap_deltas(square, medoid_idx, nearest, dnearest, dsecond)
+        swap = _select_swap(deltas)
+        if swap is None:
             converged = True
             break
-        medoids[best_swap[0]] = best_swap[1]
-        cost = best_cost
+        medoids[swap[0]] = int(swap[1])
 
     nearest, cost = _assignment_cost(square, medoids)
     # Renumber labels by first appearance so results are comparable.

@@ -9,17 +9,26 @@ Two families:
 * **External** metrics against ground-truth labels -- used only by the
   reproduction experiments to quantify the paper's zero-accuracy-loss
   claim; no protocol component reads ground truth.
+
+Every metric here is a condensed-array formulation: per-pair cluster
+labels are gathered once over the condensed vector and reduced with
+``np.bincount`` / boolean masks, replacing the seed's nested Python
+loops (preserved in :mod:`repro.clustering.reference`, which the
+equivalence suite holds these to within 1e-9 -- exactly, for the
+integer-valued pair counts).
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from math import comb
 from typing import Sequence
 
 import numpy as np
 
-from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.dissimilarity import (
+    DissimilarityMatrix,
+    condensed_pair_indices,
+    same_label_mask,
+)
 from repro.exceptions import ClusteringError
 
 
@@ -34,6 +43,15 @@ def _validate_labels(matrix: DissimilarityMatrix | None, labels: Sequence[int]) 
     return labels
 
 
+def _pair_label_codes(
+    matrix: DissimilarityMatrix, labels: list[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(sorted unique labels, per-object codes, per-pair row codes, col codes)."""
+    unique, codes = np.unique(np.asarray(labels), return_inverse=True)
+    i, j = condensed_pair_indices(matrix.num_objects)
+    return unique, codes, codes[i], codes[j]
+
+
 # -- internal metrics ---------------------------------------------------------
 
 
@@ -44,20 +62,18 @@ def average_square_distance(matrix: DissimilarityMatrix, labels: Sequence[int]) 
     singleton clusters report 0.0.
     """
     labels = _validate_labels(matrix, labels)
-    result: dict[int, float] = {}
-    for cluster in sorted(set(labels)):
-        members = [i for i, l in enumerate(labels) if l == cluster]
-        if len(members) < 2:
-            result[cluster] = 0.0
-            continue
-        total = 0.0
-        count = 0
-        for a_idx, i in enumerate(members):
-            for j in members[:a_idx]:
-                total += matrix[i, j] ** 2
-                count += 1
-        result[cluster] = total / count
-    return result
+    unique, _, row_codes, col_codes = _pair_label_codes(matrix, labels)
+    values = matrix.condensed
+    same = row_codes == col_codes
+    cluster_of_pair = row_codes[same]
+    sums = np.bincount(
+        cluster_of_pair, weights=values[same] ** 2, minlength=unique.size
+    )
+    counts = np.bincount(cluster_of_pair, minlength=unique.size)
+    return {
+        int(cluster): (float(total / count) if count else 0.0)
+        for cluster, total, count in zip(unique, sums, counts)
+    }
 
 
 def silhouette_score(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
@@ -67,27 +83,31 @@ def silhouette_score(matrix: DissimilarityMatrix, labels: Sequence[int]) -> floa
     in singleton clusters contribute 0 by the standard convention.
     """
     labels = _validate_labels(matrix, labels)
-    clusters = sorted(set(labels))
-    if len(clusters) < 2:
+    unique, codes, row_codes, col_codes = _pair_label_codes(matrix, labels)
+    k = unique.size
+    if k < 2:
         raise ClusteringError("silhouette requires at least two clusters")
-    square = matrix.to_square()
-    labels_arr = np.asarray(labels)
-    scores = np.zeros(len(labels))
-    for i in range(len(labels)):
-        own = labels_arr == labels_arr[i]
-        own[i] = False
-        if not own.any():
-            scores[i] = 0.0
-            continue
-        a = square[i, own].mean()
-        b = np.inf
-        for cluster in clusters:
-            if cluster == labels_arr[i]:
-                continue
-            other = labels_arr == cluster
-            b = min(b, square[i, other].mean())
-        denom = max(a, b)
-        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    n = matrix.num_objects
+    values = matrix.condensed
+    i, j = condensed_pair_indices(n)
+    # cluster_sums[p, c]: total distance from object p to cluster c's members.
+    cluster_sums = (
+        np.bincount(i * k + col_codes, weights=values, minlength=n * k)
+        + np.bincount(j * k + row_codes, weights=values, minlength=n * k)
+    ).reshape(n, k)
+    counts = np.bincount(codes, minlength=k)
+    objects = np.arange(n)
+    own_count = counts[codes]
+    a = cluster_sums[objects, codes] / np.maximum(own_count - 1, 1)
+    others = cluster_sums / counts[None, :]
+    others[objects, codes] = np.inf
+    b = others.min(axis=1)
+    denom = np.maximum(a, b)
+    scores = np.where(
+        (own_count > 1) & (denom > 0),
+        (b - a) / np.where(denom > 0, denom, 1.0),
+        0.0,
+    )
     return float(scores.mean())
 
 
@@ -99,26 +119,16 @@ def dunn_index(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
     then, the conventional limit).
     """
     labels = _validate_labels(matrix, labels)
-    clusters = sorted(set(labels))
-    if len(clusters) < 2:
+    arr = np.asarray(labels)
+    if np.unique(arr).size < 2:
         raise ClusteringError("Dunn index requires at least two clusters")
-    square = matrix.to_square()
-    labels_arr = np.asarray(labels)
-    min_between = np.inf
-    max_within = 0.0
-    for ci_idx, ci in enumerate(clusters):
-        members_i = labels_arr == ci
-        block = square[np.ix_(members_i, members_i)]
-        if block.size > 1:
-            max_within = max(max_within, float(block.max()))
-        for cj in clusters[ci_idx + 1 :]:
-            members_j = labels_arr == cj
-            min_between = min(
-                min_between, float(square[np.ix_(members_i, members_j)].min())
-            )
+    values = matrix.condensed
+    same = same_label_mask(arr)
+    within = values[same]
+    max_within = float(within.max()) if within.size else 0.0
     if max_within == 0.0:
         return float("inf")
-    return min_between / max_within
+    return float(values[~same].min()) / max_within
 
 
 def cophenetic_correlation(matrix: DissimilarityMatrix, dendrogram) -> float:
@@ -127,48 +137,54 @@ def cophenetic_correlation(matrix: DissimilarityMatrix, dendrogram) -> float:
     The classic goodness-of-fit statistic for a dendrogram against the
     matrix it was built from; near 1 means the tree faithfully encodes
     the distances.  Another quality figure the TP can publish without
-    leaking pairwise values.
+    leaking pairwise values.  Both distance vectors stay condensed; no
+    square matrix is materialised.
     """
     if dendrogram.num_leaves != matrix.num_objects:
         raise ClusteringError("dendrogram and matrix disagree on object count")
     n = matrix.num_objects
     if n < 3:
         raise ClusteringError("cophenetic correlation needs >= 3 objects")
-    coph = dendrogram.cophenetic_matrix()
-    original = []
-    tree = []
-    for i in range(1, n):
-        for j in range(i):
-            original.append(matrix[i, j])
-            tree.append(coph[i, j])
-    original_arr = np.asarray(original)
-    tree_arr = np.asarray(tree)
-    if original_arr.std() == 0 or tree_arr.std() == 0:
+    original = matrix.condensed
+    tree = dendrogram.cophenetic_condensed()
+    if original.std() == 0 or tree.std() == 0:
         raise ClusteringError("degenerate distances: correlation undefined")
-    return float(np.corrcoef(original_arr, tree_arr)[0, 1])
+    return float(np.corrcoef(original, tree)[0, 1])
 
 
 # -- external metrics ---------------------------------------------------------
 
 
-def _pair_counts(truth: Sequence[int], predicted: Sequence[int]) -> tuple[int, int, int, int]:
-    """(both-same, truth-same-only, pred-same-only, both-different) pair counts."""
+def _contingency(
+    truth: Sequence[int], predicted: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contingency counts and row/column marginals via one bincount."""
     if len(truth) != len(predicted):
         raise ClusteringError("label vectors must have equal length")
+    truth_codes = np.unique(np.asarray(truth), return_inverse=True)[1]
+    pred_codes = np.unique(np.asarray(predicted), return_inverse=True)[1]
+    num_pred = int(pred_codes.max()) + 1 if pred_codes.size else 0
+    num_truth = int(truth_codes.max()) + 1 if truth_codes.size else 0
+    cells = np.bincount(
+        truth_codes * num_pred + pred_codes, minlength=num_truth * num_pred
+    ).reshape(num_truth, num_pred)
+    return cells, cells.sum(axis=1), cells.sum(axis=0)
+
+
+def _pairs(counts: np.ndarray) -> int:
+    """Total same-group pairs, sum of C(c, 2) in exact integer math."""
+    counts = counts.astype(np.int64, copy=False)
+    return int((counts * (counts - 1) // 2).sum())
+
+
+def _pair_counts(truth: Sequence[int], predicted: Sequence[int]) -> tuple[int, int, int, int]:
+    """(both-same, truth-same-only, pred-same-only, both-different) pair counts."""
+    cells, rows, cols = _contingency(truth, predicted)
     n = len(truth)
-    ss = sd = ds = dd = 0
-    for i in range(n):
-        for j in range(i):
-            same_truth = truth[i] == truth[j]
-            same_pred = predicted[i] == predicted[j]
-            if same_truth and same_pred:
-                ss += 1
-            elif same_truth:
-                sd += 1
-            elif same_pred:
-                ds += 1
-            else:
-                dd += 1
+    ss = _pairs(cells.ravel())
+    sd = _pairs(rows) - ss
+    ds = _pairs(cols) - ss
+    dd = n * (n - 1) // 2 - ss - sd - ds
     return ss, sd, ds, dd
 
 
@@ -183,16 +199,14 @@ def rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
 
 def adjusted_rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
     """Rand index adjusted for chance (1.0 iff identical partitions)."""
-    if len(truth) != len(predicted):
-        raise ClusteringError("label vectors must have equal length")
+    cells, rows, cols = _contingency(truth, predicted)
     n = len(truth)
     if n == 0:
         raise ClusteringError("labels must be non-empty")
-    contingency: Counter[tuple[int, int]] = Counter(zip(truth, predicted))
-    sum_cells = sum(comb(c, 2) for c in contingency.values())
-    sum_rows = sum(comb(c, 2) for c in Counter(truth).values())
-    sum_cols = sum(comb(c, 2) for c in Counter(predicted).values())
-    total_pairs = comb(n, 2)
+    sum_cells = _pairs(cells.ravel())
+    sum_rows = _pairs(rows)
+    sum_cols = _pairs(cols)
+    total_pairs = n * (n - 1) // 2
     if total_pairs == 0:
         return 1.0
     expected = sum_rows * sum_cols / total_pairs
@@ -204,12 +218,7 @@ def adjusted_rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float
 
 def purity(truth: Sequence[int], predicted: Sequence[int]) -> float:
     """Fraction of objects whose cluster's majority truth label matches theirs."""
-    if len(truth) != len(predicted):
-        raise ClusteringError("label vectors must have equal length")
-    if not truth:
+    cells, _, _ = _contingency(truth, predicted)
+    if not len(truth):
         raise ClusteringError("labels must be non-empty")
-    correct = 0
-    for cluster in set(predicted):
-        members = [truth[i] for i in range(len(truth)) if predicted[i] == cluster]
-        correct += Counter(members).most_common(1)[0][1]
-    return correct / len(truth)
+    return int(cells.max(axis=0).sum()) / len(truth)

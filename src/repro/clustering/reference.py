@@ -1,0 +1,415 @@
+"""Seed reference implementations of the clustering layer.
+
+These are the original matrix-consuming algorithms, kept verbatim as the
+executable specification of the clustering layer: the O(n^3) global-argmin
+agglomerative loop, classic PAM (greedy BUILD + steepest-descent SWAP
+re-scoring every medoid/candidate pair), the nested-Python-loop quality
+metrics, and the per-pair cophenetic walk.  The production layer in
+:mod:`repro.clustering.linkage`, :mod:`repro.clustering.kmedoids` and
+:mod:`repro.clustering.quality` is rewritten around nearest-neighbor-chain
+agglomeration, FasterPAM-style whole-candidate SWAP evaluation and
+condensed-array metric formulations; its contract is to produce
+*identical* dendrograms, medoids, labels and metric values.
+``tests/test_clustering_equivalence.py`` asserts that equivalence, and
+``benchmarks/test_bench_clustering.py`` measures the speedup against this
+baseline.
+
+Do not "optimise" this module: its value is being the slow, obviously
+textbook-shaped version.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.kmedoids import KMedoidsResult
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ClusteringError
+from repro.types import LinkageMethod
+
+
+# -- agglomerative clustering (seed: global argmin over the square) -----------
+
+
+def _coefficients(
+    method: LinkageMethod, size_i: int, size_j: int, size_k: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Lance-Williams coefficients (a_i, a_j, b, g) against every k."""
+    ones = np.ones_like(size_k, dtype=np.float64)
+    if method is LinkageMethod.SINGLE:
+        return 0.5 * ones, 0.5 * ones, 0.0 * ones, -0.5
+    if method is LinkageMethod.COMPLETE:
+        return 0.5 * ones, 0.5 * ones, 0.0 * ones, 0.5
+    if method is LinkageMethod.AVERAGE:
+        total = float(size_i + size_j)
+        return (size_i / total) * ones, (size_j / total) * ones, 0.0 * ones, 0.0
+    if method is LinkageMethod.WEIGHTED:
+        return 0.5 * ones, 0.5 * ones, 0.0 * ones, 0.0
+    if method is LinkageMethod.WARD:
+        total = size_i + size_j + size_k.astype(np.float64)
+        return (
+            (size_i + size_k) / total,
+            (size_j + size_k) / total,
+            -size_k / total,
+            0.0,
+        )
+    raise ClusteringError(f"unsupported linkage method: {method}")
+
+
+def reference_agglomerative(
+    matrix: DissimilarityMatrix,
+    method: LinkageMethod | str = LinkageMethod.AVERAGE,
+) -> Dendrogram:
+    """Seed agglomerative clustering: O(n^3) argmin over a dense square.
+
+    Deterministic: ties are broken by the smallest flat index, so two runs
+    on equal inputs produce identical trees.
+    """
+    if isinstance(method, str):
+        try:
+            method = LinkageMethod(method)
+        except ValueError:
+            raise ClusteringError(f"unknown linkage method {method!r}") from None
+    n = matrix.num_objects
+    if n == 1:
+        return Dendrogram(1, [])
+
+    working = matrix.to_square()
+    if method is LinkageMethod.WARD:
+        working = working ** 2
+
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    node_ids = np.arange(n, dtype=np.int64)
+    np.fill_diagonal(working, np.inf)
+    inactive_fill = np.inf
+
+    merges: list[Merge] = []
+    for step in range(n - 1):
+        flat = np.argmin(working)
+        i, j = np.unravel_index(flat, working.shape)
+        if i > j:
+            i, j = j, i
+        height = float(working[i, j])
+        if method is LinkageMethod.WARD:
+            height = float(np.sqrt(height))
+
+        others = active.copy()
+        others[i] = others[j] = False
+        a_i, a_j, b, g = _coefficients(
+            method, int(sizes[i]), int(sizes[j]), sizes[others]
+        )
+        d_ik = working[i, others]
+        d_jk = working[j, others]
+        d_ij = working[i, j]
+        updated = a_i * d_ik + a_j * d_jk + b * d_ij + g * np.abs(d_ik - d_jk)
+
+        merges.append(
+            Merge(
+                left=int(node_ids[i]),
+                right=int(node_ids[j]),
+                height=height,
+                size=int(sizes[i] + sizes[j]),
+            )
+        )
+
+        # Slot i becomes the merged cluster; slot j is retired.
+        working[i, others] = updated
+        working[others, i] = updated
+        working[i, i] = np.inf
+        working[j, :] = inactive_fill
+        working[:, j] = inactive_fill
+        sizes[i] = sizes[i] + sizes[j]
+        sizes[j] = 0
+        node_ids[i] = n + step
+        active[j] = False
+
+    return Dendrogram(n, merges)
+
+
+# -- k-medoids (seed: classic PAM, full re-scoring per SWAP) -------------------
+
+
+def _assignment_cost(square: np.ndarray, medoids: list[int]) -> tuple[np.ndarray, float]:
+    """Nearest-medoid labels and the summed distance cost."""
+    distances = square[:, medoids]
+    nearest = distances.argmin(axis=1)
+    cost = float(distances[np.arange(square.shape[0]), nearest].sum())
+    return nearest, cost
+
+
+def _build_init(square: np.ndarray, k: int) -> list[int]:
+    """PAM BUILD: greedily add the medoid that most reduces total cost."""
+    n = square.shape[0]
+    first = int(square.sum(axis=1).argmin())
+    medoids = [first]
+    nearest = square[:, first].copy()
+    while len(medoids) < k:
+        best_gain = -np.inf
+        best_candidate = -1
+        for candidate in range(n):
+            if candidate in medoids:
+                continue
+            gain = float(np.maximum(nearest - square[:, candidate], 0.0).sum())
+            if gain > best_gain:
+                best_gain = gain
+                best_candidate = candidate
+        medoids.append(best_candidate)
+        nearest = np.minimum(nearest, square[:, best_candidate])
+    return medoids
+
+
+def reference_k_medoids(
+    matrix: DissimilarityMatrix, k: int, max_iterations: int = 100
+) -> KMedoidsResult:
+    """Seed PAM: each SWAP iteration re-scores every medoid/candidate pair."""
+    n = matrix.num_objects
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k must be in [1, {n}], got {k}")
+    square = matrix.to_square()
+    medoids = _build_init(square, k)
+
+    iterations = 0
+    converged = False
+    _, cost = _assignment_cost(square, medoids)
+    while iterations < max_iterations:
+        iterations += 1
+        best_cost = cost
+        best_swap: tuple[int, int] | None = None
+        medoid_set = set(medoids)
+        for mi, medoid in enumerate(medoids):
+            for candidate in range(n):
+                if candidate in medoid_set:
+                    continue
+                trial = medoids.copy()
+                trial[mi] = candidate
+                _, trial_cost = _assignment_cost(square, trial)
+                if trial_cost < best_cost - 1e-12:
+                    best_cost = trial_cost
+                    best_swap = (mi, candidate)
+        if best_swap is None:
+            converged = True
+            break
+        medoids[best_swap[0]] = best_swap[1]
+        cost = best_cost
+
+    nearest, cost = _assignment_cost(square, medoids)
+    # Renumber labels by first appearance so results are comparable.
+    remap: dict[int, int] = {}
+    labels = []
+    for value in nearest:
+        value = int(value)
+        if value not in remap:
+            remap[value] = len(remap)
+        labels.append(remap[value])
+    ordered_medoids = [medoids[old] for old in sorted(remap, key=remap.get)]
+    return KMedoidsResult(
+        labels=labels,
+        medoids=ordered_medoids,
+        cost=cost,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+# -- cophenetic distances (seed: per-pair Python walk) -------------------------
+
+
+def reference_cophenetic_matrix(dendrogram: Dendrogram) -> np.ndarray:
+    """Seed cophenetic matrix: nested Python loops over member lists."""
+    n = dendrogram.num_leaves
+    coph = np.zeros((n, n), dtype=np.float64)
+    members: dict[int, list[int]] = {leaf: [leaf] for leaf in range(n)}
+    for step, merge in enumerate(dendrogram.merges):
+        left = members.pop(merge.left)
+        right = members.pop(merge.right)
+        for a in left:
+            for b in right:
+                coph[a, b] = coph[b, a] = merge.height
+        members[n + step] = left + right
+    return coph
+
+
+# -- quality metrics (seed: nested Python loops) -------------------------------
+
+
+def _validate_labels(matrix: DissimilarityMatrix | None, labels: Sequence[int]) -> list[int]:
+    labels = list(labels)
+    if matrix is not None and len(labels) != matrix.num_objects:
+        raise ClusteringError(
+            f"{len(labels)} labels for {matrix.num_objects} objects"
+        )
+    if not labels:
+        raise ClusteringError("labels must be non-empty")
+    return labels
+
+
+def reference_average_square_distance(
+    matrix: DissimilarityMatrix, labels: Sequence[int]
+) -> dict[int, float]:
+    """Seed per-cluster average squared member distance."""
+    labels = _validate_labels(matrix, labels)
+    result: dict[int, float] = {}
+    for cluster in sorted(set(labels)):
+        members = [i for i, l in enumerate(labels) if l == cluster]
+        if len(members) < 2:
+            result[cluster] = 0.0
+            continue
+        total = 0.0
+        count = 0
+        for a_idx, i in enumerate(members):
+            for j in members[:a_idx]:
+                total += matrix[i, j] ** 2
+                count += 1
+        result[cluster] = total / count
+    return result
+
+
+def reference_silhouette_score(
+    matrix: DissimilarityMatrix, labels: Sequence[int]
+) -> float:
+    """Seed silhouette: one Python loop per object, one per other cluster."""
+    labels = _validate_labels(matrix, labels)
+    clusters = sorted(set(labels))
+    if len(clusters) < 2:
+        raise ClusteringError("silhouette requires at least two clusters")
+    square = matrix.to_square()
+    labels_arr = np.asarray(labels)
+    scores = np.zeros(len(labels))
+    for i in range(len(labels)):
+        own = labels_arr == labels_arr[i]
+        own[i] = False
+        if not own.any():
+            scores[i] = 0.0
+            continue
+        a = square[i, own].mean()
+        b = np.inf
+        for cluster in clusters:
+            if cluster == labels_arr[i]:
+                continue
+            other = labels_arr == cluster
+            b = min(b, square[i, other].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def reference_dunn_index(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
+    """Seed Dunn index: per-cluster-pair block scans."""
+    labels = _validate_labels(matrix, labels)
+    clusters = sorted(set(labels))
+    if len(clusters) < 2:
+        raise ClusteringError("Dunn index requires at least two clusters")
+    square = matrix.to_square()
+    labels_arr = np.asarray(labels)
+    min_between = np.inf
+    max_within = 0.0
+    for ci_idx, ci in enumerate(clusters):
+        members_i = labels_arr == ci
+        block = square[np.ix_(members_i, members_i)]
+        if block.size > 1:
+            max_within = max(max_within, float(block.max()))
+        for cj in clusters[ci_idx + 1 :]:
+            members_j = labels_arr == cj
+            min_between = min(
+                min_between, float(square[np.ix_(members_i, members_j)].min())
+            )
+    if max_within == 0.0:
+        return float("inf")
+    return min_between / max_within
+
+
+def reference_cophenetic_correlation(
+    matrix: DissimilarityMatrix, dendrogram: Dendrogram
+) -> float:
+    """Seed cophenetic correlation: per-pair Python list building."""
+    if dendrogram.num_leaves != matrix.num_objects:
+        raise ClusteringError("dendrogram and matrix disagree on object count")
+    n = matrix.num_objects
+    if n < 3:
+        raise ClusteringError("cophenetic correlation needs >= 3 objects")
+    coph = reference_cophenetic_matrix(dendrogram)
+    original = []
+    tree = []
+    for i in range(1, n):
+        for j in range(i):
+            original.append(matrix[i, j])
+            tree.append(coph[i, j])
+    original_arr = np.asarray(original)
+    tree_arr = np.asarray(tree)
+    if original_arr.std() == 0 or tree_arr.std() == 0:
+        raise ClusteringError("degenerate distances: correlation undefined")
+    return float(np.corrcoef(original_arr, tree_arr)[0, 1])
+
+
+def reference_pair_counts(
+    truth: Sequence[int], predicted: Sequence[int]
+) -> tuple[int, int, int, int]:
+    """Seed pair counts: the O(n^2) double loop over object pairs."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    n = len(truth)
+    ss = sd = ds = dd = 0
+    for i in range(n):
+        for j in range(i):
+            same_truth = truth[i] == truth[j]
+            same_pred = predicted[i] == predicted[j]
+            if same_truth and same_pred:
+                ss += 1
+            elif same_truth:
+                sd += 1
+            elif same_pred:
+                ds += 1
+            else:
+                dd += 1
+    return ss, sd, ds, dd
+
+
+def reference_rand_index(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """Seed Rand index on the looped pair counts."""
+    ss, sd, ds, dd = reference_pair_counts(truth, predicted)
+    total = ss + sd + ds + dd
+    if total == 0:
+        return 1.0
+    return (ss + dd) / total
+
+
+def reference_adjusted_rand_index(
+    truth: Sequence[int], predicted: Sequence[int]
+) -> float:
+    """Seed ARI via Counter-built contingency tables."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    n = len(truth)
+    if n == 0:
+        raise ClusteringError("labels must be non-empty")
+    contingency: Counter[tuple[int, int]] = Counter(zip(truth, predicted))
+    sum_cells = sum(comb(c, 2) for c in contingency.values())
+    sum_rows = sum(comb(c, 2) for c in Counter(truth).values())
+    sum_cols = sum(comb(c, 2) for c in Counter(predicted).values())
+    total_pairs = comb(n, 2)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def reference_purity(truth: Sequence[int], predicted: Sequence[int]) -> float:
+    """Seed purity via per-cluster Counter majorities."""
+    if len(truth) != len(predicted):
+        raise ClusteringError("label vectors must have equal length")
+    if not truth:
+        raise ClusteringError("labels must be non-empty")
+    correct = 0
+    for cluster in set(predicted):
+        members = [truth[i] for i in range(len(truth)) if predicted[i] == cluster]
+        correct += Counter(members).most_common(1)[0][1]
+    return correct / len(truth)

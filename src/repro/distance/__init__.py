@@ -17,7 +17,18 @@
 
 from repro.distance.categorical import categorical_distance
 from repro.distance.ccm import ccm_from_strings
-from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.dissimilarity import (
+    DissimilarityMatrix,
+    condensed_argmin,
+    condensed_offsets,
+    condensed_pair_indices,
+    condensed_position,
+    condensed_row_gather,
+    condensed_row_positions,
+    condensed_row_scatter,
+    condensed_size,
+    same_label_mask,
+)
 from repro.distance.edit import edit_distance, edit_distance_from_ccm
 from repro.distance.local import local_dissimilarity
 from repro.distance.merge import merge_weighted
@@ -28,6 +39,15 @@ __all__ = [
     "categorical_distance",
     "ccm_from_strings",
     "DissimilarityMatrix",
+    "condensed_argmin",
+    "condensed_offsets",
+    "condensed_pair_indices",
+    "condensed_position",
+    "condensed_row_gather",
+    "condensed_row_positions",
+    "condensed_row_scatter",
+    "condensed_size",
+    "same_label_mask",
     "edit_distance",
     "edit_distance_from_ccm",
     "local_dissimilarity",

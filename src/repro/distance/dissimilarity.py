@@ -21,6 +21,145 @@ import numpy as np
 from repro.exceptions import ClusteringError, ConfigurationError
 
 
+# -- condensed primitives ------------------------------------------------------
+#
+# Free functions over the condensed layout (pair (i, j), i > j, at position
+# i*(i-1)/2 + j).  The clustering layer runs directly on condensed vectors
+# through these, so the O(n^2)-memory algorithms never materialise a square.
+
+
+def condensed_size(num_objects: int) -> int:
+    """Length of the condensed vector for ``num_objects`` objects."""
+    return num_objects * (num_objects - 1) // 2
+
+
+def condensed_position(i, j):
+    """Condensed position(s) of pair(s) ``(i, j)``; order-insensitive.
+
+    Accepts scalars or broadcastable integer arrays; pairs with ``i == j``
+    have no condensed slot and must not be passed.
+    """
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    upper = np.maximum(i, j)
+    lower = np.minimum(i, j)
+    return upper * (upper - 1) // 2 + lower
+
+
+def condensed_offsets(num_objects: int) -> np.ndarray:
+    """Row-start offsets: ``offsets[i]`` is the position of pair (i, 0)."""
+    rows = np.arange(num_objects, dtype=np.int64)
+    return rows * (rows - 1) // 2
+
+
+def condensed_row_positions(
+    index: int, num_objects: int, offsets: np.ndarray | None = None
+) -> np.ndarray:
+    """Condensed positions of row ``index`` against every other object.
+
+    Returns a length-``num_objects`` int64 array where entry ``k`` is the
+    position of pair ``(index, k)``; the diagonal entry (``k == index``,
+    which has no condensed slot) is set to ``-1``.  ``offsets`` may be the
+    precomputed :func:`condensed_offsets` to amortise repeated calls.
+    """
+    if offsets is None:
+        offsets = condensed_offsets(num_objects)
+    pos = np.empty(num_objects, dtype=np.int64)
+    pos[:index] = offsets[index] + np.arange(index, dtype=np.int64)
+    pos[index] = -1
+    pos[index + 1 :] = offsets[index + 1 :] + index
+    return pos
+
+
+def condensed_row_gather(
+    values: np.ndarray,
+    index: int,
+    num_objects: int,
+    offsets: np.ndarray | None = None,
+    diagonal: float = 0.0,
+    out: np.ndarray | None = None,
+    scratch: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row ``index`` of the square matrix, read straight off the condensed
+    vector: a contiguous slice below the diagonal plus a strided gather
+    above it.  The diagonal entry is filled with ``diagonal``.
+
+    Hot loops (the NN-chain clustering path) amortise allocation by
+    passing a preallocated ``out`` (length ``num_objects``, the row) and
+    ``scratch`` (length ``num_objects``, int64, workspace for the
+    above-diagonal gather positions).
+    """
+    if offsets is None:
+        offsets = condensed_offsets(num_objects)
+    if out is None:
+        out = np.empty(num_objects, dtype=values.dtype)
+    start = int(offsets[index])
+    out[:index] = values[start : start + index]
+    out[index] = diagonal
+    if index + 1 < num_objects:
+        if scratch is None:
+            positions = offsets[index + 1 :] + index
+        else:
+            positions = scratch[: num_objects - index - 1]
+            np.add(offsets[index + 1 :], index, out=positions)
+        np.take(values, positions, out=out[index + 1 :])
+    return out
+
+
+def condensed_row_scatter(
+    values: np.ndarray,
+    index: int,
+    num_objects: int,
+    row: np.ndarray,
+    where: np.ndarray | None = None,
+    offsets: np.ndarray | None = None,
+) -> None:
+    """Write ``row`` (length ``num_objects``) back into row ``index`` of the
+    condensed vector, optionally restricted to a boolean ``where`` mask.
+    The diagonal entry is ignored."""
+    pos = condensed_row_positions(index, num_objects, offsets)
+    if where is None:
+        where = np.ones(num_objects, dtype=bool)
+    mask = where.copy()
+    mask[index] = False
+    values[pos[mask]] = row[mask]
+
+
+def condensed_argmin(values: np.ndarray, num_objects: int) -> tuple[int, int]:
+    """Pair ``(i, j)``, ``i > j``, holding the smallest condensed value.
+
+    Ties break exactly like ``np.argmin`` over the corresponding square
+    matrix: the smallest ``(min(i, j), max(i, j))`` in lexicographic order
+    -- the rule the seed agglomerative loop used, preserved so condensed
+    consumers stay merge-for-merge deterministic.
+    """
+    if values.size == 0:
+        raise ClusteringError("condensed argmin needs at least one pair")
+    minimum = values.min()
+    ties = np.flatnonzero(values == minimum)
+    rows = (1 + np.sqrt(1 + 8 * ties.astype(np.float64))) // 2
+    rows = rows.astype(np.int64)
+    # Guard against float rounding at huge positions.
+    rows[rows * (rows - 1) // 2 > ties] -= 1
+    rows[(rows + 1) * rows // 2 <= ties] += 1
+    cols = ties - rows * (rows - 1) // 2
+    best = np.lexsort((rows, cols))[0]
+    return int(rows[best]), int(cols[best])
+
+
+def condensed_pair_indices(num_objects: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays (I, J) with ``I[p] > J[p]`` for every condensed position
+    ``p``, in layout order (row-major over the strict lower triangle)."""
+    return np.tril_indices(num_objects, -1)
+
+
+def same_label_mask(labels: Sequence[int]) -> np.ndarray:
+    """Condensed boolean mask: True where a pair's objects share a label."""
+    arr = np.asarray(labels)
+    i, j = condensed_pair_indices(arr.shape[0])
+    return arr[i] == arr[j]
+
+
 class DissimilarityMatrix:
     """Symmetric, zero-diagonal distance matrix in condensed storage."""
 
@@ -29,7 +168,7 @@ class DissimilarityMatrix:
             raise ConfigurationError(
                 f"dissimilarity matrix needs >= 1 object, got {num_objects}"
             )
-        expected = num_objects * (num_objects - 1) // 2
+        expected = condensed_size(num_objects)
         if condensed is None:
             condensed = np.zeros(expected, dtype=np.float64)
         else:
@@ -168,9 +307,31 @@ class DissimilarityMatrix:
                 )
         if np.any(block < 0) or np.any(~np.isfinite(block)):
             raise ConfigurationError("block distances must be non-negative and finite")
-        upper = np.maximum(row_idx[:, None], col_idx[None, :])
-        lower = np.minimum(row_idx[:, None], col_idx[None, :])
-        self._values[upper * (upper - 1) // 2 + lower] = block
+        self._values[condensed_position(row_idx[:, None], col_idx[None, :])] = block
+
+    def cross_block(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """Read a rectangular block as one fancy-indexed condensed gather.
+
+        The read counterpart of :meth:`set_block`: applications (record
+        linkage on the cross-site block, for one) pull a
+        ``len(rows) x len(cols)`` distance block without materialising the
+        square matrix or looping per entry.  Unlike :meth:`set_block`, the
+        index sets may intersect -- diagonal hits read as 0.
+        """
+        row_idx = np.asarray(list(rows), dtype=np.int64)
+        col_idx = np.asarray(list(cols), dtype=np.int64)
+        for name, idx in (("row", row_idx), ("column", col_idx)):
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self._n):
+                raise ConfigurationError(
+                    f"block {name} indices out of range for {self._n} objects"
+                )
+        block = np.zeros((row_idx.size, col_idx.size), dtype=np.float64)
+        if block.size == 0:
+            return block
+        off_diagonal = row_idx[:, None] != col_idx[None, :]
+        positions = condensed_position(row_idx[:, None], col_idx[None, :])
+        block[off_diagonal] = self._values[positions[off_diagonal]]
+        return block
 
     # -- whole-matrix operations ----------------------------------------------
 
@@ -187,7 +348,7 @@ class DissimilarityMatrix:
         ``scipy.cluster.hierarchy``.
         """
         i, j = np.triu_indices(self._n, 1)
-        return self._values[j * (j - 1) // 2 + i]
+        return self._values[condensed_position(i, j)]
 
     def max_value(self) -> float:
         """Largest pairwise distance (the Figure 11 normaliser)."""
@@ -218,11 +379,8 @@ class DissimilarityMatrix:
                 f"submatrix indices out of range for {self._n} objects"
             )
         a, b = np.tril_indices(len(indices), -1)
-        gi, gj = idx[a], idx[b]
-        upper = np.maximum(gi, gj)
-        lower = np.minimum(gi, gj)
         return DissimilarityMatrix(
-            len(indices), self._values[upper * (upper - 1) // 2 + lower]
+            len(indices), self._values[condensed_position(idx[a], idx[b])]
         )
 
     def set_diagonal_block(self, offset: int, local: "DissimilarityMatrix") -> None:
@@ -241,8 +399,7 @@ class DissimilarityMatrix:
         if size < 2:
             return
         i, j = np.tril_indices(size, -1)
-        gi, gj = i + offset, j + offset
-        self._values[gi * (gi - 1) // 2 + gj] = local._values
+        self._values[condensed_position(i + offset, j + offset)] = local._values
 
     def copy(self) -> "DissimilarityMatrix":
         return DissimilarityMatrix(self._n, self._values.copy())

@@ -168,6 +168,150 @@ class TestDendrogram:
             Dendrogram(2, [Merge(0, 0, 1.0, 2)])
 
 
+def _parse_newick_leaves(text: str) -> list[str]:
+    """Minimal Newick tokenizer: the leaf labels, in tree order.
+
+    Handles quoted labels with doubled-quote escapes per the spec --
+    enough to round-trip what :meth:`Dendrogram.to_newick` emits.
+    """
+    assert text.endswith(";")
+    leaves: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            label = []
+            i += 1
+            while True:
+                if text[i] == "'":
+                    if i + 1 < len(text) and text[i + 1] == "'":
+                        label.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                label.append(text[i])
+                i += 1
+            leaves.append("".join(label))
+        elif ch in "(),;":
+            i += 1
+        elif ch == ":":
+            i += 1
+            while i < len(text) and text[i] not in "(),;:":
+                i += 1
+        else:
+            label = []
+            while text[i] not in "(),;:":
+                label.append(text[i])
+                i += 1
+            leaves.append("".join(label))
+    return leaves
+
+
+class TestNewickEscaping:
+    def _tree(self):
+        return Dendrogram(3, [Merge(0, 1, 1.0, 2), Merge(3, 2, 2.0, 3)])
+
+    def test_safe_labels_stay_unquoted(self):
+        assert self._tree().to_newick(["a", "b", "c"]) == "((a:1,b:1):1,c:2);"
+
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            ["a,b", "c(d", "e)f"],
+            ["x:y", "z;w", "it's"],
+            ["two words", "tab\there", "under_score"],
+            ["'quoted'", "''", ""],
+            ["[bracket]", "{brace}", 'quo"te'],
+        ],
+    )
+    def test_hostile_labels_round_trip(self, hostile):
+        newick = self._tree().to_newick(hostile)
+        assert _parse_newick_leaves(newick) == [hostile[0], hostile[1], hostile[2]]
+
+    def test_hostile_label_single_leaf(self):
+        assert _parse_newick_leaves(Dendrogram(1, []).to_newick(["a:b,c"])) == ["a:b,c"]
+
+    def test_structure_survives_hostile_labels(self):
+        """Metacharacters in labels must not change the token structure."""
+        newick = self._tree().to_newick(["a,b", "c", "d"])
+        stripped = []
+        in_quote = False
+        i = 0
+        while i < len(newick):
+            ch = newick[i]
+            if in_quote:
+                if ch == "'":
+                    if i + 1 < len(newick) and newick[i + 1] == "'":
+                        i += 2
+                        continue
+                    in_quote = False
+                i += 1
+                continue
+            if ch == "'":
+                in_quote = True
+            else:
+                stripped.append(ch)
+            i += 1
+        assert "".join(stripped).count(",") == 2
+
+
+class TestCutAtHeightInversions:
+    def _inverted(self):
+        # Node 4 = (0, 1) at height 2.0; node 5 = (2, 3) at height 0.5;
+        # root joins them at height 1.0 -- an inversion (2.0 before 1.0).
+        return Dendrogram(
+            4,
+            [
+                Merge(0, 1, 2.0, 2),
+                Merge(2, 3, 0.5, 2),
+                Merge(4, 5, 1.0, 4),
+            ],
+        )
+
+    def test_qualifying_merges_not_prefix(self):
+        """Two merges qualify at h=1.0, but they are NOT the first two;
+        the old prefix logic applied {(0,1), (2,3)} and returned
+        [0, 0, 1, 1] while claiming a cut at 1.0."""
+        tree = self._inverted()
+        # The root (height 1.0) qualifies; its closure pulls in (0,1), so
+        # everything connects -- exactly the components of the
+        # cophenetic-threshold graph at 1.0 (coph(0,2)=1.0 bridges all).
+        assert tree.cut_at_height(1.0) == [0, 0, 0, 0]
+
+    def test_below_all_inverted_heights(self):
+        assert self._inverted().cut_at_height(0.4) == [0, 1, 2, 3]
+
+    def test_only_low_merge_qualifies(self):
+        assert self._inverted().cut_at_height(0.7) == [0, 1, 2, 2]
+
+    def test_matches_cophenetic_components(self):
+        """Cut-at-height == connected components of coph <= h, for every
+        interesting threshold of an inverted tree."""
+        tree = self._inverted()
+        coph = tree.cophenetic_matrix()
+        n = tree.num_leaves
+        for h in (0.4, 0.5, 0.7, 1.0, 1.5, 2.0, 2.5):
+            labels = tree.cut_at_height(h)
+            # Transitive closure of the threshold graph via repeated
+            # boolean matrix powers (tiny n).
+            adj = (coph <= h) | np.eye(n, dtype=bool)
+            for _ in range(n):
+                adj = adj | (adj @ adj)
+            for i in range(n):
+                for j in range(n):
+                    assert (labels[i] == labels[j]) == bool(adj[i, j]), (h, i, j)
+
+    def test_monotone_trees_unchanged(self):
+        matrix = _random_matrix(18, 3)
+        tree = agglomerative(matrix, "average")
+        for h in np.linspace(0, max(tree.heights) * 1.1, 12):
+            expected = tree._labels_after(
+                sum(1 for m in tree.merges if m.height <= h)
+            )
+            assert tree.cut_at_height(float(h)) == expected
+
+
 class TestKMedoids:
     def test_recovers_separated_clusters(self):
         rows, truth = gaussian_clusters([10, 10, 10], dim=2, separation=12.0, seed=3)
