@@ -18,6 +18,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Artifacts that must exist for the gate check to pass: a bench that
+#: silently stopped persisting would otherwise "pass" by absence.
+REQUIRED_BENCH_FILES = (
+    "BENCH_clustering.json",
+    "BENCH_incremental.json",
+    "BENCH_transport.json",
+)
+
 
 def gated_entries(node, path=""):
     """Yield (path, speedup, gate) for every gated object in the tree."""
@@ -34,6 +42,9 @@ def gated_entries(node, path=""):
 def main() -> int:
     failures = []
     checked = 0
+    for required in REQUIRED_BENCH_FILES:
+        if not (REPO_ROOT / required).exists():
+            failures.append(f"{required}: missing (bench stopped persisting?)")
     for bench_file in sorted(REPO_ROOT.glob("BENCH_*.json")):
         try:
             payload = json.loads(bench_file.read_text())

@@ -1,0 +1,131 @@
+"""T-INCREMENTAL -- delta construction vs full rebuild for arrivals.
+
+The paper's Figure 11 construction is one-shot: a deployment where
+records keep arriving would re-run the comparison protocols for *every*
+pair on every batch.  The incremental subsystem
+(:class:`repro.apps.service.ClusteringService` over
+:mod:`repro.core.delta`) runs them only for pairs that touch an arrival
+-- for a batch of ``m`` records joining ``n``, that is
+``m*(m-1)/2 + m*n`` pairs instead of ``(n+m)*(n+m-1)/2``.
+
+Headline measurement: appending a 10% batch to ``n = 2000`` objects
+(arrivals split across both sites), delta ingest vs a from-scratch
+construction over the union.  Both paths share one
+:class:`~repro.apps.sessions.SessionBatch`'s cached DH secrets, so the
+comparison is construction work, not key agreement -- and the measured
+ingest state is asserted **bit-identical** to the rebuild's matrix
+before any timing is trusted.  The acceptance bar is >= 5x (pair
+arithmetic alone predicts ~5.8x at 10%); numbers persist to
+``BENCH_incremental.json`` with the gate that was enforced, which
+``benchmarks/check_gates.py`` re-checks on every run.
+
+Timing repeats restore the pre-batch state through :meth:`retire` (the
+inverse mutation -- itself asserted exact), so each repeat times the
+same transition without paying a fresh initial construction.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.apps.sessions import SessionBatch
+from repro.core.config import SessionConfig
+from repro.data.matrix import AttributeSpec, DataMatrix
+from repro.types import AttributeType
+
+#: Base object count; CI shrinks via env to keep shared runners honest.
+TOTAL_OBJECTS = int(os.environ.get("INCREMENTAL_BENCH_N", "2000"))
+#: Full bar on idle machines (measured ~6x); CI relaxes via env.
+SPEEDUP_BAR = float(os.environ.get("INCREMENTAL_SPEEDUP_BAR", "5.0"))
+BATCH_FRACTION = 10  # one tenth of the base population arrives
+
+
+def _workload():
+    schema = [AttributeSpec("v", AttributeType.NUMERIC, precision=2)]
+    half = TOTAL_OBJECTS // 2
+    rows = [[((i * 37) % 5000) / 4.0] for i in range(TOTAL_OBJECTS)]
+    partitions = {
+        "A": DataMatrix(schema, rows[:half]),
+        "B": DataMatrix(schema, rows[half:]),
+    }
+    per_site = TOTAL_OBJECTS // BATCH_FRACTION // 2
+    arrivals = {
+        "A": DataMatrix(schema, [[((i * 91) % 5000) / 4.0] for i in range(per_site)]),
+        "B": DataMatrix(schema, [[((i * 53) % 5000) / 4.0] for i in range(per_site)]),
+    }
+    return SessionConfig(num_clusters=3, master_seed=11), partitions, arrivals
+
+
+def test_append_batch_speedup(table, bench_store):
+    """>= 5x for a 10% append batch vs full reconstruction, bit-exact."""
+    config, partitions, arrivals = _workload()
+    batch = SessionBatch(config, sorted(partitions))
+    service = batch.service(partitions)
+    base_sizes = {site: m.num_rows for site, m in partitions.items()}
+    added = sum(m.num_rows for m in arrivals.values())
+    base_matrix = service.matrix()
+
+    ingest_time = float("inf")
+    retire_time = float("inf")
+    repeats = 4
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        service.ingest(arrivals, recluster=False)
+        ingest_time = min(ingest_time, time.perf_counter() - start)
+        if repeat == repeats - 1:
+            break  # keep the grown state for the equivalence assert
+        removals = {
+            site: list(range(base_sizes[site], service.index.size_of(site)))
+            for site in arrivals
+        }
+        start = time.perf_counter()
+        service.retire(removals, recluster=False)
+        retire_time = min(retire_time, time.perf_counter() - start)
+        assert service.matrix() == base_matrix, "retire did not invert ingest"
+
+    rebuild_time = float("inf")
+    rebuild = None
+    for _ in range(3):
+        rebuild = batch.session(service.partitions())
+        start = time.perf_counter()
+        rebuild.execute_protocol()
+        rebuild_time = min(rebuild_time, time.perf_counter() - start)
+    assert service.matrix() == rebuild.final_matrix(), (
+        "incremental state diverged from the full rebuild"
+    )
+
+    total = service.total_objects()
+    old_pairs_touched = added * (added - 1) // 2 + added * (total - added)
+    all_pairs = total * (total - 1) // 2
+    speedup = rebuild_time / ingest_time
+    table(
+        f"T-INCREMENTAL: 10% append batch at n={TOTAL_OBJECTS} (2 sites)",
+        [
+            ("full rebuild (union construction)", f"{rebuild_time * 1e3:.0f} ms", f"{all_pairs:,} pairs"),
+            ("delta ingest", f"{ingest_time * 1e3:.0f} ms", f"{old_pairs_touched:,} pairs"),
+            ("retire (inverse batch)", f"{retire_time * 1e3:.1f} ms", "no protocol rounds"),
+            ("speedup", f"{speedup:.1f}x", f"gate {SPEEDUP_BAR}x"),
+        ],
+        ("path", "time", "work"),
+    )
+    bench_store(
+        "incremental",
+        {
+            "append_batch": {
+                "objects": TOTAL_OBJECTS,
+                "batch": added,
+                "sites": 2,
+                "rebuild_ms": round(rebuild_time * 1e3, 1),
+                "ingest_ms": round(ingest_time * 1e3, 1),
+                "retire_ms": round(retire_time * 1e3, 2),
+                "pairs_full": all_pairs,
+                "pairs_delta": old_pairs_touched,
+                "speedup": round(speedup, 2),
+                "gate": SPEEDUP_BAR,
+            }
+        },
+    )
+    assert speedup >= SPEEDUP_BAR, (
+        f"delta ingest speedup {speedup:.1f}x below the {SPEEDUP_BAR}x bar"
+    )

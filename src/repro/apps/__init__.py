@@ -10,11 +10,15 @@ privately constructed dissimilarity matrix:
 * :mod:`repro.apps.linkage` -- private record linkage across two sites,
 * :mod:`repro.apps.outliers` -- distance-based outlier detection,
 * :mod:`repro.apps.sessions` -- one-call pipelines and the
-  setup-amortising :class:`~repro.apps.sessions.SessionBatch` runner.
+  setup-amortising :class:`~repro.apps.sessions.SessionBatch` runner,
+* :mod:`repro.apps.service` -- the incremental
+  :class:`~repro.apps.service.ClusteringService` (delta construction
+  for arriving records, cheap retirements, on-demand re-clustering).
 """
 
 from repro.apps.linkage import LinkageMatch, private_record_linkage
 from repro.apps.outliers import OutlierReport, knn_outliers
+from repro.apps.service import ClusteringService
 from repro.apps.sessions import (
     SessionBatch,
     run_private_linkage,
@@ -26,6 +30,7 @@ __all__ = [
     "private_record_linkage",
     "OutlierReport",
     "knn_outliers",
+    "ClusteringService",
     "SessionBatch",
     "run_private_linkage",
     "run_private_outlier_detection",

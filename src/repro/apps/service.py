@@ -1,0 +1,236 @@
+"""The incremental clustering service: sessions that absorb change.
+
+A :class:`~repro.core.session.ClusteringSession` is one-shot -- the
+deployment shape of the ROADMAP's heavy-traffic north star is a standing
+consortium whose sites keep *receiving and retiring records*.
+:class:`ClusteringService` is that shape: it runs the full Figure 11
+construction once, then applies every subsequent arrival batch as a
+**delta** (:mod:`repro.core.delta`) -- comparison protocols run only for
+pairs that touch an arrival, the global condensed matrices are patched
+in place, and the third party re-clusters on demand.  Retirements are
+cheaper still: surviving pairs keep their exact distances, so matrices
+just shrink.
+
+The contract is *differential equivalence*: after any sequence of
+ingests and retirements, the service's per-attribute matrices, merged
+matrix, dendrogram and medoids are **bit-identical** to a from-scratch
+session over the current union of partitions.  The protocols make that
+possible -- every unmasked distance equals the plain comparison function
+of the two values -- and the stateful differential suite
+(``tests/test_incremental_differential.py``) enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.config import SessionConfig
+from repro.core.delta import DeltaPlan, SiteGrowth, construct_attributes_delta
+from repro.core.results import ClusteringResult
+from repro.core.session import ClusteringSession
+from repro.crypto.keys import PairwiseSecret
+from repro.data.matrix import DataMatrix
+from repro.data.partition import GlobalIndex
+from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.types import LinkageMethod
+
+
+class ClusteringService:
+    """A standing session that ingests and retires records incrementally.
+
+    Parameters mirror :class:`ClusteringSession`; construction for the
+    initial partitions runs eagerly in the constructor, so the first
+    :meth:`recluster` (and every ingest) starts from a complete set of
+    per-attribute matrices.  Pass ``shared_secrets`` (e.g. from
+    :meth:`repro.apps.sessions.SessionBatch.service`) to amortise
+    Diffie-Hellman setup across services of one consortium.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        partitions: Mapping[str, DataMatrix],
+        tp_name: str = "TP",
+        shared_secrets: Mapping[tuple[str, str], PairwiseSecret] | None = None,
+    ) -> None:
+        self._session = ClusteringSession(
+            config, partitions, tp_name=tp_name, shared_secrets=shared_secrets
+        )
+        self._session.execute_protocol()
+        self._epoch = 0
+        #: Step names of the most recent delta construction, in realized
+        #: order (mirrors ``ClusteringSession.construction_trace``).
+        self.delta_trace: list[str] = []
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def session(self) -> ClusteringSession:
+        """The underlying session (network, holders, third party)."""
+        return self._session
+
+    @property
+    def config(self) -> SessionConfig:
+        return self._session.config
+
+    @property
+    def index(self) -> GlobalIndex:
+        """Current global index (updates as records arrive and retire)."""
+        return self._session.index
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter (one per ingest/retire batch)."""
+        return self._epoch
+
+    def partitions(self) -> dict[str, DataMatrix]:
+        """Each site's *current* partition (what a rebuild would start from)."""
+        return {
+            site: self._session.holders[site].matrix
+            for site in self._session.index.sites
+        }
+
+    def total_objects(self) -> int:
+        return self._session.index.total_objects
+
+    def total_bytes(self) -> int:
+        """Wire bytes across the service's whole history."""
+        return self._session.total_bytes()
+
+    def matrix(self) -> DissimilarityMatrix:
+        """The third party's current merged matrix (experiment access only)."""
+        return self._session.third_party.merged_matrix()
+
+    # -- mutations ---------------------------------------------------------
+
+    def ingest(
+        self,
+        arrivals: Mapping[str, DataMatrix],
+        recluster: bool = True,
+    ) -> ClusteringResult | None:
+        """Absorb one batch of arriving records (per-site matrices).
+
+        Runs the delta construction -- protocols only for new-pair
+        blocks -- then re-clusters and publishes unless ``recluster``
+        is ``False`` (bulk loaders chain several ingests and cluster
+        once at the end).
+        """
+        session = self._session
+        batches: dict[str, DataMatrix] = {}
+        for site, batch in arrivals.items():
+            if site not in session.holders:
+                raise ConfigurationError(f"unknown site {site!r}")
+            if not isinstance(batch, DataMatrix):
+                raise ConfigurationError(
+                    f"arrivals for {site!r} must be a DataMatrix"
+                )
+            if batch.schema != session.schema:
+                raise ConfigurationError(
+                    f"arrivals for {site!r} do not share the session schema"
+                )
+            if batch.num_rows:
+                batches[site] = batch
+        if not batches:
+            raise ConfigurationError("ingest needs at least one arriving record")
+
+        old_index = session.index
+        growth = {
+            site: SiteGrowth(
+                old_index.size_of(site),
+                old_index.size_of(site)
+                + (batches[site].num_rows if site in batches else 0),
+            )
+            for site in old_index.sites
+        }
+        self._epoch += 1
+        plan = DeltaPlan(self._epoch, growth)
+        new_index = old_index.extend(
+            {site: batch.num_rows for site, batch in batches.items()}
+        )
+
+        session.third_party.begin_delta(plan, new_index)
+        for site, batch in batches.items():
+            session.holders[site].ingest_rows(batch)
+            session.partitions[site] = session.holders[site].matrix
+        session.index = new_index
+        self.delta_trace = construct_attributes_delta(
+            session.schema,
+            session.holders,
+            session.third_party,
+            plan,
+            policy=session.config.suite.construction_schedule,
+        )
+        if recluster:
+            return self.recluster()
+        session.network.assert_drained()
+        return None
+
+    def retire(
+        self,
+        removals: Mapping[str, Sequence[int]],
+        recluster: bool = True,
+    ) -> ClusteringResult | None:
+        """Drop records by site-local id; survivors compact in order.
+
+        No protocol rounds run -- surviving pairs keep their exact
+        distances -- so a retirement costs one condensed shrink per
+        attribute plus re-normalisation.
+        """
+        session = self._session
+        drops: dict[str, list[int]] = {}
+        for site, local_ids in removals.items():
+            if site not in session.holders:
+                raise ConfigurationError(f"unknown site {site!r}")
+            ids = sorted({int(i) for i in local_ids})
+            if not ids:
+                continue
+            size = session.index.size_of(site)
+            if ids[0] < 0 or ids[-1] >= size:
+                raise ConfigurationError(
+                    f"retirement ids {ids} out of range for site {site!r} "
+                    f"({size} objects)"
+                )
+            if len(ids) >= size:
+                raise ConfigurationError(
+                    f"site {site!r} cannot retire every record"
+                )
+            drops[site] = ids
+        if not drops:
+            raise ConfigurationError("retire needs at least one record")
+
+        self._epoch += 1
+        for site in sorted(drops):
+            session.holders[site].announce_retirement(session.tp_name, drops[site])
+        new_index = GlobalIndex(
+            {
+                site: session.index.size_of(site) - len(drops.get(site, ()))
+                for site in session.index.sites
+            }
+        )
+        session.third_party.retire_objects(sorted(drops), new_index)
+        for site, ids in drops.items():
+            session.holders[site].retire_rows(ids)
+            session.partitions[site] = session.holders[site].matrix
+        session.index = new_index
+        if recluster:
+            return self.recluster()
+        session.network.assert_drained()
+        return None
+
+    # -- clustering --------------------------------------------------------
+
+    def recluster(self) -> ClusteringResult:
+        """Cluster the current matrix and publish to every holder."""
+        session = self._session
+        linkage = session.config.linkage
+        assert isinstance(linkage, LinkageMethod)
+        result = session.third_party.cluster_and_publish(
+            list(session.index.sites), session.config.num_clusters, linkage
+        )
+        for site in session.index.sites:
+            received = session.holders[site].receive_result(session.tp_name)
+            if received.to_payload() != result.to_payload():
+                raise ProtocolError(f"result received by {site!r} diverged")
+        session.network.assert_drained()
+        return result

@@ -87,6 +87,28 @@ class SessionBatch:
         """Run one full session per element of ``partition_batches``."""
         return [self.session(partitions).run() for partitions in partition_batches]
 
+    def service(self, partitions: Mapping[str, DataMatrix]) -> "ClusteringService":
+        """A standing incremental service over ``partitions``.
+
+        Same amortisation as :meth:`session` -- cached pairwise secrets,
+        byte-identical transcripts -- but the returned
+        :class:`~repro.apps.service.ClusteringService` then absorbs
+        arrivals and retirements via delta construction instead of
+        re-running the full protocol per dataset.
+        """
+        if set(partitions) != set(self.sites):
+            raise ConfigurationError(
+                f"partitions cover {sorted(partitions)}, batch is for {sorted(self.sites)}"
+            )
+        from repro.apps.service import ClusteringService
+
+        return ClusteringService(
+            self.config,
+            partitions,
+            tp_name=self.tp_name,
+            shared_secrets=self._secrets,
+        )
+
 
 def run_private_linkage(
     partitions: Mapping[str, DataMatrix],

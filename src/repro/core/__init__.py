@@ -5,6 +5,7 @@ protocols and dissimilarity matrix construction.
 * :mod:`repro.core.alphanumeric` -- Section 4.2 protocol (Figures 8-10),
 * :mod:`repro.core.categorical` -- Section 4.3 protocol,
 * :mod:`repro.core.construction` -- Figure 11 driver,
+* :mod:`repro.core.delta` -- incremental (new-pairs-only) construction,
 * :mod:`repro.core.session` -- end-to-end orchestration,
 * :mod:`repro.core.results` -- Figure 13 publication format,
 * :mod:`repro.core.config` -- session/protocol configuration,

@@ -30,6 +30,54 @@ def alnum_jt(attribute: str, initiator: str, responder: str) -> str:
     return f"alnum-jt|{attribute}|{initiator}>{responder}"
 
 
+#: Delta-construction run parts (:mod:`repro.core.delta`).  The grown
+#: site always responds with its arrival rows; ``"grow"`` compares them
+#: against the initiator's *full* column, ``"base"`` against the
+#: initiator's *pre-epoch base* only (its own arrivals already met the
+#: responder's in the pair's ``"grow"`` run).  Together they cover each
+#: new cross pair exactly once.
+DELTA_PARTS = ("grow", "base")
+
+
+def _delta_scope(epoch: int, part: str) -> str:
+    """Label suffix for one delta run.
+
+    Position-independent by construction: the scope names the ingest
+    *epoch* (a monotone counter every party tracks) and the run *part*,
+    never global matrix positions -- so the protocol transcript for a
+    given pair's arrival batch is identical no matter how other sites'
+    growth shifted the global frame.  The epoch keeps mask streams unique
+    across a session's whole history (a site may shrink and regrow over
+    the same local id range; its runs still never share a stream).
+    """
+    if part not in DELTA_PARTS:
+        raise ValueError(f"unknown delta part {part!r}; available: {DELTA_PARTS}")
+    if epoch < 1:
+        raise ValueError(f"delta epoch must be >= 1, got {epoch}")
+    return f"delta{epoch}|{part}"
+
+
+def numeric_jk_delta(
+    attribute: str, initiator: str, responder: str, epoch: int, part: str
+) -> str:
+    """``rng_JK`` for one numeric delta run."""
+    return f"{numeric_jk(attribute, initiator, responder)}|{_delta_scope(epoch, part)}"
+
+
+def numeric_jt_delta(
+    attribute: str, initiator: str, responder: str, epoch: int, part: str
+) -> str:
+    """``rng_JT`` for one numeric delta run."""
+    return f"{numeric_jt(attribute, initiator, responder)}|{_delta_scope(epoch, part)}"
+
+
+def alnum_jt_delta(
+    attribute: str, initiator: str, responder: str, epoch: int, part: str
+) -> str:
+    """``rng_JT`` for one alphanumeric delta run."""
+    return f"{alnum_jt(attribute, initiator, responder)}|{_delta_scope(epoch, part)}"
+
+
 def channel_key(party_a: str, party_b: str) -> str:
     """Symmetric key securing the link between two parties."""
     first, second = sorted((party_a, party_b))

@@ -262,6 +262,189 @@ class ConstructionScheduler:
         )
         self._attr_index += 1
 
+    def add_attribute_delta(self, spec: AttributeSpec, plan) -> None:
+        """Append one attribute's delta rounds for an ingest epoch.
+
+        Same wave structure as :meth:`add_attribute`, restricted to the
+        pairs an arrival touches: grown sites ship local tails (or
+        arrival ciphertexts), and each ordered holder pair runs at most
+        two sub-column comparison rounds (``"grow"``: initiator arrivals
+        x all responder records; ``"base"``: initiator base x responder
+        arrivals) -- every new pair exactly once, no old pair ever
+        re-proven.  The third party's finalize re-normalises the patched
+        matrix, since arrivals may move the [0, 1] peak.
+        """
+        tp = self._tp
+        sites = self._sites
+        attr = spec.name
+        epoch = plan.epoch
+        grown = [site for site in sites if plan.site(site).added]
+        if not grown:
+            raise ProtocolError(f"delta plan for {attr!r} has no arrivals")
+        finalize_deps: list[str] = []
+        suffix = f"@{epoch}"
+
+        if spec.attr_type is AttributeType.CATEGORICAL:
+            for lane, site in enumerate(grown):
+                sent = self._add(
+                    f"{attr}:send_encrypted_delta[{site}]{suffix}",
+                    lambda site=site: self._holders[site].send_categorical_delta(
+                        spec, tp.name, plan.site(site).old_size
+                    ),
+                    wave=_SEND_LOCAL,
+                    lane=lane,
+                )
+                finalize_deps.append(
+                    self._add(
+                        f"{attr}:recv_encrypted_delta[{site}]{suffix}",
+                        lambda site=site: tp.receive_encrypted_delta(site),
+                        wave=_RECV_LOCAL,
+                        lane=lane,
+                        deps=(sent,),
+                        receives=(tp.name, "encrypted_column_delta", site),
+                    )
+                )
+            self._add(
+                f"{attr}:finalize{suffix}",
+                lambda: (tp.finalize_categorical_delta(attr), tp.finalize_attribute(attr)),
+                wave=_FINALIZE,
+                lane=0,
+                deps=tuple(finalize_deps),
+            )
+            self._attr_index += 1
+            return
+
+        numeric = spec.attr_type is AttributeType.NUMERIC
+        for lane, site in enumerate(grown):
+            sent = self._add(
+                f"{attr}:send_local_delta[{site}]{suffix}",
+                lambda site=site: self._holders[site].send_local_delta(
+                    tp.name, spec, plan.site(site).old_size
+                ),
+                wave=_SEND_LOCAL,
+                lane=lane,
+            )
+            finalize_deps.append(
+                self._add(
+                    f"{attr}:recv_local_delta[{site}]{suffix}",
+                    lambda site=site: tp.receive_local_delta(site),
+                    wave=_RECV_LOCAL,
+                    lane=lane,
+                    deps=(sent,),
+                    receives=(tp.name, "local_matrix_delta", site),
+                )
+            )
+
+        masked_kind = (
+            ("masked_vector" if tp.suite.batch_numeric else "masked_matrix")
+            if numeric
+            else "masked_strings"
+        )
+        block_kind = "comparison_matrix" if numeric else "ccm_matrices"
+        pair_lane = 0
+        for j_index, first in enumerate(sites):
+            for second in sites[j_index + 1 :]:
+                grow_first = plan.site(first)
+                grow_second = plan.site(second)
+                # The grown site always *responds* with its arrival rows:
+                # per-row costs (responder matrix rows, serializer runs,
+                # TP row unmasks) then scale with the batch, not with the
+                # peer's whole partition.
+                runs = []
+                if grow_first.added:
+                    # Second's full column x first's arrivals.
+                    runs.append(
+                        (
+                            "grow",
+                            second,
+                            first,
+                            (0, grow_second.new_size),
+                            (grow_first.old_size, grow_first.new_size),
+                        )
+                    )
+                if grow_second.added:
+                    # First's base x second's arrivals (first's own
+                    # arrivals already met second's in the "grow" run).
+                    runs.append(
+                        (
+                            "base",
+                            first,
+                            second,
+                            (0, grow_first.old_size),
+                            (grow_second.old_size, grow_second.new_size),
+                        )
+                    )
+                for part, initiator, responder, initiator_range, responder_range in runs:
+                    pair = f"{initiator}->{responder}|{part}"
+                    if numeric:
+                        initiated = self._add(
+                            f"{attr}:initiate[{pair}]{suffix}",
+                            lambda i=initiator, r=responder, p=part, ir=initiator_range, rr=responder_range: self._holders[
+                                i
+                            ].numeric_initiate_delta(
+                                spec,
+                                r,
+                                tp.name,
+                                p,
+                                epoch,
+                                ir,
+                                responder_size=rr[1] - rr[0],
+                            ),
+                            wave=_INITIATE,
+                            lane=pair_lane,
+                        )
+                        responded = self._add(
+                            f"{attr}:respond[{pair}]{suffix}",
+                            lambda i=initiator, r=responder, p=part, rr=responder_range: self._holders[
+                                r
+                            ].numeric_respond_delta(spec, i, tp.name, p, epoch, rr),
+                            wave=_RESPOND,
+                            lane=pair_lane,
+                            deps=(initiated,),
+                            receives=(responder, masked_kind, initiator),
+                        )
+                        absorb = lambda r=responder: tp.receive_numeric_delta_block(r)
+                    else:
+                        initiated = self._add(
+                            f"{attr}:initiate[{pair}]{suffix}",
+                            lambda i=initiator, r=responder, p=part, ir=initiator_range: self._holders[
+                                i
+                            ].alnum_initiate_delta(spec, r, tp.name, p, epoch, ir),
+                            wave=_INITIATE,
+                            lane=pair_lane,
+                        )
+                        responded = self._add(
+                            f"{attr}:respond[{pair}]{suffix}",
+                            lambda i=initiator, r=responder, p=part, rr=responder_range: self._holders[
+                                r
+                            ].alnum_respond_delta(spec, i, tp.name, p, epoch, rr),
+                            wave=_RESPOND,
+                            lane=pair_lane,
+                            deps=(initiated,),
+                            receives=(responder, masked_kind, initiator),
+                        )
+                        absorb = lambda r=responder: tp.receive_alnum_delta_block(r)
+                    finalize_deps.append(
+                        self._add(
+                            f"{attr}:recv_block[{pair}]{suffix}",
+                            absorb,
+                            wave=_RECV_BLOCK,
+                            lane=pair_lane,
+                            deps=(responded,),
+                            receives=(tp.name, block_kind, responder),
+                        )
+                    )
+                    pair_lane += 1
+
+        self._add(
+            f"{attr}:finalize{suffix}",
+            lambda: tp.finalize_attribute(attr),
+            wave=_FINALIZE,
+            lane=0,
+            deps=tuple(finalize_deps),
+        )
+        self._attr_index += 1
+
     # -- execution ---------------------------------------------------------
 
     def _runnable(self, step: Step, done: set[str]) -> bool:

@@ -102,6 +102,34 @@ class GlobalIndex:
         """All object references in global order."""
         return iter(self._refs)
 
+    def append(self, site: str, count: int = 1) -> "GlobalIndex":
+        """Index after ``count`` records arrive at ``site``.
+
+        Arrivals take the next local ids (``size_of(site)`` onward), so
+        every existing :class:`ObjectRef` stays valid in the grown index
+        -- only global positions *after* the site's region shift.
+        """
+        return self.extend({site: count})
+
+    def extend(self, arrivals: Mapping[str, int]) -> "GlobalIndex":
+        """Index after a batch of arrivals lands at several sites at once.
+
+        ``arrivals`` maps site name to the number of appended records
+        (``>= 0``).  The site set is fixed for a session -- pairwise
+        secrets and channels cover exactly the initial consortium -- so
+        unknown sites are rejected rather than admitted.
+        """
+        sizes = dict(self._sizes)
+        for site, count in arrivals.items():
+            if site not in sizes:
+                raise PartitionError(f"unknown site {site!r}")
+            if count < 0:
+                raise PartitionError(
+                    f"site {site!r} cannot shrink by extension (got {count})"
+                )
+            sizes[site] += count
+        return GlobalIndex(sizes)
+
     def block(self, site_a: str, site_b: str) -> tuple[range, range]:
         """Global row/column ranges of the (site_a, site_b) block."""
         return (

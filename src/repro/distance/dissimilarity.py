@@ -153,11 +153,33 @@ def condensed_pair_indices(num_objects: int) -> tuple[np.ndarray, np.ndarray]:
     return np.tril_indices(num_objects, -1)
 
 
+def condensed_tail_indices(
+    old_size: int, new_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pair indices of the condensed *tail*: rows ``old_size..new_size-1``
+    against every earlier row, in layout order.
+
+    This is :func:`condensed_pair_indices` restricted to the segment a
+    grown site's delta covers, built directly at O(tail) cost -- the
+    incremental path must never pay O(new_size^2) for a small batch.
+    """
+    rows = np.arange(old_size, new_size, dtype=np.int64)
+    i = np.repeat(rows, rows)
+    starts = np.cumsum(rows) - rows
+    j = np.arange(i.size, dtype=np.int64) - np.repeat(starts, rows)
+    return i, j
+
+
 def same_label_mask(labels: Sequence[int]) -> np.ndarray:
     """Condensed boolean mask: True where a pair's objects share a label."""
     arr = np.asarray(labels)
     i, j = condensed_pair_indices(arr.shape[0])
     return arr[i] == arr[j]
+
+
+#: Row-block budget (float64 cells) for the chunked triangle-inequality
+#: scan: ~1 MiB per block keeps peak memory far below the n^2 square.
+_TRIANGLE_CHUNK_CELLS = 1 << 17
 
 
 class DissimilarityMatrix:
@@ -224,9 +246,9 @@ class DissimilarityMatrix:
         for i in range(1, num_objects):
             for j in range(i):
                 value = float(distance(i, j))
-                if value < 0:
+                if value < 0 or not np.isfinite(value):
                     raise ConfigurationError(
-                        f"distance({i}, {j}) returned negative value {value}"
+                        f"distance({i}, {j}) returned invalid value {value}"
                     )
                 out._values[pos] = value
                 pos += 1
@@ -383,6 +405,92 @@ class DissimilarityMatrix:
             len(indices), self._values[condensed_position(idx[a], idx[b])]
         )
 
+    def set_submatrix(self, indices: Sequence[int], local: "DissimilarityMatrix") -> None:
+        """Scatter a small matrix onto an arbitrary subset of objects.
+
+        The write counterpart of :meth:`submatrix`: ``local``'s pair
+        ``(a, b)`` lands on the global pair ``(indices[a], indices[b])``
+        with one fancy-indexed condensed write.  The delta-construction
+        path uses this to drop new-arrival blocks whose global positions
+        are scattered across several sites' regions.  Indices must be
+        unique and in range; ``local`` must cover exactly
+        ``len(indices)`` objects.
+        """
+        indices = list(indices)
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError("submatrix indices must be unique")
+        if local.num_objects != len(indices):
+            raise ConfigurationError(
+                f"matrix covers {local.num_objects} objects, got {len(indices)} indices"
+            )
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self._n):
+            raise ConfigurationError(
+                f"submatrix indices out of range for {self._n} objects"
+            )
+        if local.num_objects < 2:
+            return
+        a, b = np.tril_indices(local.num_objects, -1)
+        self._values[condensed_position(idx[a], idx[b])] = local._values
+
+    def insert_objects(self, new_positions: Sequence[int]) -> "DissimilarityMatrix":
+        """Grown matrix with fresh objects at the given (new-frame) positions.
+
+        ``new_positions`` are the rows the inserted objects occupy in the
+        grown matrix; existing objects keep their relative order in the
+        remaining rows.  Every pair of surviving objects keeps its exact
+        value via one fancy-indexed condensed remap; every pair touching
+        an inserted object starts at 0, to be filled by the delta
+        construction (:mod:`repro.core.delta`).
+        """
+        new_positions = list(new_positions)
+        if len(set(new_positions)) != len(new_positions):
+            raise ConfigurationError("insert positions must be unique")
+        grown = self._n + len(new_positions)
+        for position in new_positions:
+            if not 0 <= position < grown:
+                raise ConfigurationError(
+                    f"insert position {position} out of range for {grown} objects"
+                )
+        if not new_positions:
+            return self.copy()
+        inserted = np.zeros(grown, dtype=bool)
+        inserted[np.asarray(new_positions, dtype=np.int64)] = True
+        new_of_old = np.flatnonzero(~inserted)
+        out = DissimilarityMatrix(grown)
+        if self._n >= 2:
+            i, j = condensed_pair_indices(self._n)
+            # The map old->new is strictly increasing, so i > j survives
+            # remapping and the condensed slot is direct arithmetic (no
+            # per-pair max/min) -- this runs on every ingest epoch.
+            upper = new_of_old[i]
+            targets = upper * (upper - 1) // 2
+            targets += new_of_old[j]
+            out._values[targets] = self._values
+        return out
+
+    def remove_objects(self, positions: Sequence[int]) -> "DissimilarityMatrix":
+        """Shrunk matrix without the given objects (surviving order kept).
+
+        The inverse of :meth:`insert_objects`; the condensed shrink is the
+        :meth:`submatrix` gather over the surviving positions.
+        """
+        positions = list(positions)
+        if len(set(positions)) != len(positions):
+            raise ConfigurationError("removal positions must be unique")
+        for position in positions:
+            if not 0 <= position < self._n:
+                raise ConfigurationError(
+                    f"removal position {position} out of range for {self._n} objects"
+                )
+        keep = np.ones(self._n, dtype=bool)
+        if positions:
+            keep[np.asarray(positions, dtype=np.int64)] = False
+        survivors = np.flatnonzero(keep)
+        if survivors.size == 0:
+            raise ConfigurationError("cannot remove every object")
+        return self.submatrix(survivors.tolist())
+
     def set_diagonal_block(self, offset: int, local: "DissimilarityMatrix") -> None:
         """Place a (validated) local matrix on the diagonal at ``offset``.
 
@@ -400,6 +508,40 @@ class DissimilarityMatrix:
             return
         i, j = np.tril_indices(size, -1)
         self._values[condensed_position(i + offset, j + offset)] = local._values
+
+    def set_diagonal_delta(
+        self, offset: int, old_size: int, new_size: int, tail: np.ndarray
+    ) -> None:
+        """Patch the *tail* of a diagonal block after a site grew.
+
+        ``tail`` holds the new condensed entries of the site's grown
+        local matrix -- rows ``old_size..new_size-1`` against every
+        earlier local row, in Figure 2 order (one contiguous condensed
+        segment on the holder's side, scattered here into the global
+        triangle with one fancy-indexed write).  Entries among the
+        site's surviving rows are untouched.
+        """
+        if not 0 <= old_size <= new_size:
+            raise ConfigurationError(
+                f"invalid diagonal delta sizes ({old_size}, {new_size})"
+            )
+        if offset < 0 or offset + new_size > self._n:
+            raise ConfigurationError(
+                f"diagonal block [{offset}, {offset + new_size}) out of range "
+                f"for {self._n} objects"
+            )
+        tail = np.asarray(tail, dtype=np.float64)
+        expected = condensed_size(new_size) - condensed_size(old_size)
+        if tail.shape != (expected,):
+            raise ConfigurationError(
+                f"diagonal delta must have length {expected}, got {tail.shape}"
+            )
+        if expected == 0:
+            return
+        if np.any(tail < 0) or np.any(~np.isfinite(tail)):
+            raise ConfigurationError("distances must be non-negative and finite")
+        i, j = condensed_tail_indices(old_size, new_size)
+        self._values[condensed_position(i + offset, j + offset)] = tail
 
     def copy(self) -> "DissimilarityMatrix":
         return DissimilarityMatrix(self._n, self._values.copy())
@@ -421,17 +563,55 @@ class DissimilarityMatrix:
             return 0.0
         return float(self._values.mean())
 
-    def check_triangle_inequality(self, atol: float = 1e-9) -> bool:
+    def check_triangle_inequality(
+        self, atol: float = 1e-9, chunk_rows: int | None = None
+    ) -> bool:
         """Whether d(i,k) <= d(i,j) + d(j,k) holds for all triples.
 
         True for the per-attribute metrics the paper uses; weighted merges
         of metrics stay metrics, so this doubles as an integration check.
+
+        The scan is chunked over the intermediate vertex ``j`` (and, per
+        ``j``-chunk, over rows ``i``): only two ``chunk_rows x n`` row
+        blocks are ever materialised -- never the O(n^2) square -- and the
+        first violating ``(j, i)`` block returns immediately, so a
+        non-metric matrix with an early violation costs O(chunk * n)
+        instead of a full O(n^3) sweep over a square copy.
         """
-        square = self.to_square()
-        for j in range(self._n):
-            via_j = square[:, j][:, None] + square[j, :][None, :]
-            if np.any(square > via_j + atol):
-                return False
+        n = self._n
+        if n < 3:
+            return True
+        if chunk_rows is None:
+            chunk_rows = min(n, max(1, _TRIANGLE_CHUNK_CELLS // n))
+        chunk_rows = max(1, min(chunk_rows, n))
+        offsets = condensed_offsets(n)
+        scratch = np.empty(n, dtype=np.int64)
+        rows_j = np.empty((chunk_rows, n), dtype=np.float64)
+        rows_i = np.empty((chunk_rows, n), dtype=np.float64)
+        for j_start in range(0, n, chunk_rows):
+            j_stop = min(n, j_start + chunk_rows)
+            block_j = rows_j[: j_stop - j_start]
+            for offset, j in enumerate(range(j_start, j_stop)):
+                condensed_row_gather(
+                    self._values, j, n, offsets, out=block_j[offset], scratch=scratch
+                )
+            for i_start in range(0, n, chunk_rows):
+                i_stop = min(n, i_start + chunk_rows)
+                if i_start == j_start:
+                    block_i = block_j
+                else:
+                    block_i = rows_i[: i_stop - i_start]
+                    for offset, i in enumerate(range(i_start, i_stop)):
+                        condensed_row_gather(
+                            self._values, i, n, offsets, out=block_i[offset], scratch=scratch
+                        )
+                for offset in range(j_stop - j_start):
+                    via_j = (
+                        block_j[offset, i_start:i_stop][:, None]
+                        + block_j[offset][None, :]
+                    )
+                    if np.any(block_i[: i_stop - i_start] > via_j + atol):
+                        return False
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

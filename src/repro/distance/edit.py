@@ -142,17 +142,36 @@ def pairwise_edit_distances(strings: Sequence[str]) -> np.ndarray:
     pair ``(i, j)`` with ``i > j`` lands at position ``i*(i-1)//2 + j``.
     Cost matrices of equal shape are batched through one stacked DP.
     """
+    return pairwise_edit_distance_rows(strings, 0)
+
+
+def pairwise_edit_distance_rows(strings: Sequence[str], first_row: int) -> np.ndarray:
+    """Condensed rows ``first_row..n-1`` of the pairwise distance matrix.
+
+    The strict-lower-triangle entries of rows ``>= first_row`` occupy one
+    contiguous condensed segment (positions ``condensed_size(first_row)``
+    onward), which is exactly the *delta tail* a data holder ships when
+    ``n - first_row`` records arrive: distances of each new string to
+    every earlier string, in Figure 2 order, without re-solving the
+    O(first_row^2) DPs of the already-shipped triangle.
+    """
     strings = list(strings)
     n = len(strings)
+    if not 0 <= first_row <= n:
+        raise ConfigurationError(
+            f"first_row {first_row} out of range for {n} strings"
+        )
     codes = [
         np.frombuffer(s.encode("utf-32-le"), dtype=np.uint32) for s in strings
     ]
-    out = np.zeros(n * (n - 1) // 2, dtype=np.int64)
+    start = max(first_row, 1)
+    tail_offset = start * (start - 1) // 2
+    out = np.zeros(n * (n - 1) // 2 - tail_offset, dtype=np.int64)
     # Group pair *indices* by cost-matrix shape; cost matrices themselves
     # are materialised per bounded chunk to keep peak memory flat.
     groups: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
     position = 0
-    for i in range(1, n):
+    for i in range(start, n):
         for j in range(i):
             source, target = strings[i], strings[j]
             if source == target:

@@ -19,8 +19,8 @@ from repro.core.config import ProtocolSuiteConfig
 from repro.crypto.detenc import DeterministicEncryptor
 from repro.crypto.prng import ReseedablePRNG
 from repro.data.matrix import AttributeSpec, DataMatrix
-from repro.distance.dissimilarity import DissimilarityMatrix
-from repro.distance.edit import pairwise_edit_distances
+from repro.distance.dissimilarity import DissimilarityMatrix, condensed_tail_indices
+from repro.distance.edit import pairwise_edit_distance_rows, pairwise_edit_distances
 from repro.distance.local import local_dissimilarity
 from repro.distance.numeric import FixedPointCodec
 from repro.exceptions import ProtocolError
@@ -46,6 +46,30 @@ def _numeric_condensed(encoded: list[int], codec: FixedPointCodec) -> np.ndarray
         return None
     i, j = np.tril_indices(arr.size, -1)
     return codec.decode_distance_array(np.abs(arr[i] - arr[j]))
+
+
+def _numeric_condensed_tail(
+    encoded: list[int], old_size: int, codec: FixedPointCodec
+) -> np.ndarray:
+    """New condensed rows (``old_size`` onward) of the local matrix.
+
+    Every entry is the exact ``|a - b|`` decode either way -- the int64
+    broadcast and the arbitrary-precision fallback emit bitwise the same
+    floats -- so the delta tail matches the corresponding segment of a
+    full :func:`_numeric_condensed` recomputation bit for bit.
+    """
+    i, j = condensed_tail_indices(old_size, len(encoded))
+    try:
+        arr = np.asarray(encoded, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        arr = None
+    if arr is not None and (
+        not arr.size or int(np.abs(arr).max()) < _EXACT_LOCAL_BOUND
+    ):
+        return codec.decode_distance_array(np.abs(arr[i] - arr[j]))
+    exact = np.empty(i.size, dtype=object)
+    exact[:] = [abs(int(encoded[a]) - int(encoded[b])) for a, b in zip(i, j)]
+    return codec.decode_distance_array(exact)
 
 
 class DataHolder(Party):
@@ -111,6 +135,269 @@ class DataHolder(Party):
             tp_name,
             kind="local_matrix",
             payload={"attribute": spec.name, "condensed": np.asarray(condensed)},
+            tag=self._tag(spec),
+        )
+
+    # -- incremental sessions (delta construction) --------------------------
+
+    def ingest_rows(self, rows: DataMatrix) -> None:
+        """Append an arrival batch to this site's partition.
+
+        Arrivals take the next local ids, so every existing record's
+        position inside the site is stable -- the property the delta
+        label grammar and the differential-equivalence guarantee rest on.
+        """
+        self.matrix = self.matrix.concat(rows)
+
+    def retire_rows(self, local_ids: list[int]) -> None:
+        """Drop records; survivors compact while keeping relative order."""
+        drop = set(local_ids)
+        keep = [i for i in range(self.matrix.num_rows) if i not in drop]
+        self.matrix = self.matrix.take(keep)
+
+    def announce_retirement(self, tp_name: str, local_ids: list[int]) -> None:
+        """Tell the third party which local records left this site.
+
+        Local ids reveal nothing beyond the (public) partition sizes; the
+        TP needs them to shrink its matrices in the right rows.
+        """
+        self.send(
+            tp_name,
+            kind="retire_records",
+            payload={"local_ids": sorted(int(i) for i in local_ids)},
+            tag="delta",
+        )
+
+    def send_local_delta(self, tp_name: str, spec: AttributeSpec, old_size: int) -> None:
+        """Ship the new condensed rows of this site's local matrix.
+
+        Covers every pair touching an arrival *within* this site (each
+        new record against all earlier locals plus the new-new triangle)
+        at O(added * size) cost -- the already-shipped triangle is never
+        recomputed or resent.
+        """
+        column = self._column(spec)
+        if not 0 <= old_size <= len(column):
+            raise ProtocolError(
+                f"local delta old_size {old_size} out of range for "
+                f"{len(column)} objects"
+            )
+        if spec.attr_type is AttributeType.NUMERIC:
+            codec = self._codec(spec)
+            tail = _numeric_condensed_tail(codec.encode_column(column), old_size, codec)
+        elif spec.attr_type is AttributeType.ALPHANUMERIC:
+            tail = pairwise_edit_distance_rows(column, old_size).astype(np.float64)
+        else:
+            raise ProtocolError(
+                f"local matrices are not built for {spec.attr_type.value} attributes; "
+                "the third party patches the categorical matrix globally"
+            )
+        self.send(
+            tp_name,
+            kind="local_matrix_delta",
+            payload={
+                "attribute": spec.name,
+                "old_size": old_size,
+                "condensed_tail": np.asarray(tail),
+            },
+            tag=self._tag(spec),
+        )
+
+    def _delta_prng(self, peer: str, label: str):
+        return self.secret_with(peer).prng(label, self._suite.prng_kind)
+
+    def numeric_initiate_delta(
+        self,
+        spec: AttributeSpec,
+        responder: str,
+        tp_name: str,
+        part: str,
+        epoch: int,
+        own_range: tuple[int, int],
+        responder_size: int,
+    ) -> None:
+        """DHJ's step for one delta run: mask a sub-column only.
+
+        ``own_range`` selects the initiator rows the run covers (its
+        arrivals for ``"grow"``, its pre-existing records for
+        ``"base"``); the protocol itself is the unmodified Figure 4 over
+        that slice, under epoch-and-part-scoped generators.
+        """
+        suite = self._suite
+        rng_jk = self._delta_prng(
+            responder, labels.numeric_jk_delta(spec.name, self.name, responder, epoch, part)
+        )
+        rng_jt = self._delta_prng(
+            tp_name, labels.numeric_jt_delta(spec.name, self.name, responder, epoch, part)
+        )
+        lo, hi = own_range
+        encoded = self._codec(spec).encode_column(self._column(spec)[lo:hi])
+        meta = {"attribute": spec.name, "part": part, "epoch": epoch}
+        if suite.batch_numeric:
+            masked = num_protocol.initiator_mask_batch(
+                encoded, rng_jk, rng_jt, suite.mask_bits
+            )
+            self.send(
+                responder,
+                kind="masked_vector",
+                payload={**meta, "values": masked},
+                tag=self._tag(spec),
+            )
+        else:
+            masked_matrix = num_protocol.initiator_mask_per_pair(
+                encoded, responder_size, rng_jk, rng_jt, suite.mask_bits
+            )
+            self.send(
+                responder,
+                kind="masked_matrix",
+                payload={**meta, "rows": masked_matrix},
+                tag=self._tag(spec),
+            )
+
+    def _check_delta_payload(self, payload, spec: AttributeSpec, part: str, epoch: int) -> None:
+        got = (payload.get("attribute"), payload.get("part"), payload.get("epoch"))
+        if got != (spec.name, part, epoch):
+            raise ProtocolError(
+                f"expected delta input for {(spec.name, part, epoch)}, got {got}"
+            )
+
+    def numeric_respond_delta(
+        self,
+        spec: AttributeSpec,
+        initiator: str,
+        tp_name: str,
+        part: str,
+        epoch: int,
+        own_range: tuple[int, int],
+    ) -> None:
+        """DHK's step for one delta run over its scheduled sub-column."""
+        suite = self._suite
+        rng_jk = self._delta_prng(
+            initiator, labels.numeric_jk_delta(spec.name, initiator, self.name, epoch, part)
+        )
+        lo, hi = own_range
+        encoded = self._codec(spec).encode_column(self._column(spec)[lo:hi])
+        if suite.batch_numeric:
+            message = self.receive(kind="masked_vector", sender=initiator)
+            self._check_delta_payload(message.payload, spec, part, epoch)
+            matrix = num_protocol.responder_matrix_batch(
+                encoded, message.payload["values"], rng_jk
+            )
+        else:
+            message = self.receive(kind="masked_matrix", sender=initiator)
+            self._check_delta_payload(message.payload, spec, part, epoch)
+            matrix = num_protocol.responder_matrix_per_pair(
+                encoded, message.payload["rows"], rng_jk
+            )
+        self.send(
+            tp_name,
+            kind="comparison_matrix",
+            payload={
+                "attribute": spec.name,
+                "initiator": initiator,
+                "part": part,
+                "epoch": epoch,
+                "matrix": matrix,
+            },
+            tag=self._tag(spec),
+        )
+
+    def alnum_initiate_delta(
+        self,
+        spec: AttributeSpec,
+        responder: str,
+        tp_name: str,
+        part: str,
+        epoch: int,
+        own_range: tuple[int, int],
+    ) -> None:
+        """DHJ's delta step: mask only the run's sub-column of strings."""
+        assert spec.alphabet is not None
+        rng_jt = self._delta_prng(
+            tp_name, labels.alnum_jt_delta(spec.name, self.name, responder, epoch, part)
+        )
+        lo, hi = own_range
+        strings = self._column(spec)[lo:hi]
+        if self._suite.fresh_string_masks:
+            masked = alnum_protocol.initiator_mask_strings_fresh(
+                strings, spec.alphabet, rng_jt
+            )
+        else:
+            masked = alnum_protocol.initiator_mask_strings(
+                strings, spec.alphabet, rng_jt
+            )
+        self.send(
+            responder,
+            kind="masked_strings",
+            payload={
+                "attribute": spec.name,
+                "part": part,
+                "epoch": epoch,
+                "strings": masked,
+            },
+            tag=self._tag(spec),
+        )
+
+    def alnum_respond_delta(
+        self,
+        spec: AttributeSpec,
+        initiator: str,
+        tp_name: str,
+        part: str,
+        epoch: int,
+        own_range: tuple[int, int],
+    ) -> None:
+        """DHK's delta step: intermediary CCMs for the scheduled slice."""
+        assert spec.alphabet is not None
+        message = self.receive(kind="masked_strings", sender=initiator)
+        self._check_delta_payload(message.payload, spec, part, epoch)
+        lo, hi = own_range
+        matrices = alnum_protocol.responder_ccm_matrices(
+            self._column(spec)[lo:hi], message.payload["strings"], spec.alphabet
+        )
+        self.send(
+            tp_name,
+            kind="ccm_matrices",
+            payload={
+                "attribute": spec.name,
+                "initiator": initiator,
+                "part": part,
+                "epoch": epoch,
+                "matrices": matrices,
+            },
+            tag=self._tag(spec),
+        )
+
+    def send_categorical_delta(
+        self, spec: AttributeSpec, tp_name: str, old_size: int
+    ) -> None:
+        """Encrypt and ship only the arrivals' categorical values."""
+        if self._group_key is None:
+            raise ProtocolError(
+                f"{self.name!r} has no categorical group key; run key distribution"
+            )
+        column = self._column(spec)
+        if not 0 <= old_size <= len(column):
+            raise ProtocolError(
+                f"categorical delta old_size {old_size} out of range for "
+                f"{len(column)} objects"
+            )
+        encryptor = DeterministicEncryptor(
+            self._group_key, digest_size=self._suite.categorical_digest_size
+        )
+        fresh = column[old_size:]
+        if spec.taxonomy is not None:
+            ciphertexts: list = spec.taxonomy.encrypt_column(encryptor, spec.name, fresh)
+        else:
+            ciphertexts = cat_protocol.holder_encrypt_column(encryptor, spec.name, fresh)
+        self.send(
+            tp_name,
+            kind="encrypted_column_delta",
+            payload={
+                "attribute": spec.name,
+                "old_size": old_size,
+                "ciphertexts": ciphertexts,
+            },
             tag=self._tag(spec),
         )
 

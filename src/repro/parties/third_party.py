@@ -60,6 +60,8 @@ class ThirdParty(Party):
         self._normalized: dict[str, DissimilarityMatrix] = {}
         self._pending_categorical: dict[str, dict[str, list[bytes]]] = {}
         self._weights: dict[str, list[float]] = {}
+        #: The currently open ingest epoch's :class:`repro.core.delta.DeltaPlan`.
+        self._delta_plan = None
 
     @property
     def suite(self) -> ProtocolSuiteConfig:
@@ -179,6 +181,246 @@ class ThirdParty(Party):
             self._raw[attribute] = cat_protocol.third_party_categorical_matrix(
                 columns, self.index
             )
+
+    # -- incremental sessions (delta construction) ----------------------------------------
+
+    def begin_delta(self, plan, new_index: GlobalIndex) -> None:
+        """Open one ingest epoch: grow every raw matrix to the new frame.
+
+        Surviving pairs keep their exact entries through one fancy-indexed
+        condensed remap (:meth:`DissimilarityMatrix.insert_objects`); the
+        vacated rows are then filled by the epoch's local tails and
+        sub-column protocol blocks.  Normalised matrices go stale here and
+        are refreshed per attribute by the scheduler's finalize steps.
+        """
+        missing = [a.name for a in self.schema if a.name not in self._raw]
+        if missing:
+            raise ProtocolError(
+                f"cannot run a delta before initial construction of: {missing}"
+            )
+        arrivals = plan.arrival_positions(new_index)
+        for attribute in self._raw:
+            self._raw[attribute] = self._raw[attribute].insert_objects(arrivals)
+        self.index = new_index
+        self._delta_plan = plan
+
+    def _current_plan(self, epoch: int):
+        plan = self._delta_plan
+        if plan is None or plan.epoch != epoch:
+            raise ProtocolError(
+                f"no open delta epoch {epoch} "
+                f"(current: {getattr(plan, 'epoch', None)})"
+            )
+        return plan
+
+    def _delta_ranges(
+        self, initiator: str, responder: str, part: str, plan
+    ) -> tuple[range, range]:
+        """Global (responder rows, initiator cols) of one delta run's block.
+
+        The responder is always the grown site, contributing its arrival
+        rows; the initiator contributes its full column (``"grow"``) or
+        only its pre-epoch base (``"base"`` -- its own arrivals already
+        met the responder's in the pair's ``"grow"`` run).
+        """
+        grow_i = plan.site(initiator)
+        grow_r = plan.site(responder)
+        i_off = self.index.offset_of(initiator)
+        r_off = self.index.offset_of(responder)
+        rows = range(r_off + grow_r.old_size, r_off + grow_r.new_size)
+        if part == "grow":
+            cols = range(i_off, i_off + grow_i.new_size)
+        elif part == "base":
+            cols = range(i_off, i_off + grow_i.old_size)
+        else:
+            raise ProtocolError(f"unknown delta part {part!r}")
+        return rows, cols
+
+    def receive_local_delta(self, holder: str) -> None:
+        """Patch one grown site's new local rows into its diagonal block."""
+        message = self.receive(kind="local_matrix_delta", sender=holder)
+        attribute = message.payload["attribute"]
+        old_size = int(message.payload["old_size"])
+        plan = self._delta_plan
+        if plan is None or plan.site(holder).old_size != old_size:
+            raise ProtocolError(
+                f"local delta from {holder!r} does not match the open epoch"
+            )
+        tail = np.asarray(message.payload["condensed_tail"], dtype=np.float64)
+        self._matrix_for(attribute).set_diagonal_delta(
+            self.index.offset_of(holder), old_size, self.index.size_of(holder), tail
+        )
+
+    def receive_numeric_delta_block(self, responder: str) -> None:
+        """Unmask one delta comparison matrix into its scattered block."""
+        message = self.receive(kind="comparison_matrix", sender=responder)
+        attribute = message.payload["attribute"]
+        initiator = message.payload["initiator"]
+        part = message.payload["part"]
+        plan = self._current_plan(int(message.payload["epoch"]))
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.NUMERIC:
+            raise ProtocolError(
+                f"comparison matrix for non-numeric attribute {attribute!r}"
+            )
+        rng_jt = self.secret_with(initiator).prng(
+            labels.numeric_jt_delta(attribute, initiator, responder, plan.epoch, part),
+            self._suite.prng_kind,
+        )
+        if self._suite.batch_numeric:
+            encoded = num_protocol.third_party_unmask_batch(
+                message.payload["matrix"], rng_jt, self._suite.mask_bits
+            )
+        else:
+            encoded = num_protocol.third_party_unmask_per_pair(
+                message.payload["matrix"], rng_jt, self._suite.mask_bits
+            )
+        codec = FixedPointCodec(spec.precision)
+        block = codec.decode_distance_array(encoded)
+        rows, cols = self._delta_ranges(initiator, responder, part, plan)
+        self._matrix_for(attribute).set_block(list(rows), list(cols), block)
+
+    def receive_alnum_delta_block(self, responder: str) -> None:
+        """Decode delta CCMs and place the scattered cross block."""
+        message = self.receive(kind="ccm_matrices", sender=responder)
+        attribute = message.payload["attribute"]
+        initiator = message.payload["initiator"]
+        part = message.payload["part"]
+        plan = self._current_plan(int(message.payload["epoch"]))
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.ALPHANUMERIC:
+            raise ProtocolError(f"CCMs for non-alphanumeric attribute {attribute!r}")
+        assert spec.alphabet is not None
+        rng_jt = self.secret_with(initiator).prng(
+            labels.alnum_jt_delta(attribute, initiator, responder, plan.epoch, part),
+            self._suite.prng_kind,
+        )
+        if self._suite.fresh_string_masks:
+            distances = alnum_protocol.third_party_distances_fresh(
+                message.payload["matrices"], spec.alphabet, rng_jt
+            )
+        else:
+            distances = alnum_protocol.third_party_distances(
+                message.payload["matrices"], spec.alphabet, rng_jt
+            )
+        rows, cols = self._delta_ranges(initiator, responder, part, plan)
+        self._matrix_for(attribute).set_block(
+            list(rows), list(cols), distances.astype(np.float64)
+        )
+
+    def receive_encrypted_delta(self, holder: str) -> None:
+        """Extend one site's stored ciphertext column with its arrivals."""
+        message = self.receive(kind="encrypted_column_delta", sender=holder)
+        attribute = message.payload["attribute"]
+        spec = self._spec(attribute)
+        if spec.attr_type is not AttributeType.CATEGORICAL:
+            raise ProtocolError(
+                f"encrypted delta for non-categorical attribute {attribute!r}"
+            )
+        columns = self._pending_categorical.get(attribute)
+        if columns is None or holder not in columns:
+            raise ProtocolError(
+                f"no stored ciphertext column for {attribute!r} from {holder!r}"
+            )
+        if len(columns[holder]) != int(message.payload["old_size"]):
+            raise ProtocolError(
+                f"categorical delta from {holder!r} does not extend the "
+                f"stored column ({len(columns[holder])} ciphertexts held, "
+                f"holder assumed {message.payload['old_size']})"
+            )
+        columns[holder].extend(message.payload["ciphertexts"])
+
+    def finalize_categorical_delta(self, attribute: str) -> None:
+        """Patch the global categorical matrix for this epoch's arrivals.
+
+        Flat categoricals get their new-pair 0/1 entries written in two
+        fancy-indexed blocks (arrivals x survivors, arrivals x arrivals);
+        taxonomy-typed columns rebuild from the merged ciphertext paths
+        (the path metric is the same pure function either way, so both
+        routes are entry-identical to a from-scratch construction).
+        """
+        plan = self._delta_plan
+        if plan is None:
+            raise ProtocolError("no open delta epoch")
+        columns = self._pending_categorical.get(attribute)
+        if columns is None:
+            raise ProtocolError(f"no encrypted columns received for {attribute!r}")
+        for site in self.index.sites:
+            if len(columns.get(site, ())) != self.index.size_of(site):
+                raise ProtocolError(
+                    f"site {site!r} column has {len(columns.get(site, ()))} "
+                    f"ciphertexts, index expects {self.index.size_of(site)}"
+                )
+        if self._spec(attribute).taxonomy is not None:
+            from repro.ext.taxonomy import third_party_taxonomy_matrix
+
+            self._raw[attribute] = third_party_taxonomy_matrix(columns, self.index)
+            return
+        merged = np.empty(self.index.total_objects, dtype=object)
+        merged[:] = [c for site in self.index.sites for c in columns[site]]
+        fresh = np.asarray(plan.arrival_positions(self.index), dtype=np.int64)
+        survivors = np.setdiff1d(
+            np.arange(self.index.total_objects, dtype=np.int64), fresh
+        )
+        matrix = self._matrix_for(attribute)
+        matrix.set_block(
+            fresh.tolist(),
+            survivors.tolist(),
+            (merged[fresh][:, None] != merged[survivors][None, :]).astype(np.float64),
+        )
+        if fresh.size >= 2:
+            a, b = np.tril_indices(fresh.size, -1)
+            among = DissimilarityMatrix(
+                fresh.size,
+                (merged[fresh][a] != merged[fresh][b]).astype(np.float64),
+            )
+            matrix.set_submatrix(fresh.tolist(), among)
+
+    def retire_objects(self, sites: list[str], new_index: GlobalIndex) -> None:
+        """Apply announced retirements: shrink every matrix and column.
+
+        Receives one ``retire_records`` message per listed site, maps the
+        local ids through the *current* index, drops the rows from every
+        raw matrix and stored ciphertext column, adopts the shrunk index
+        and re-normalises every attribute (the [0, 1] peak may have left
+        with the retired records).  No protocol rounds are needed:
+        surviving pairs keep their exact entries.
+        """
+        positions: list[int] = []
+        removed_by_site: dict[str, list[int]] = {}
+        for site in sites:
+            message = self.receive(kind="retire_records", sender=site)
+            local_ids = [int(i) for i in message.payload["local_ids"]]
+            size = self.index.size_of(site)
+            if len(set(local_ids)) != len(local_ids) or any(
+                not 0 <= i < size for i in local_ids
+            ):
+                raise ProtocolError(
+                    f"invalid retirement ids from {site!r}: {local_ids}"
+                )
+            if len(local_ids) >= size:
+                raise ProtocolError(f"site {site!r} cannot retire every record")
+            removed_by_site[site] = local_ids
+            offset = self.index.offset_of(site)
+            positions.extend(offset + i for i in local_ids)
+        for site in self.index.sites:
+            expected = self.index.size_of(site) - len(removed_by_site.get(site, ()))
+            if new_index.size_of(site) != expected:
+                raise ProtocolError(
+                    f"new index holds {new_index.size_of(site)} objects for "
+                    f"{site!r}, retirements imply {expected}"
+                )
+        for attribute in self._raw:
+            self._raw[attribute] = self._raw[attribute].remove_objects(positions)
+        for columns in self._pending_categorical.values():
+            for site, local_ids in removed_by_site.items():
+                drop = set(local_ids)
+                columns[site] = [
+                    c for i, c in enumerate(columns[site]) if i not in drop
+                ]
+        self.index = new_index
+        for spec in self.schema:
+            self.finalize_attribute(spec.name)
 
     # -- assembly (Figure 11) -------------------------------------------------------------
 

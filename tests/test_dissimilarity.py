@@ -314,3 +314,232 @@ class TestLocalAndMerge:
         scaled = min_max_normalize_column([float(v) for v in values])
         from_scaled = local_dissimilarity(scaled, lambda a, b: abs(a - b))
         assert from_raw.allclose(from_scaled, atol=1e-12)
+
+
+class TestEdgePaths:
+    """Edge and error paths the equivalence suites never reach."""
+
+    def test_submatrix_applies_requested_ordering(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: 10 * i + j)
+        sub = d.submatrix([3, 0, 2])
+        # sub's pair (a, b) must read the global pair (indices[a], indices[b]).
+        assert sub[0, 1] == d[3, 0]
+        assert sub[0, 2] == d[3, 2]
+        assert sub[1, 2] == d[0, 2]
+
+    def test_submatrix_reversed_is_transpose_permutation(self):
+        d = DissimilarityMatrix.from_pairwise(5, lambda i, j: i * j + 1)
+        rev = d.submatrix(list(range(4, -1, -1)))
+        assert np.array_equal(rev.to_square(), d.to_square()[::-1, ::-1])
+
+    def test_submatrix_duplicate_and_range_errors(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: 1.0)
+        with pytest.raises(ConfigurationError, match="unique"):
+            d.submatrix([0, 1, 1])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            d.submatrix([])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.submatrix([0, 4])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.submatrix([-1, 2])
+
+    def test_set_diagonal_block_bounds(self):
+        d = DissimilarityMatrix.zeros(5)
+        local = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.set_diagonal_block(-1, local)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.set_diagonal_block(3, local)
+        d.set_diagonal_block(2, local)  # [2, 5) fits exactly
+        assert d[4, 3] == 1.0
+
+    def test_set_diagonal_block_size_one_is_noop(self):
+        d = DissimilarityMatrix.from_pairwise(3, lambda i, j: 2.0)
+        before = d.condensed.copy()
+        d.set_diagonal_block(1, DissimilarityMatrix.zeros(1))
+        assert np.array_equal(d.condensed, before)
+
+    def test_from_pairwise_rejects_negative_and_nonfinite(self):
+        with pytest.raises(ConfigurationError, match="invalid value"):
+            DissimilarityMatrix.from_pairwise(3, lambda i, j: -0.5)
+        with pytest.raises(ConfigurationError, match="invalid value"):
+            DissimilarityMatrix.from_pairwise(3, lambda i, j: float("nan"))
+        with pytest.raises(ConfigurationError, match="invalid value"):
+            DissimilarityMatrix.from_pairwise(3, lambda i, j: float("inf"))
+
+    def test_triangle_inequality_on_nonmetric_matrix(self):
+        # d(2,0) = 10 > d(2,1) + d(1,0) = 2: deliberately non-metric.
+        broken = DissimilarityMatrix.zeros(4)
+        broken[1, 0] = 1.0
+        broken[2, 1] = 1.0
+        broken[2, 0] = 10.0
+        broken[3, 0] = 1.0
+        broken[3, 1] = 1.0
+        broken[3, 2] = 9.5
+        for chunk in (None, 1, 2, 64):
+            assert not broken.check_triangle_inequality(chunk_rows=chunk)
+
+    def test_triangle_inequality_chunked_matches_reference(self):
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            n = int(rng.integers(3, 14))
+            square = rng.random((n, n))
+            square = square + square.T
+            np.fill_diagonal(square, 0.0)
+            d = DissimilarityMatrix.from_square(square)
+            reference = all(
+                square[i, k] <= square[i, j] + square[j, k] + 1e-9
+                for i in range(n)
+                for j in range(n)
+                for k in range(n)
+            )
+            for chunk in (None, 1, 3):
+                assert d.check_triangle_inequality(chunk_rows=chunk) is reference
+
+    def test_triangle_early_violation_never_builds_square(self, monkeypatch):
+        """A violation in the first rows must return before any O(n^2)
+        square materialises: ``to_square`` is forbidden and the peak
+        traced allocation stays far below ``n^2`` floats."""
+        import tracemalloc
+
+        n = 512
+        d = DissimilarityMatrix.from_pairwise(n, lambda i, j: float(abs(i - j)))
+        d[1, 0] = 1.0
+        d[2, 1] = 1.0
+        d[2, 0] = 100.0  # violated via j = 1, seen in the first chunk
+
+        def forbidden(self):
+            raise AssertionError("check_triangle_inequality materialised the square")
+
+        monkeypatch.setattr(DissimilarityMatrix, "to_square", forbidden)
+        tracemalloc.start()
+        try:
+            assert d.check_triangle_inequality(chunk_rows=16) is False
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        square_bytes = n * n * 8
+        assert peak < square_bytes // 2, (
+            f"peak {peak} bytes suggests an O(n^2) intermediate "
+            f"(square would be {square_bytes})"
+        )
+
+
+class TestGrowShrink:
+    """Condensed grow/shrink used by the incremental-session subsystem."""
+
+    def test_insert_objects_preserves_surviving_pairs(self):
+        d = DissimilarityMatrix.from_pairwise(4, lambda i, j: 10 * i + j)
+        grown = d.insert_objects([1, 4])
+        assert grown.num_objects == 6
+        survivors = [0, 2, 3, 5]  # old rows 0..3 in the new frame
+        for a in range(4):
+            for b in range(4):
+                assert grown[survivors[a], survivors[b]] == d[a, b]
+        # Fresh pairs start at zero until the delta construction fills them.
+        assert grown[1, 0] == 0.0 and grown[4, 2] == 0.0 and grown[4, 1] == 0.0
+
+    def test_insert_objects_validation(self):
+        d = DissimilarityMatrix.zeros(3)
+        with pytest.raises(ConfigurationError, match="unique"):
+            d.insert_objects([1, 1])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.insert_objects([4])
+        assert d.insert_objects([]) == d
+
+    def test_remove_inverts_insert(self):
+        d = DissimilarityMatrix.from_pairwise(5, lambda i, j: i + j * 0.5)
+        grown = d.insert_objects([0, 3])
+        assert grown.remove_objects([0, 3]) == d
+
+    def test_remove_objects_validation(self):
+        d = DissimilarityMatrix.from_pairwise(3, lambda i, j: 1.0)
+        with pytest.raises(ConfigurationError, match="unique"):
+            d.remove_objects([0, 0])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.remove_objects([3])
+        with pytest.raises(ConfigurationError, match="every object"):
+            d.remove_objects([0, 1, 2])
+
+    def test_set_submatrix_scatters(self):
+        d = DissimilarityMatrix.zeros(5)
+        local = DissimilarityMatrix.from_pairwise(3, lambda i, j: 10 * i + j)
+        d.set_submatrix([4, 0, 2], local)
+        assert d[4, 0] == local[1, 0]
+        assert d[4, 2] == local[2, 0]
+        assert d[0, 2] == local[2, 1]
+        assert d[1, 0] == 0.0  # untouched
+
+    def test_set_submatrix_validation(self):
+        d = DissimilarityMatrix.zeros(4)
+        local = DissimilarityMatrix.zeros(2)
+        with pytest.raises(ConfigurationError, match="unique"):
+            d.set_submatrix([1, 1], local)
+        with pytest.raises(ConfigurationError, match="indices"):
+            d.set_submatrix([0, 1, 2], local)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.set_submatrix([0, 4], local)
+
+    def test_set_diagonal_delta_matches_full_block(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        local = DissimilarityMatrix.from_pairwise(
+            5, lambda i, j: values[i] + values[j]
+        )
+        old = local.submatrix([0, 1, 2])
+        global_a = DissimilarityMatrix.zeros(7)
+        global_a.set_diagonal_block(1, local)
+        global_b = DissimilarityMatrix.zeros(5)
+        global_b.set_diagonal_block(1, old)
+        global_b = global_b.insert_objects([4, 5])
+        tail = local.condensed[old.condensed.size :]
+        global_b.set_diagonal_delta(1, 3, 5, tail)
+        assert global_b == global_a
+
+    def test_set_diagonal_delta_validation(self):
+        d = DissimilarityMatrix.zeros(6)
+        with pytest.raises(ConfigurationError, match="invalid diagonal delta"):
+            d.set_diagonal_delta(0, 3, 2, np.zeros(0))
+        with pytest.raises(ConfigurationError, match="out of range"):
+            d.set_diagonal_delta(4, 1, 3, np.zeros(3))
+        with pytest.raises(ConfigurationError, match="length"):
+            d.set_diagonal_delta(0, 1, 3, np.zeros(5))
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            d.set_diagonal_delta(0, 1, 2, np.asarray([-1.0]))
+
+    @given(
+        n=st.integers(2, 8),
+        added=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_insert_remove_roundtrip(self, n, added, seed):
+        rng = np.random.default_rng(seed)
+        d = DissimilarityMatrix(n, rng.random(n * (n - 1) // 2))
+        positions = sorted(
+            rng.choice(n + added, size=added, replace=False).tolist()
+        )
+        grown = d.insert_objects(positions)
+        assert grown.remove_objects(positions) == d
+
+
+class TestCondensedTailIndices:
+    def test_matches_tril_restriction(self):
+        from repro.distance.dissimilarity import condensed_tail_indices
+
+        for old, new in [(0, 5), (1, 4), (3, 3), (3, 7), (0, 1)]:
+            i, j = np.tril_indices(new, -1)
+            fresh = i >= old
+            ti, tj = condensed_tail_indices(old, new)
+            assert np.array_equal(ti, i[fresh])
+            assert np.array_equal(tj, j[fresh])
+
+    def test_cost_tracks_tail_not_square(self):
+        """A small batch on a large site must allocate O(added * site),
+        never O(site^2) -- the delta path's whole point."""
+        from repro.distance.dissimilarity import condensed_tail_indices
+
+        old, new = 200_000, 200_003
+        i, j = condensed_tail_indices(old, new)
+        assert i.size == j.size == old + (old + 1) + (old + 2)
+        assert i[0] == old and j[0] == 0
+        assert i[-1] == new - 1 and j[-1] == new - 2

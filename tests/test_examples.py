@@ -19,6 +19,10 @@ CASES = {
     "bird_flu_dna.py": ["adjusted Rand index", "Newick export"],
     "customer_segmentation.py": ["Company A's result", "Company B's result"],
     "record_linkage.py": ["True duplicates found: 3/3"],
+    "streaming_arrivals.py": [
+        "incremental matrix identical to full rebuild: True",
+        "retired 1 record",
+    ],
     "outlier_detection.py": ["Flagged: ['BANK_B2']"],
     "attack_demo.py": [
         "DHJ recovers them EXACTLY",
