@@ -23,6 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 REQUIRED_BENCH_FILES = (
     "BENCH_clustering.json",
     "BENCH_incremental.json",
+    "BENCH_parallel.json",
     "BENCH_transport.json",
 )
 

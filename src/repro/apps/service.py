@@ -160,6 +160,7 @@ class ClusteringService:
             session.third_party,
             plan,
             policy=session.config.suite.construction_schedule,
+            max_workers=session.config.max_workers,
         )
         if recluster:
             return self.recluster()

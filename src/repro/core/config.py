@@ -50,7 +50,17 @@ class ProtocolSuiteConfig:
         (byte-identical sealed transcripts); ``"interleaved"`` overlaps
         local-matrix transfers and comparison rounds across attributes
         and holder pairs -- identical protocol messages and byte counts,
-        frames just ride the channels in a pipelined order.
+        frames just ride the channels in a pipelined order;
+        ``"parallel"`` executes independent steps on a real worker pool
+        (``SessionConfig.max_workers`` threads) with bit-identical final
+        matrices, dendrograms and medoids for any worker count.
+    link_latency:
+        Simulated per-message link delay in seconds (default 0: the
+        in-process network delivers instantly).  Models the round-trip
+        time a deployed consortium pays per protocol message; the
+        parallel schedule overlaps these delays across independent
+        (attribute, pair) runs, which is where its wall-clock win comes
+        from on latency-bound workloads.
     """
 
     prng_kind: str = DEFAULT_PRNG_KIND
@@ -60,6 +70,7 @@ class ProtocolSuiteConfig:
     categorical_digest_size: int = 16
     fresh_string_masks: bool = False
     construction_schedule: str = "sequential"
+    link_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if self.prng_kind not in available_kinds():
@@ -80,6 +91,10 @@ class ProtocolSuiteConfig:
             raise ConfigurationError(
                 f"unknown construction_schedule {self.construction_schedule!r}; "
                 f"available: {SCHEDULE_POLICIES}"
+            )
+        if not 0.0 <= self.link_latency <= 1.0:
+            raise ConfigurationError(
+                f"link_latency must be in [0, 1] seconds, got {self.link_latency}"
             )
 
 
@@ -108,6 +123,13 @@ class SessionConfig:
         Root of all session randomness (DH entropy, channel nonces).
         Two sessions with equal seeds and inputs produce byte-identical
         transcripts.
+    max_workers:
+        Worker-thread budget for parallel execution: the size of the
+        construction scheduler's pool under
+        ``suite.construction_schedule == "parallel"`` and the default
+        concurrency of :meth:`repro.apps.sessions.SessionBatch.run_many_parallel`.
+        Results are bit-identical for every value; only wall-clock
+        changes.  Ignored by the serial schedules.
     suite:
         The protocol-level configuration.
     """
@@ -117,12 +139,17 @@ class SessionConfig:
     weights: Sequence[float] | None = None
     per_holder_weights: dict[str, Sequence[float]] | None = None
     master_seed: int = 0
+    max_workers: int = 4
     suite: ProtocolSuiteConfig = field(default_factory=ProtocolSuiteConfig)
 
     def __post_init__(self) -> None:
         if self.num_clusters < 1:
             raise ConfigurationError(
                 f"num_clusters must be >= 1, got {self.num_clusters}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
             )
         if isinstance(self.linkage, str):
             try:

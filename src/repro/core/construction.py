@@ -50,13 +50,18 @@ def construct_attributes(
     holders: Mapping[str, DataHolder],
     third_party: ThirdParty,
     policy: str = "sequential",
+    max_workers: int = 4,
 ) -> list[str]:
     """Build the global matrices for many attributes under one schedule.
 
-    Returns the realized step schedule (useful to assert pipelining in
-    tests and to debug protocol choreography).
+    ``max_workers`` sizes the worker pool of the ``"parallel"`` policy
+    (ignored by the serial schedules).  Returns the realized step
+    schedule (useful to assert pipelining in tests and to debug protocol
+    choreography).
     """
-    scheduler = ConstructionScheduler(holders, third_party, policy=policy)
+    scheduler = ConstructionScheduler(
+        holders, third_party, policy=policy, max_workers=max_workers
+    )
     for spec in specs:
         scheduler.add_attribute(spec)
     return scheduler.run()

@@ -127,15 +127,20 @@ def construct_attributes_delta(
     third_party: ThirdParty,
     plan: DeltaPlan,
     policy: str = "sequential",
+    max_workers: int = 4,
 ) -> list[str]:
     """Run the delta rounds for one ingest epoch under one schedule.
 
     The same step-graph executor as the full construction drives the
     delta: ``"sequential"`` replays registration order, ``"interleaved"``
     overlaps local tails and sub-column protocol rounds across attributes
-    and holder pairs.  Returns the realized step schedule.
+    and holder pairs, and ``"parallel"`` executes them on the scheduler's
+    ``max_workers``-thread pool -- so ingest epochs parallelize exactly
+    like initial construction.  Returns the realized step schedule.
     """
-    scheduler = ConstructionScheduler(holders, third_party, policy=policy)
+    scheduler = ConstructionScheduler(
+        holders, third_party, policy=policy, max_workers=max_workers
+    )
     for spec in specs:
         scheduler.add_attribute_delta(spec, plan)
     return scheduler.run()

@@ -11,6 +11,18 @@ holders and the TP in exact agreement.
 from __future__ import annotations
 
 
+def attribute_tag(spec) -> str:
+    """Wire/accounting tag of one attribute's protocol traffic.
+
+    Shared by holders (tagging every frame they send), the third party
+    and the construction scheduler (selecting the delivery *lane* a
+    receive step pops from), so all three always agree on which lane a
+    run's messages ride.  ``spec`` is any object with ``attr_type`` and
+    ``name`` (an :class:`repro.data.matrix.AttributeSpec`).
+    """
+    return f"{spec.attr_type.value}/{spec.name}"
+
+
 def numeric_jk(attribute: str, initiator: str, responder: str) -> str:
     """``rng_JK`` for the numeric protocol (shared by the two holders)."""
     return f"num-jk|{attribute}|{initiator}>{responder}"

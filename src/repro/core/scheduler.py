@@ -11,7 +11,7 @@ matrix, initiate, respond, absorb a block, finalize) with explicit
 dependencies, and executes any interleaving the dependency graph and the
 FIFO network admit.
 
-Two ordering policies ship:
+Three ordering policies ship:
 
 * ``"sequential"`` replays the seed's exact global order -- on sealed
   channels every wire byte, including each frame's position in the
@@ -19,8 +19,16 @@ Two ordering policies ship:
 * ``"interleaved"`` runs wave-by-wave across attributes and holder
   pairs: all local-matrix transfers are in flight before the comparison
   rounds drain them, and every pair's protocol run overlaps with every
-  other's.  This is the schedule a deployment with real (concurrent)
-  links would follow.
+  other's -- still on one thread, so the concurrency is simulated.
+* ``"parallel"`` executes runnable steps on a real
+  :class:`~concurrent.futures.ThreadPoolExecutor` (``max_workers``
+  threads).  The numpy-heavy protocol steps release the GIL, so
+  independent (attribute, pair) runs genuinely overlap on multicore
+  hardware, and messages of independent runs overlap in flight when the
+  network models link latency.  Each receive step pops from its run's
+  delivery *lane* (``(sender, kind, tag)`` --
+  :meth:`repro.network.simulator.Network.receive`), so no interleaving
+  of workers can mis-deliver.
 
 Correctness under reordering rests on two mechanisms.  *PRNG isolation*:
 every protocol run derives its generators from pairwise secrets under
@@ -36,13 +44,28 @@ wrong matrix.  What *does* legitimately differ between policies is the
 assignment of channel nonces to frames (a sealed frame's position in its
 channel's nonce stream depends on the schedule), which changes no
 payload, no byte count and no statistic.
+
+Under the parallel policy a third mechanism joins them: *disjoint block
+writes*.  Every step the executor may run concurrently touches either a
+different attribute's matrix or a disjoint region of the same one (the
+third party's off-diagonal blocks), and per-attribute finalizes are
+sequenced after all of that attribute's blocks by explicit dependencies
+-- so for any worker count the final per-attribute and merged matrices
+are bit-identical to the sequential policy's.  The determinism suite
+(``tests/test_parallel_determinism.py``) holds every policy and worker
+count to that.  What legitimately differs, beyond nonce-to-frame
+assignment, is only the realized step trace and each lane's interleaving
+against other lanes -- never any payload, byte count or result.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from repro.core import labels
 from repro.data.matrix import AttributeSpec
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.parties.holder import DataHolder
@@ -50,7 +73,7 @@ from repro.parties.third_party import ThirdParty
 from repro.types import AttributeType
 
 #: Ordering policies accepted by :class:`ConstructionScheduler`.
-SCHEDULE_POLICIES = ("sequential", "interleaved")
+SCHEDULE_POLICIES = ("sequential", "interleaved", "parallel")
 
 # Wave ranks for the interleaved policy: steps of one wave across all
 # attributes and pairs are eligible before the next wave starts draining.
@@ -93,10 +116,15 @@ class ConstructionScheduler:
         holders: Mapping[str, DataHolder],
         third_party: ThirdParty,
         policy: str = "sequential",
+        max_workers: int = 4,
     ) -> None:
         if policy not in SCHEDULE_POLICIES:
             raise ConfigurationError(
                 f"unknown schedule policy {policy!r}; available: {SCHEDULE_POLICIES}"
+            )
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
             )
         sites = list(third_party.index.sites)
         if set(sites) != set(holders):
@@ -104,6 +132,7 @@ class ConstructionScheduler:
                 f"holders {sorted(holders)} do not match index sites {sites}"
             )
         self.policy = policy
+        self.max_workers = int(max_workers)
         self._holders = dict(holders)
         self._tp = third_party
         self._sites = sites
@@ -129,6 +158,9 @@ class ConstructionScheduler:
         if self.policy == "sequential":
             order: tuple = (self._seq,)
         else:
+            # interleaved and parallel share the wave priority: for the
+            # executor it is the submission order among ready steps, which
+            # front-loads sends so receives find their lanes populated.
             order = (wave, lane, self._attr_index, self._seq)
         self._seq += 1
         self._names.add(name)
@@ -142,6 +174,7 @@ class ConstructionScheduler:
         tp = self._tp
         sites = self._sites
         attr = spec.name
+        tag = labels.attribute_tag(spec)
         finalize_deps: list[str] = []
 
         if spec.attr_type is AttributeType.CATEGORICAL:
@@ -155,7 +188,9 @@ class ConstructionScheduler:
                 finalize_deps.append(
                     self._add(
                         f"{attr}:recv_encrypted[{site}]",
-                        lambda site=site: tp.receive_encrypted_column(site),
+                        lambda site=site, t=tag: tp.receive_encrypted_column(
+                            site, tag=t
+                        ),
                         wave=_RECV_LOCAL,
                         lane=lane,
                         deps=(sent,),
@@ -183,7 +218,7 @@ class ConstructionScheduler:
             finalize_deps.append(
                 self._add(
                     f"{attr}:recv_local[{site}]",
-                    lambda site=site: tp.receive_local_matrix(site),
+                    lambda site=site, t=tag: tp.receive_local_matrix(site, tag=t),
                     wave=_RECV_LOCAL,
                     lane=lane,
                     deps=(sent,),
@@ -220,7 +255,9 @@ class ConstructionScheduler:
                         deps=(initiated,),
                         receives=(responder, masked_kind, initiator),
                     )
-                    absorb = lambda r=responder: tp.receive_numeric_block(r)
+                    absorb = lambda r=responder, t=tag: tp.receive_numeric_block(
+                        r, tag=t
+                    )
                 else:
                     initiated = self._add(
                         f"{attr}:initiate[{pair}]",
@@ -240,7 +277,7 @@ class ConstructionScheduler:
                         deps=(initiated,),
                         receives=(responder, masked_kind, initiator),
                     )
-                    absorb = lambda r=responder: tp.receive_alnum_block(r)
+                    absorb = lambda r=responder, t=tag: tp.receive_alnum_block(r, tag=t)
                 finalize_deps.append(
                     self._add(
                         f"{attr}:recv_block[{pair}]",
@@ -277,6 +314,7 @@ class ConstructionScheduler:
         tp = self._tp
         sites = self._sites
         attr = spec.name
+        tag = labels.attribute_tag(spec)
         epoch = plan.epoch
         grown = [site for site in sites if plan.site(site).added]
         if not grown:
@@ -297,7 +335,9 @@ class ConstructionScheduler:
                 finalize_deps.append(
                     self._add(
                         f"{attr}:recv_encrypted_delta[{site}]{suffix}",
-                        lambda site=site: tp.receive_encrypted_delta(site),
+                        lambda site=site, t=tag: tp.receive_encrypted_delta(
+                            site, tag=t
+                        ),
                         wave=_RECV_LOCAL,
                         lane=lane,
                         deps=(sent,),
@@ -327,7 +367,7 @@ class ConstructionScheduler:
             finalize_deps.append(
                 self._add(
                     f"{attr}:recv_local_delta[{site}]{suffix}",
-                    lambda site=site: tp.receive_local_delta(site),
+                    lambda site=site, t=tag: tp.receive_local_delta(site, tag=t),
                     wave=_RECV_LOCAL,
                     lane=lane,
                     deps=(sent,),
@@ -403,7 +443,9 @@ class ConstructionScheduler:
                             deps=(initiated,),
                             receives=(responder, masked_kind, initiator),
                         )
-                        absorb = lambda r=responder: tp.receive_numeric_delta_block(r)
+                        absorb = lambda r=responder, t=tag: tp.receive_numeric_delta_block(
+                            r, tag=t
+                        )
                     else:
                         initiated = self._add(
                             f"{attr}:initiate[{pair}]{suffix}",
@@ -423,7 +465,9 @@ class ConstructionScheduler:
                             deps=(initiated,),
                             receives=(responder, masked_kind, initiator),
                         )
-                        absorb = lambda r=responder: tp.receive_alnum_delta_block(r)
+                        absorb = lambda r=responder, t=tag: tp.receive_alnum_delta_block(
+                            r, tag=t
+                        )
                     finalize_deps.append(
                         self._add(
                             f"{attr}:recv_block[{pair}]{suffix}",
@@ -460,11 +504,20 @@ class ConstructionScheduler:
     def run(self) -> list[str]:
         """Execute every step; returns the realized schedule (step names).
 
-        Always runs the lowest-ordered runnable step, so execution is
-        deterministic for a given policy.  The scan is O(steps^2) in the
-        worst case, which is irrelevant next to the protocol work a step
-        performs (sessions schedule at most a few thousand steps).
+        The serial policies always run the lowest-ordered runnable step,
+        so execution is deterministic for a given policy.  The
+        ``"parallel"`` policy executes steps on worker threads as their
+        dependencies complete; its realized trace is completion order
+        (informational -- every *result* is bit-identical regardless).
+        The serial scan is O(steps^2) in the worst case, which is
+        irrelevant next to the protocol work a step performs (sessions
+        schedule at most a few thousand steps).
         """
+        if self.policy == "parallel":
+            return self._run_parallel()
+        return self._run_serial()
+
+    def _run_serial(self) -> list[str]:
         pending = sorted(self._steps, key=lambda step: step.order)
         done: set[str] = set()
         trace: list[str] = []
@@ -481,4 +534,81 @@ class ConstructionScheduler:
                 raise ProtocolError(
                     f"construction schedule deadlocked; blocked steps: {blocked}"
                 )
+        return trace
+
+    def _run_parallel(self) -> list[str]:
+        """Dependency-driven execution on a thread pool.
+
+        Receive steps need no queue-head gating here: each pops from its
+        run's exclusive delivery lane, and its ``deps`` always include
+        the step that sent the lane's message, so by the time a step is
+        submitted its input is either in the lane or owed to it by a
+        concurrently-arriving send of the same lane (lanes are FIFO and
+        hold one run's stream, so any available message is the right
+        one).  A step failure stops submission, drains in-flight work
+        and re-raises the original exception.
+        """
+        steps = {step.name: step for step in self._steps}
+        dependents: dict[str, list[str]] = {name: [] for name in steps}
+        unmet = {}
+        for step in self._steps:
+            unknown = [dep for dep in step.deps if dep not in steps]
+            if unknown:
+                raise ProtocolError(
+                    f"step {step.name!r} depends on unknown steps {unknown}"
+                )
+            unmet[step.name] = len(step.deps)
+            for dep in step.deps:
+                dependents[dep].append(step.name)
+
+        wake = threading.Condition()
+        ready = sorted(
+            (step for step in self._steps if not unmet[step.name]),
+            key=lambda step: step.order,
+        )
+        trace: list[str] = []
+        failures: list[BaseException] = []
+        running = 0
+
+        def execute(step: Step) -> None:
+            nonlocal running
+            error: BaseException | None = None
+            try:
+                step.run()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = exc
+            with wake:
+                running -= 1
+                if error is not None:
+                    failures.append(error)
+                else:
+                    trace.append(step.name)
+                    released = []
+                    for name in dependents[step.name]:
+                        unmet[name] -= 1
+                        if not unmet[name]:
+                            released.append(steps[name])
+                    ready.extend(sorted(released, key=lambda s: s.order))
+                wake.notify_all()
+
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="construction"
+        ) as pool:
+            with wake:
+                while True:
+                    while ready and not failures:
+                        running += 1
+                        pool.submit(execute, ready.pop(0))
+                    if failures or not running:
+                        break
+                    wake.wait()
+                while running:
+                    wake.wait()
+        if failures:
+            raise failures[0]
+        if len(trace) != len(steps):
+            blocked = sorted(set(steps) - set(trace))
+            raise ProtocolError(
+                f"construction schedule deadlocked; blocked steps: {blocked}"
+            )
         return trace

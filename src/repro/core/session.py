@@ -90,7 +90,7 @@ class ClusteringSession:
         self.tp_name = tp_name
         self.schema: Schema = next(iter(schemas))
         self.index = GlobalIndex({s: m.num_rows for s, m in partitions.items()})
-        self.network = Network()
+        self.network = Network(latency=config.suite.link_latency)
         self._constructed = False
         self._weights_collected = False
         #: Step names in the order the construction scheduler ran them
@@ -194,6 +194,7 @@ class ClusteringSession:
             self.holders,
             self.third_party,
             policy=self.config.suite.construction_schedule,
+            max_workers=self.config.max_workers,
         )
 
         for site in sites:

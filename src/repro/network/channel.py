@@ -15,6 +15,7 @@ DHJ listening on DHK->TP narrows ``y``.  We model both channel flavours:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,14 +64,23 @@ class TappedFrame:
 
 
 class Eavesdropper:
-    """Passive wiretap collecting every frame that crosses a channel."""
+    """Passive wiretap collecting every frame that crosses a channel.
+
+    Captures are lock-protected: one tap may observe several channels,
+    and under the parallel construction schedule those channels transmit
+    concurrently.  Each capture is atomic with the sending channel's
+    accounting (the channel calls :meth:`capture` under its own transmit
+    lock), so a tap never sees a frame whose bytes are uncounted.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.frames: list[TappedFrame] = []
+        self._lock = threading.Lock()
 
     def capture(self, frame: TappedFrame) -> None:
-        self.frames.append(frame)
+        with self._lock:
+            self.frames.append(frame)
 
     def frames_between(self, sender: str, recipient: str) -> list[TappedFrame]:
         """Captured frames for one direction of one link."""
@@ -112,16 +122,26 @@ class Channel:
         self._kind_stats: dict[tuple[str, str, str], ChannelStats] = {}
         self._tag_stats: dict[str, ChannelStats] = {}
         self._taps: list[Eavesdropper] = []
+        #: Serialises sealing (nonce entropy + cipher state), counter
+        #: updates and tap captures: concurrent transmits on one link
+        #: account exactly, and a tap's view is consistent with the
+        #: counters.  Serialization/deserialization stay outside the
+        #: lock -- they are pure and dominate a big frame's CPU cost.
+        #: Re-entrant because :meth:`transmit` records through the same
+        #: ``stats``/``kind_stats`` accessors readers use.
+        self._lock = threading.RLock()
 
     def attach_tap(self, tap: Eavesdropper) -> None:
         """Register a passive eavesdropper on this link."""
-        self._taps.append(tap)
+        with self._lock:
+            self._taps.append(tap)
 
     def stats(self, sender: str, recipient: str) -> ChannelStats:
         """Traffic counters for the ``sender -> recipient`` direction."""
         self._require_endpoint(sender)
         self._require_endpoint(recipient)
-        return self._stats.setdefault((sender, recipient), ChannelStats())
+        with self._lock:
+            return self._stats.setdefault((sender, recipient), ChannelStats())
 
     def kind_stats(self, sender: str, recipient: str, kind: str) -> ChannelStats:
         """Traffic counters for one message kind in one direction.
@@ -132,11 +152,13 @@ class Channel:
         """
         self._require_endpoint(sender)
         self._require_endpoint(recipient)
-        return self._kind_stats.setdefault((sender, recipient, kind), ChannelStats())
+        with self._lock:
+            return self._kind_stats.setdefault((sender, recipient, kind), ChannelStats())
 
     def tag_totals(self) -> dict[str, ChannelStats]:
         """Traffic counters grouped by accounting tag (both directions)."""
-        return dict(self._tag_stats)
+        with self._lock:
+            return dict(self._tag_stats)
 
     def _require_endpoint(self, name: str) -> None:
         if name not in self.endpoints:
@@ -149,28 +171,29 @@ class Channel:
         if sender == recipient:
             raise ChannelError("sender and recipient must differ")
         plain = serialize(payload)
-        if self._cipher is not None:
-            assert self._entropy is not None
-            # Both endpoints run in this process, so sealing and the
-            # recipient's open share one keystream -- the wire bytes are
-            # byte-identical to a separate seal() (same nonce entropy),
-            # but the channel no longer pays for every keystream twice.
-            wire, plain = self._cipher.transmit_roundtrip(plain, self._entropy)
-        else:
-            wire = plain
-        self.stats(sender, recipient).record(len(plain), len(wire))
-        self.kind_stats(sender, recipient, kind).record(len(plain), len(wire))
-        self._tag_stats.setdefault(tag, ChannelStats()).record(len(plain), len(wire))
-        frame = TappedFrame(
-            sender=sender,
-            recipient=recipient,
-            kind=kind,
-            tag=tag,
-            wire=wire,
-            sealed=self.secure,
-        )
-        for tap in self._taps:
-            tap.capture(frame)
+        with self._lock:
+            if self._cipher is not None:
+                assert self._entropy is not None
+                # Both endpoints run in this process, so sealing and the
+                # recipient's open share one keystream -- the wire bytes are
+                # byte-identical to a separate seal() (same nonce entropy),
+                # but the channel no longer pays for every keystream twice.
+                wire, plain = self._cipher.transmit_roundtrip(plain, self._entropy)
+            else:
+                wire = plain
+            self.stats(sender, recipient).record(len(plain), len(wire))
+            self.kind_stats(sender, recipient, kind).record(len(plain), len(wire))
+            self._tag_stats.setdefault(tag, ChannelStats()).record(len(plain), len(wire))
+            frame = TappedFrame(
+                sender=sender,
+                recipient=recipient,
+                kind=kind,
+                tag=tag,
+                wire=wire,
+                sealed=self.secure,
+            )
+            for tap in self._taps:
+                tap.capture(frame)
         return Message(
             sender=sender,
             recipient=recipient,

@@ -1,17 +1,38 @@
-"""The simulated network: parties, links, queues and traffic accounting.
+"""The simulated network: parties, links, lanes and traffic accounting.
 
 A :class:`Network` is the single shared object every party holds.  It
 owns all channels, delivers messages into per-recipient FIFO queues, and
 aggregates the byte counters the communication-cost benchmarks read out.
 
-Execution is single-threaded and deterministic: the session orchestrator
-drives parties in protocol order, so a ``receive`` always finds its
-message (anything else is a protocol bug and raises immediately).
+Since the parallel-execution PR the network is **concurrency-safe**:
+the construction scheduler's ``"parallel"`` policy runs protocol steps
+on real worker threads, so delivery, accounting and eavesdropper taps
+are all lock-protected.  Delivery queues are organised as *lanes*:
+
+* Every message lands in the lane keyed by ``(sender, kind, tag)`` of
+  its recipient's queue table.  Tags are attribute-scoped
+  (``"numeric/age"``), so one lane carries exactly one protocol run's
+  message stream per holder pair direction -- concurrent runs on the
+  same link never contend for queue-head gating.
+* A *lane receive* (``tag`` given) pops that lane's head and nothing
+  else; protocol runs on different attributes or pairs can therefore
+  drain their messages in any interleaving without mis-delivery.
+* A *legacy receive* (no ``tag``) pops the recipient's global FIFO head
+  -- the message with the lowest arrival number across all lanes --
+  which is byte-for-byte the pre-lane behaviour: single-threaded
+  drivers and the sequential/interleaved schedules are unchanged.
+
+``latency`` models per-message link delay (sleep on send, outside all
+locks).  It exists for deployment realism: protocol rounds of a real
+consortium spend most wall-clock time in flight, and overlapping those
+round trips is exactly what the parallel scheduler buys.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+import threading
+import time
+from collections import deque
 from typing import Any, Iterable
 
 from repro.crypto.prng import ReseedablePRNG
@@ -19,14 +40,31 @@ from repro.exceptions import ChannelError, ProtocolError
 from repro.network.channel import Channel, Eavesdropper
 from repro.network.message import Message
 
+#: Lane key: ``(sender, kind, tag)`` of a message, per recipient.
+LaneKey = tuple[str, str, str]
+
+#: How many queued messages a diagnostic snapshot lists before truncating.
+_SNAPSHOT_LIMIT = 12
+
 
 class Network:
-    """Registry of parties and channels with delivery queues."""
+    """Registry of parties and channels with lane-structured delivery."""
 
-    def __init__(self) -> None:
+    def __init__(self, latency: float = 0.0) -> None:
+        if latency < 0:
+            raise ChannelError(f"link latency must be >= 0, got {latency}")
+        self.latency = float(latency)
         self._parties: set[str] = set()
         self._channels: dict[frozenset[str], Channel] = {}
-        self._queues: dict[str, deque[Message]] = defaultdict(deque)
+        #: Per recipient: lane key -> deque of (arrival number, message).
+        self._lanes: dict[str, dict[LaneKey, deque[tuple[int, Message]]]] = {}
+        #: Per recipient: next arrival number (global FIFO order in lanes).
+        self._arrivals: dict[str, int] = {}
+        #: Per recipient: guards that recipient's lane table and counter.
+        self._locks: dict[str, threading.Lock] = {}
+        #: Guards party/channel registration (setup is usually serial,
+        #: but nothing stops a test hammering topology concurrently).
+        self._registry_lock = threading.Lock()
 
     # -- topology ----------------------------------------------------------
 
@@ -34,9 +72,13 @@ class Network:
         """Register a party; names must be unique and non-empty."""
         if not name:
             raise ChannelError("party name must be non-empty")
-        if name in self._parties:
-            raise ChannelError(f"party {name!r} already registered")
-        self._parties.add(name)
+        with self._registry_lock:
+            if name in self._parties:
+                raise ChannelError(f"party {name!r} already registered")
+            self._parties.add(name)
+            self._lanes[name] = {}
+            self._arrivals[name] = 0
+            self._locks[name] = threading.Lock()
 
     @property
     def parties(self) -> frozenset[str]:
@@ -55,11 +97,16 @@ class Network:
             if name not in self._parties:
                 raise ChannelError(f"unknown party {name!r}")
         link = frozenset((party_a, party_b))
-        if link in self._channels:
-            raise ChannelError(f"channel {set(link)} already exists")
-        channel = Channel(party_a, party_b, secure=secure, key=key, entropy=entropy)
-        self._channels[link] = channel
+        with self._registry_lock:
+            if link in self._channels:
+                raise ChannelError(f"channel {set(link)} already exists")
+            channel = Channel(party_a, party_b, secure=secure, key=key, entropy=entropy)
+            self._channels[link] = channel
         return channel
+
+    def _require_party(self, name: str) -> None:
+        if name not in self._parties:
+            raise ChannelError(f"unknown party {name!r}")
 
     def channel(self, party_a: str, party_b: str) -> Channel:
         """Look up an existing channel."""
@@ -75,46 +122,135 @@ class Network:
     # -- messaging -----------------------------------------------------------
 
     def send(self, sender: str, recipient: str, kind: str, payload: Any, tag: str = "") -> None:
-        """Route one message; it lands in the recipient's FIFO queue."""
+        """Route one message; it lands in the recipient's ``(sender,
+        kind, tag)`` lane after the configured link latency."""
         message = self.channel(sender, recipient).transmit(
             sender, recipient, kind, tag, payload
         )
-        self._queues[recipient].append(message)
+        if self.latency:
+            # Models time-in-flight.  Deliberately outside every lock:
+            # messages of independent protocol runs overlap in flight,
+            # which is the concurrency a real deployment has.
+            time.sleep(self.latency)
+        self._require_party(recipient)
+        with self._locks[recipient]:
+            arrival = self._arrivals[recipient]
+            self._arrivals[recipient] = arrival + 1
+            lanes = self._lanes[recipient]
+            lane = lanes.get((sender, kind, tag))
+            if lane is None:
+                lane = lanes[(sender, kind, tag)] = deque()
+            lane.append((arrival, message))
 
-    def receive(self, recipient: str, kind: str | None = None, sender: str | None = None) -> Message:
+    def _snapshot_locked(self, recipient: str) -> str:
+        """Human-readable queue state (kinds + senders, FIFO order,
+        truncated) -- must hold the recipient's lock."""
+        queued = sorted(
+            (arrival, key)
+            for key, lane in self._lanes[recipient].items()
+            for arrival, _ in lane
+        )
+        if not queued:
+            return "queue empty"
+        shown = [
+            f"{kind}<-{sender}" + (f" [{tag}]" if tag else "")
+            for _, (sender, kind, tag) in queued[:_SNAPSHOT_LIMIT]
+        ]
+        more = len(queued) - len(shown)
+        suffix = f", ... +{more} more" if more else ""
+        return f"queued: {', '.join(shown)}{suffix}"
+
+    def _pop_head_locked(self, recipient: str) -> Message | None:
+        """Pop the global FIFO head across lanes (lowest arrival)."""
+        lanes = self._lanes[recipient]
+        best_key: LaneKey | None = None
+        best_arrival = -1
+        for key, lane in lanes.items():
+            arrival = lane[0][0]
+            if best_key is None or arrival < best_arrival:
+                best_key, best_arrival = key, arrival
+        if best_key is None:
+            return None
+        lane = lanes[best_key]
+        _, message = lane.popleft()
+        if not lane:
+            del lanes[best_key]
+        return message
+
+    def receive(
+        self,
+        recipient: str,
+        kind: str | None = None,
+        sender: str | None = None,
+        tag: str | None = None,
+    ) -> Message:
         """Pop the next queued message for ``recipient``.
 
-        ``kind``/``sender`` act as assertions: a mismatch means the
-        protocol state machines have diverged, so we raise
-        :class:`ProtocolError` rather than mis-deliver.
+        With ``tag`` (which requires ``kind`` and ``sender``), pops the
+        head of exactly the ``(sender, kind, tag)`` lane -- the receive a
+        concurrent protocol run uses, immune to whatever other runs have
+        in flight.  Without ``tag``, pops the recipient's global FIFO
+        head; ``kind``/``sender`` then act as assertions: a mismatch
+        means the protocol state machines have diverged, so we raise
+        :class:`ProtocolError` (naming the full queue state, so a
+        mis-scheduling is diagnosable) rather than mis-deliver.
         """
-        queue = self._queues[recipient]
-        if not queue:
-            raise ProtocolError(f"{recipient!r} has no pending messages")
-        message = queue.popleft()
-        if kind is not None and message.kind != kind:
-            raise ProtocolError(
-                f"{recipient!r} expected kind {kind!r}, got {message.kind!r}"
-            )
-        if sender is not None and message.sender != sender:
-            raise ProtocolError(
-                f"{recipient!r} expected sender {sender!r}, got {message.sender!r}"
-            )
-        return message
+        self._require_party(recipient)
+        with self._locks[recipient]:
+            if tag is not None:
+                if kind is None or sender is None:
+                    raise ChannelError(
+                        "lane receive requires kind and sender alongside tag"
+                    )
+                lanes = self._lanes[recipient]
+                lane = lanes.get((sender, kind, tag))
+                if not lane:
+                    raise ProtocolError(
+                        f"{recipient!r} has no pending {kind!r} from {sender!r} "
+                        f"on lane {tag!r}; {self._snapshot_locked(recipient)}"
+                    )
+                _, message = lane.popleft()
+                if not lane:
+                    del lanes[(sender, kind, tag)]
+                return message
+            message = self._pop_head_locked(recipient)
+            if message is None:
+                raise ProtocolError(f"{recipient!r} has no pending messages")
+            if kind is not None and message.kind != kind:
+                raise ProtocolError(
+                    f"{recipient!r} expected kind {kind!r}, got {message.kind!r} "
+                    f"from {message.sender!r}; after popping the head, "
+                    f"{self._snapshot_locked(recipient)}"
+                )
+            if sender is not None and message.sender != sender:
+                raise ProtocolError(
+                    f"{recipient!r} expected sender {sender!r}, got "
+                    f"{message.sender!r} (kind {message.kind!r}); after popping "
+                    f"the head, {self._snapshot_locked(recipient)}"
+                )
+            return message
 
     def pending(self, recipient: str) -> int:
         """Number of undelivered messages for a party."""
-        return len(self._queues[recipient])
+        self._require_party(recipient)
+        with self._locks[recipient]:
+            return sum(len(lane) for lane in self._lanes[recipient].values())
 
     def peek(self, recipient: str) -> Message | None:
-        """The message :meth:`receive` would pop next, without popping.
+        """The message a legacy :meth:`receive` would pop next.
 
-        The construction scheduler uses this to gate a receive step on
-        its message actually being at the head of the FIFO -- steps never
+        The serial construction schedules use this to gate a receive
+        step on its message actually being the FIFO head -- steps never
         mis-deliver no matter how they are interleaved.
         """
-        queue = self._queues[recipient]
-        return queue[0] if queue else None
+        self._require_party(recipient)
+        with self._locks[recipient]:
+            lanes = self._lanes[recipient]
+            best: tuple[int, Message] | None = None
+            for lane in lanes.values():
+                if best is None or lane[0][0] < best[0]:
+                    best = lane[0]
+            return best[1] if best else None
 
     # -- accounting ------------------------------------------------------------
 
@@ -172,6 +308,7 @@ class Network:
     def assert_drained(self, parties: Iterable[str] | None = None) -> None:
         """Raise unless every queue is empty (protocol completed cleanly)."""
         names = list(parties) if parties is not None else sorted(self._parties)
-        leftovers = {name: len(self._queues[name]) for name in names if self._queues[name]}
+        leftovers = {name: self.pending(name) for name in names}
+        leftovers = {name: count for name, count in leftovers.items() if count}
         if leftovers:
             raise ProtocolError(f"undelivered messages remain: {leftovers}")

@@ -61,9 +61,20 @@ class Party:
         """Transmit a protocol message over the (possibly secured) channel."""
         self._network.send(self.name, recipient, kind, payload, tag=tag)
 
-    def receive(self, kind: str | None = None, sender: str | None = None) -> Message:
-        """Receive the next queued message, asserting kind/sender."""
-        return self._network.receive(self.name, kind=kind, sender=sender)
+    def receive(
+        self,
+        kind: str | None = None,
+        sender: str | None = None,
+        tag: str | None = None,
+    ) -> Message:
+        """Receive the next queued message, asserting kind/sender.
+
+        With ``tag``, pops the head of the ``(sender, kind, tag)``
+        delivery lane instead of the global FIFO head -- the form every
+        scheduler-driven protocol step uses, so concurrent runs on other
+        attributes or pairs can never be mis-delivered to this one.
+        """
+        return self._network.receive(self.name, kind=kind, sender=sender, tag=tag)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"

@@ -98,7 +98,7 @@ class DataHolder(Party):
         return self.matrix.column_by_name(spec.name)
 
     def _tag(self, spec: AttributeSpec) -> str:
-        return f"{spec.attr_type.value}/{spec.name}"
+        return labels.attribute_tag(spec)
 
     # -- local dissimilarity (Figure 12) -----------------------------------
 
@@ -278,13 +278,17 @@ class DataHolder(Party):
         lo, hi = own_range
         encoded = self._codec(spec).encode_column(self._column(spec)[lo:hi])
         if suite.batch_numeric:
-            message = self.receive(kind="masked_vector", sender=initiator)
+            message = self.receive(
+                kind="masked_vector", sender=initiator, tag=self._tag(spec)
+            )
             self._check_delta_payload(message.payload, spec, part, epoch)
             matrix = num_protocol.responder_matrix_batch(
                 encoded, message.payload["values"], rng_jk
             )
         else:
-            message = self.receive(kind="masked_matrix", sender=initiator)
+            message = self.receive(
+                kind="masked_matrix", sender=initiator, tag=self._tag(spec)
+            )
             self._check_delta_payload(message.payload, spec, part, epoch)
             matrix = num_protocol.responder_matrix_per_pair(
                 encoded, message.payload["rows"], rng_jk
@@ -349,7 +353,9 @@ class DataHolder(Party):
     ) -> None:
         """DHK's delta step: intermediary CCMs for the scheduled slice."""
         assert spec.alphabet is not None
-        message = self.receive(kind="masked_strings", sender=initiator)
+        message = self.receive(
+            kind="masked_strings", sender=initiator, tag=self._tag(spec)
+        )
         self._check_delta_payload(message.payload, spec, part, epoch)
         lo, hi = own_range
         matrices = alnum_protocol.responder_ccm_matrices(
@@ -446,11 +452,15 @@ class DataHolder(Party):
         )
         encoded = self._codec(spec).encode_column(self._column(spec))
         if suite.batch_numeric:
-            message = self.receive(kind="masked_vector", sender=initiator)
+            message = self.receive(
+                kind="masked_vector", sender=initiator, tag=self._tag(spec)
+            )
             masked = message.payload["values"]
             matrix = num_protocol.responder_matrix_batch(encoded, masked, rng_jk)
         else:
-            message = self.receive(kind="masked_matrix", sender=initiator)
+            message = self.receive(
+                kind="masked_matrix", sender=initiator, tag=self._tag(spec)
+            )
             matrix = num_protocol.responder_matrix_per_pair(
                 encoded, message.payload["rows"], rng_jk
             )
@@ -498,7 +508,9 @@ class DataHolder(Party):
     def alnum_respond(self, spec: AttributeSpec, initiator: str, tp_name: str) -> None:
         """Act as DHK: build intermediary CCMs, ship them to TP."""
         assert spec.alphabet is not None
-        message = self.receive(kind="masked_strings", sender=initiator)
+        message = self.receive(
+            kind="masked_strings", sender=initiator, tag=self._tag(spec)
+        )
         if message.payload["attribute"] != spec.name:
             raise ProtocolError(
                 f"expected masked strings for {spec.name!r}, "

@@ -20,6 +20,8 @@ the matrices themselves stay private to the TP (Section 5).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.clustering.linkage import agglomerative
@@ -60,6 +62,11 @@ class ThirdParty(Party):
         self._normalized: dict[str, DissimilarityMatrix] = {}
         self._pending_categorical: dict[str, dict[str, list[bytes]]] = {}
         self._weights: dict[str, list[float]] = {}
+        #: Guards first-touch creation of per-attribute storage: under the
+        #: parallel construction schedule, several receive steps of one
+        #: attribute run concurrently and must agree on a single matrix
+        #: object (their block writes are disjoint; creation is not).
+        self._storage_lock = threading.Lock()
         #: The currently open ingest epoch's :class:`repro.core.delta.DeltaPlan`.
         self._delta_plan = None
 
@@ -73,7 +80,11 @@ class ThirdParty(Party):
 
     def _matrix_for(self, attribute: str) -> DissimilarityMatrix:
         if attribute not in self._raw:
-            self._raw[attribute] = DissimilarityMatrix.zeros(self.index.total_objects)
+            with self._storage_lock:
+                if attribute not in self._raw:
+                    self._raw[attribute] = DissimilarityMatrix.zeros(
+                        self.index.total_objects
+                    )
         return self._raw[attribute]
 
     def _spec(self, attribute: str) -> AttributeSpec:
@@ -81,9 +92,9 @@ class ThirdParty(Party):
 
     # -- diagonal blocks --------------------------------------------------------
 
-    def receive_local_matrix(self, holder: str) -> None:
+    def receive_local_matrix(self, holder: str, tag: str | None = None) -> None:
         """Place one holder's local matrix on the attribute's diagonal block."""
-        message = self.receive(kind="local_matrix", sender=holder)
+        message = self.receive(kind="local_matrix", sender=holder, tag=tag)
         attribute = message.payload["attribute"]
         condensed = np.asarray(message.payload["condensed"], dtype=np.float64)
         size = self.index.size_of(holder)
@@ -94,9 +105,9 @@ class ThirdParty(Party):
 
     # -- numeric cross blocks (Figure 6) -------------------------------------------
 
-    def receive_numeric_block(self, responder: str) -> None:
+    def receive_numeric_block(self, responder: str, tag: str | None = None) -> None:
         """Unmask one comparison matrix into its off-diagonal block."""
-        message = self.receive(kind="comparison_matrix", sender=responder)
+        message = self.receive(kind="comparison_matrix", sender=responder, tag=tag)
         attribute = message.payload["attribute"]
         initiator = message.payload["initiator"]
         matrix = message.payload["matrix"]
@@ -123,9 +134,9 @@ class ThirdParty(Party):
 
     # -- alphanumeric cross blocks (Figure 10) ---------------------------------------
 
-    def receive_alnum_block(self, responder: str) -> None:
+    def receive_alnum_block(self, responder: str, tag: str | None = None) -> None:
         """Decode CCMs, run the edit-distance DP, place the block."""
-        message = self.receive(kind="ccm_matrices", sender=responder)
+        message = self.receive(kind="ccm_matrices", sender=responder, tag=tag)
         attribute = message.payload["attribute"]
         initiator = message.payload["initiator"]
         matrices = message.payload["matrices"]
@@ -150,19 +161,20 @@ class ThirdParty(Party):
 
     # -- categorical (Section 4.3) -----------------------------------------------------
 
-    def receive_encrypted_column(self, holder: str) -> None:
+    def receive_encrypted_column(self, holder: str, tag: str | None = None) -> None:
         """Collect one site's deterministic ciphertext column."""
-        message = self.receive(kind="encrypted_column", sender=holder)
+        message = self.receive(kind="encrypted_column", sender=holder, tag=tag)
         attribute = message.payload["attribute"]
         spec = self._spec(attribute)
         if spec.attr_type is not AttributeType.CATEGORICAL:
             raise ProtocolError(
                 f"encrypted column for non-categorical attribute {attribute!r}"
             )
-        columns = self._pending_categorical.setdefault(attribute, {})
-        if holder in columns:
-            raise ProtocolError(f"duplicate encrypted column from {holder!r}")
-        columns[holder] = list(message.payload["ciphertexts"])
+        with self._storage_lock:
+            columns = self._pending_categorical.setdefault(attribute, {})
+            if holder in columns:
+                raise ProtocolError(f"duplicate encrypted column from {holder!r}")
+            columns[holder] = list(message.payload["ciphertexts"])
 
     def finalize_categorical(self, attribute: str) -> None:
         """Merge ciphertext columns and build the global matrix.
@@ -236,9 +248,9 @@ class ThirdParty(Party):
             raise ProtocolError(f"unknown delta part {part!r}")
         return rows, cols
 
-    def receive_local_delta(self, holder: str) -> None:
+    def receive_local_delta(self, holder: str, tag: str | None = None) -> None:
         """Patch one grown site's new local rows into its diagonal block."""
-        message = self.receive(kind="local_matrix_delta", sender=holder)
+        message = self.receive(kind="local_matrix_delta", sender=holder, tag=tag)
         attribute = message.payload["attribute"]
         old_size = int(message.payload["old_size"])
         plan = self._delta_plan
@@ -251,9 +263,11 @@ class ThirdParty(Party):
             self.index.offset_of(holder), old_size, self.index.size_of(holder), tail
         )
 
-    def receive_numeric_delta_block(self, responder: str) -> None:
+    def receive_numeric_delta_block(
+        self, responder: str, tag: str | None = None
+    ) -> None:
         """Unmask one delta comparison matrix into its scattered block."""
-        message = self.receive(kind="comparison_matrix", sender=responder)
+        message = self.receive(kind="comparison_matrix", sender=responder, tag=tag)
         attribute = message.payload["attribute"]
         initiator = message.payload["initiator"]
         part = message.payload["part"]
@@ -280,9 +294,11 @@ class ThirdParty(Party):
         rows, cols = self._delta_ranges(initiator, responder, part, plan)
         self._matrix_for(attribute).set_block(list(rows), list(cols), block)
 
-    def receive_alnum_delta_block(self, responder: str) -> None:
+    def receive_alnum_delta_block(
+        self, responder: str, tag: str | None = None
+    ) -> None:
         """Decode delta CCMs and place the scattered cross block."""
-        message = self.receive(kind="ccm_matrices", sender=responder)
+        message = self.receive(kind="ccm_matrices", sender=responder, tag=tag)
         attribute = message.payload["attribute"]
         initiator = message.payload["initiator"]
         part = message.payload["part"]
@@ -308,9 +324,9 @@ class ThirdParty(Party):
             list(rows), list(cols), distances.astype(np.float64)
         )
 
-    def receive_encrypted_delta(self, holder: str) -> None:
+    def receive_encrypted_delta(self, holder: str, tag: str | None = None) -> None:
         """Extend one site's stored ciphertext column with its arrivals."""
-        message = self.receive(kind="encrypted_column_delta", sender=holder)
+        message = self.receive(kind="encrypted_column_delta", sender=holder, tag=tag)
         attribute = message.payload["attribute"]
         spec = self._spec(attribute)
         if spec.attr_type is not AttributeType.CATEGORICAL:

@@ -23,6 +23,11 @@ CASES = {
         "incremental matrix identical to full rebuild: True",
         "retired 1 record",
     ],
+    "parallel_sessions.py": [
+        "parallel result identical to sequential: True",
+        "merged matrices bit-identical: True",
+        "batch results identical to serial serving: True",
+    ],
     "outlier_detection.py": ["Flagged: ['BANK_B2']"],
     "attack_demo.py": [
         "DHJ recovers them EXACTLY",

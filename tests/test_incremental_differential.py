@@ -161,6 +161,12 @@ SUITES = {
     "interleaved-perpair": ProtocolSuiteConfig(
         construction_schedule="interleaved", batch_numeric=False
     ),
+    "parallel-batch": ProtocolSuiteConfig(construction_schedule="parallel"),
+    "parallel-perpair-fresh": ProtocolSuiteConfig(
+        construction_schedule="parallel",
+        batch_numeric=False,
+        fresh_string_masks=True,
+    ),
 }
 
 
@@ -270,7 +276,7 @@ class TestDeterministicScenarios:
 
     def test_interleaved_delta_matches_sequential_delta(self):
         results = {}
-        for schedule in ("sequential", "interleaved"):
+        for schedule in ("sequential", "interleaved", "parallel"):
             config = SessionConfig(
                 num_clusters=2,
                 master_seed=23,
@@ -285,13 +291,12 @@ class TestDeterministicScenarios:
                 recluster=False,
             )
             results[schedule] = service
-        assert (
-            results["sequential"].matrix() == results["interleaved"].matrix()
-        )
-        assert (
-            results["sequential"].total_bytes()
-            == results["interleaved"].total_bytes()
-        )
+        for schedule in ("interleaved", "parallel"):
+            assert results["sequential"].matrix() == results[schedule].matrix()
+            assert (
+                results["sequential"].total_bytes()
+                == results[schedule].total_bytes()
+            )
 
 
 class TestServiceErrorPaths:

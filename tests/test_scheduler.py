@@ -66,7 +66,16 @@ class TestPolicies:
             ConstructionScheduler(session.holders, session.third_party, policy="nope")
 
     def test_policies_registry(self):
-        assert set(SCHEDULE_POLICIES) == {"sequential", "interleaved"}
+        assert set(SCHEDULE_POLICIES) == {"sequential", "interleaved", "parallel"}
+
+    def test_scheduler_rejects_bad_worker_count(self):
+        session, _ = _tapped_session("sequential")
+        with pytest.raises(ConfigurationError):
+            ConstructionScheduler(
+                session.holders, session.third_party, policy="parallel", max_workers=0
+            )
+        with pytest.raises(ConfigurationError):
+            SessionConfig(num_clusters=2, max_workers=0)
 
     def test_holder_site_mismatch_rejected(self):
         session, _ = _tapped_session("sequential")
@@ -224,6 +233,37 @@ class TestSessionBatch:
         results = batch.run_many([_partitions(), _partitions()])
         assert len(results) == 2
         assert results[0].to_payload() == results[1].to_payload()
+
+    def test_run_many_parallel_matches_run_many(self):
+        """Concurrent whole-session serving returns bit-identical results
+        in input order, for any worker count."""
+        batch = SessionBatch(SessionConfig(num_clusters=2, master_seed=9), ["A", "B", "C"])
+        datasets = []
+        for shift in range(4):
+            rows = [
+                [100 if i == shift else i, "ACGT" if (i + shift) % 2 else "TTGT",
+                 f"c{(i + shift) % 3}"]
+                for i in range(6)
+            ]
+            datasets.append(
+                {
+                    chr(ord("A") + s): DataMatrix(SCHEMA, rows[2 * s : 2 * s + 2])
+                    for s in range(3)
+                }
+            )
+        reference = [r.to_payload() for r in batch.run_many(datasets)]
+        assert len({str(p) for p in reference}) > 1, "datasets should differ"
+        for workers in (1, 4):
+            parallel = batch.run_many_parallel(datasets, max_workers=workers)
+            assert [r.to_payload() for r in parallel] == reference
+
+    def test_run_many_parallel_edge_cases(self):
+        batch = SessionBatch(SessionConfig(num_clusters=2, master_seed=9), ["A", "B", "C"])
+        assert batch.run_many_parallel([]) == []
+        with pytest.raises(ConfigurationError):
+            batch.run_many_parallel([_partitions()], max_workers=0)
+        with pytest.raises(ConfigurationError):
+            batch.run_many_parallel([{"A": _partitions()["A"]}])
 
     def test_validation(self):
         config = SessionConfig(num_clusters=2)
