@@ -138,7 +138,9 @@ class SessionConfig:
     linkage: LinkageMethod | str = LinkageMethod.AVERAGE
     weights: Sequence[float] | None = None
     per_holder_weights: dict[str, Sequence[float]] | None = None
-    master_seed: int = 0
+    # The root of the whole seed-derivation tree: every pairwise secret
+    # and PRNG label derives from it, so it never appears in reprs.
+    master_seed: int = field(default=0, repr=False)
     max_workers: int = 4
     suite: ProtocolSuiteConfig = field(default_factory=ProtocolSuiteConfig)
 

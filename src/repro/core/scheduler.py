@@ -548,11 +548,26 @@ class ConstructionScheduler:
         one).  A step failure stops submission, drains in-flight work
         and re-raises the original exception.
         """
-        steps = {step.name: step for step in self._steps}
-        dependents: dict[str, list[str]] = {name: [] for name in steps}
-        unmet = {}
-        for step in self._steps:
-            unknown = [dep for dep in step.deps if dep not in steps]
+        return _ParallelRun(list(self._steps), self.max_workers).run()
+
+
+class _ParallelRun:
+    """Mutable state of one parallel schedule execution.
+
+    The worker threads and the submission loop share five pieces of
+    state; all of them live on this object, declared ``guarded-by`` the
+    run's single condition variable, and every mutation happens inside
+    ``with self._wake`` -- which the lock-discipline lint
+    (``reprolint`` RL301) verifies lexically.
+    """
+
+    def __init__(self, steps: list[Step], max_workers: int) -> None:
+        self.max_workers = max_workers
+        self._step_table = {step.name: step for step in steps}
+        dependents: dict[str, list[str]] = {name: [] for name in self._step_table}
+        unmet: dict[str, int] = {}
+        for step in steps:
+            unknown = [dep for dep in step.deps if dep not in self._step_table]
             if unknown:
                 raise ProtocolError(
                     f"step {step.name!r} depends on unknown steps {unknown}"
@@ -560,55 +575,68 @@ class ConstructionScheduler:
             unmet[step.name] = len(step.deps)
             for dep in step.deps:
                 dependents[dep].append(step.name)
-
-        wake = threading.Condition()
-        ready = sorted(
-            (step for step in self._steps if not unmet[step.name]),
+        #: Reverse dependency edges; immutable once built.
+        self._dependents = dependents
+        self._wake = threading.Condition()
+        #: Per step: count of unfinished dependencies.
+        # guarded-by: self._wake
+        self._unmet = unmet
+        #: Steps whose dependencies are all met, in submission order.
+        # guarded-by: self._wake
+        self._ready: list[Step] = sorted(
+            (step for step in steps if not unmet[step.name]),
             key=lambda step: step.order,
         )
-        trace: list[str] = []
-        failures: list[BaseException] = []
-        running = 0
+        #: Names of completed steps, in completion order.
+        # guarded-by: self._wake
+        self._trace: list[str] = []
+        #: Exceptions raised by steps; the first one is re-raised.
+        # guarded-by: self._wake
+        self._failures: list[BaseException] = []
+        #: Steps submitted but not yet finished.
+        # guarded-by: self._wake
+        self._running = 0
 
-        def execute(step: Step) -> None:
-            nonlocal running
-            error: BaseException | None = None
-            try:
-                step.run()
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                error = exc
-            with wake:
-                running -= 1
-                if error is not None:
-                    failures.append(error)
-                else:
-                    trace.append(step.name)
-                    released = []
-                    for name in dependents[step.name]:
-                        unmet[name] -= 1
-                        if not unmet[name]:
-                            released.append(steps[name])
-                    ready.extend(sorted(released, key=lambda s: s.order))
-                wake.notify_all()
+    def _execute(self, step: Step) -> None:
+        """Worker-thread body: run one step, then publish its outcome."""
+        error: BaseException | None = None
+        try:
+            step.run()
+        except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+            error = exc
+        with self._wake:
+            self._running -= 1
+            if error is not None:
+                self._failures.append(error)
+            else:
+                self._trace.append(step.name)
+                released = []
+                for name in self._dependents[step.name]:
+                    self._unmet[name] -= 1
+                    if not self._unmet[name]:
+                        released.append(self._step_table[name])
+                self._ready.extend(sorted(released, key=lambda s: s.order))
+            self._wake.notify_all()
 
+    def run(self) -> list[str]:
         with ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="construction"
         ) as pool:
-            with wake:
+            with self._wake:
                 while True:
-                    while ready and not failures:
-                        running += 1
-                        pool.submit(execute, ready.pop(0))
-                    if failures or not running:
+                    while self._ready and not self._failures:
+                        self._running += 1
+                        pool.submit(self._execute, self._ready.pop(0))
+                    if self._failures or not self._running:
                         break
-                    wake.wait()
-                while running:
-                    wake.wait()
-        if failures:
-            raise failures[0]
-        if len(trace) != len(steps):
-            blocked = sorted(set(steps) - set(trace))
+                    self._wake.wait()
+                while self._running:
+                    self._wake.wait()
+        if self._failures:
+            raise self._failures[0]
+        if len(self._trace) != len(self._step_table):
+            blocked = sorted(set(self._step_table) - set(self._trace))
             raise ProtocolError(
                 f"construction schedule deadlocked; blocked steps: {blocked}"
             )
-        return trace
+        return self._trace

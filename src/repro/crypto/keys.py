@@ -174,6 +174,16 @@ def agree_pairwise(
     return secrets
 
 
+def fresh_group_key(entropy: ReseedablePRNG) -> bytes:
+    """Draw a fresh 256-bit symmetric key from a derivation-rooted PRNG.
+
+    Key material is packed to bytes here, inside the crypto layer, so
+    party code never performs raw byte conversion itself (the wire codec
+    and crypto/ are the only modules allowed to produce byte strings).
+    """
+    return entropy.next_bits(256).to_bytes(32, "big")
+
+
 def secret_from_passphrase(pair: tuple[str, str], passphrase: SeedLike) -> PairwiseSecret:
     """Build a :class:`PairwiseSecret` directly from out-of-band material.
 

@@ -24,7 +24,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.numbers import (
     generate_distinct_primes,
@@ -77,9 +77,11 @@ class PaillierPublicKey:
     def encrypt(self, plaintext: int, entropy: ReseedablePRNG) -> "PaillierCiphertext":
         """Encrypt a (possibly negative) integer."""
         if abs(plaintext) > self.max_plaintext:
-            raise CryptoError(
-                f"plaintext magnitude {abs(plaintext)} exceeds bound {self.max_plaintext}"
-            )
+            # Do not echo the plaintext into the exception: error strings
+            # cross trust boundaries (logs, queue snapshots, bug reports).
+            # The bound is public key material, so naming it is safe.
+            bound = self.max_plaintext
+            raise CryptoError(f"plaintext magnitude exceeds encryption bound {bound}")
         m = plaintext % self.n
         n_sq = self.n_squared
         r = self._random_unit(entropy)
@@ -109,8 +111,9 @@ class PaillierPrivateKey:
     """Private half: Carmichael exponent ``lambda`` and precomputed ``mu``."""
 
     public_key: PaillierPublicKey
-    lam: int
-    mu: int
+    # lambda/mu factor the modulus; they are *the* private material.
+    lam: int = field(repr=False)
+    mu: int = field(repr=False)
 
     def decrypt(self, ciphertext: "PaillierCiphertext") -> int:
         """Decrypt to a signed integer via the centred embedding."""
@@ -130,7 +133,7 @@ class PaillierKeyPair:
     """Convenience bundle returned by :func:`generate_paillier_keypair`."""
 
     public_key: PaillierPublicKey
-    private_key: PaillierPrivateKey
+    private_key: PaillierPrivateKey = field(repr=False)
 
 
 @dataclass(frozen=True)

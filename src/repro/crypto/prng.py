@@ -296,7 +296,10 @@ class ReseedablePRNG(abc.ABC):
         return self.next_bits
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{type(self).__name__}(seed={self._seed!r}, draws={self._draws})"
+        # The seed is key material (pairwise streams derive from shared
+        # secrets); a repr that printed it would leak through logs and
+        # debugger output.  Structure only: type and draw count.
+        return f"{type(self).__name__}(seed=<redacted>, draws={self._draws})"
 
 
 class Lcg64(ReseedablePRNG):

@@ -48,7 +48,9 @@ class TappedFrame:
     recipient: str
     kind: str
     tag: str
-    wire: bytes
+    # Captured ciphertext/plaintext bytes; reprs of tapped frames end up
+    # in test output and eavesdropper reports, so keep them metadata-only.
+    wire: bytes = field(repr=False)
     sealed: bool
 
     def try_read_payload(self) -> Any:
@@ -75,6 +77,7 @@ class Eavesdropper:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        # guarded-by: self._lock
         self.frames: list[TappedFrame] = []
         self._lock = threading.Lock()
 
@@ -118,9 +121,13 @@ class Channel:
         else:
             self._cipher = None
             self._entropy = None
+        # guarded-by: self._lock
         self._stats: dict[tuple[str, str], ChannelStats] = {}
+        # guarded-by: self._lock
         self._kind_stats: dict[tuple[str, str, str], ChannelStats] = {}
+        # guarded-by: self._lock
         self._tag_stats: dict[str, ChannelStats] = {}
+        # guarded-by: self._lock
         self._taps: list[Eavesdropper] = []
         #: Serialises sealing (nonce entropy + cipher state), counter
         #: updates and tap captures: concurrent transmits on one link

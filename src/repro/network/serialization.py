@@ -77,7 +77,7 @@ def _int_body_len(magnitude: int) -> int:
     return (magnitude.bit_length() + 7) // 8 or 1
 
 
-def _encode_int_run(values: list, out: list[bytes]) -> bool:
+def _encode_int_run(values: list[Any], out: list[bytes]) -> bool:
     """Append the concatenated :func:`_encode_int` bytes of an int run.
 
     Returns ``False`` (appending nothing) unless every element is a
@@ -213,7 +213,7 @@ class _Reader:
         return chunk
 
     def length(self) -> int:
-        return struct.unpack(">I", self.take(4))[0]
+        return int(struct.unpack(">I", self.take(4))[0])
 
     @property
     def exhausted(self) -> bool:
@@ -336,7 +336,7 @@ def _decode(reader: _Reader) -> Any:
         value = int.from_bytes(body, "big")
         return -value if negative else value
     if tag == _TAG_FLOAT:
-        return struct.unpack(">d", reader.take(8))[0]
+        return float(struct.unpack(">d", reader.take(8))[0])
     if tag == _TAG_STR:
         return reader.take(reader.length()).decode("utf-8")
     if tag == _TAG_BYTES:

@@ -54,13 +54,20 @@ class Network:
         if latency < 0:
             raise ChannelError(f"link latency must be >= 0, got {latency}")
         self.latency = float(latency)
+        # guarded-by: self._registry_lock
         self._parties: set[str] = set()
+        # guarded-by: self._registry_lock
         self._channels: dict[frozenset[str], Channel] = {}
         #: Per recipient: lane key -> deque of (arrival number, message).
+        #: Registration populates the outer dict; delivery mutates a
+        #: recipient's lane table under that recipient's own lock.
+        # guarded-by: self._registry_lock | self._locks[*]
         self._lanes: dict[str, dict[LaneKey, deque[tuple[int, Message]]]] = {}
         #: Per recipient: next arrival number (global FIFO order in lanes).
+        # guarded-by: self._registry_lock | self._locks[*]
         self._arrivals: dict[str, int] = {}
         #: Per recipient: guards that recipient's lane table and counter.
+        # guarded-by: self._registry_lock
         self._locks: dict[str, threading.Lock] = {}
         #: Guards party/channel registration (setup is usually serial,
         #: but nothing stops a test hammering topology concurrently).
@@ -131,7 +138,7 @@ class Network:
             # Models time-in-flight.  Deliberately outside every lock:
             # messages of independent protocol runs overlap in flight,
             # which is the concurrency a real deployment has.
-            time.sleep(self.latency)
+            time.sleep(self.latency)  # reprolint: disable=RL103 -- models time-in-flight only; no protocol value ever depends on the clock
         self._require_party(recipient)
         with self._locks[recipient]:
             arrival = self._arrivals[recipient]

@@ -17,6 +17,7 @@ from repro.core import labels
 from repro.core import numeric as num_protocol
 from repro.core.config import ProtocolSuiteConfig
 from repro.crypto.detenc import DeterministicEncryptor
+from repro.crypto.keys import fresh_group_key
 from repro.crypto.prng import ReseedablePRNG
 from repro.data.matrix import AttributeSpec, DataMatrix
 from repro.distance.dissimilarity import DissimilarityMatrix, condensed_tail_indices
@@ -464,10 +465,12 @@ class DataHolder(Party):
             matrix = num_protocol.responder_matrix_per_pair(
                 encoded, message.payload["rows"], rng_jk
             )
-        if message.payload["attribute"] != spec.name:
+        # Bind the harmless scalar before raising: exception text must
+        # never interpolate the payload mapping itself.
+        attribute = message.payload["attribute"]
+        if attribute != spec.name:
             raise ProtocolError(
-                f"expected masked input for {spec.name!r}, "
-                f"got {message.payload['attribute']!r}"
+                f"expected masked input for {spec.name!r}, got {attribute!r}"
             )
         self.send(
             tp_name,
@@ -511,10 +514,10 @@ class DataHolder(Party):
         message = self.receive(
             kind="masked_strings", sender=initiator, tag=self._tag(spec)
         )
-        if message.payload["attribute"] != spec.name:
+        attribute = message.payload["attribute"]
+        if attribute != spec.name:
             raise ProtocolError(
-                f"expected masked strings for {spec.name!r}, "
-                f"got {message.payload['attribute']!r}"
+                f"expected masked strings for {spec.name!r}, got {attribute!r}"
             )
         matrices = alnum_protocol.responder_ccm_matrices(
             self._column(spec), message.payload["strings"], spec.alphabet
@@ -540,7 +543,7 @@ class DataHolder(Party):
         and sending it over the *secured* holder-holder channels.  The
         third party never sees it (non-collusion, Section 3).
         """
-        key = self._entropy.next_bits(256).to_bytes(32, "big")
+        key = fresh_group_key(self._entropy)
         self._group_key = key
         for peer in other_holders:
             self.send(peer, kind="group_key", payload=key, tag="setup")

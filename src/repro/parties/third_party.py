@@ -58,9 +58,13 @@ class ThirdParty(Party):
         self.schema = schema
         self.index = index
         self._suite = suite
+        # guarded-by: self._storage_lock
         self._raw: dict[str, DissimilarityMatrix] = {}
+        # guarded-by: self._storage_lock
         self._normalized: dict[str, DissimilarityMatrix] = {}
+        # guarded-by: self._storage_lock
         self._pending_categorical: dict[str, dict[str, list[bytes]]] = {}
+        # guarded-by: self._storage_lock
         self._weights: dict[str, list[float]] = {}
         #: Guards first-touch creation of per-attribute storage: under the
         #: parallel construction schedule, several receive steps of one
@@ -188,11 +192,13 @@ class ThirdParty(Party):
         if self._spec(attribute).taxonomy is not None:
             from repro.ext.taxonomy import third_party_taxonomy_matrix
 
-            self._raw[attribute] = third_party_taxonomy_matrix(columns, self.index)
+            matrix = third_party_taxonomy_matrix(columns, self.index)
         else:
-            self._raw[attribute] = cat_protocol.third_party_categorical_matrix(
-                columns, self.index
-            )
+            matrix = cat_protocol.third_party_categorical_matrix(columns, self.index)
+        # Build outside, publish under the lock: the matrix construction is
+        # O(n^2) and must not serialise unrelated finalize steps.
+        with self._storage_lock:
+            self._raw[attribute] = matrix
 
     # -- incremental sessions (delta construction) ----------------------------------------
 
@@ -211,8 +217,9 @@ class ThirdParty(Party):
                 f"cannot run a delta before initial construction of: {missing}"
             )
         arrivals = plan.arrival_positions(new_index)
-        for attribute in self._raw:
-            self._raw[attribute] = self._raw[attribute].insert_objects(arrivals)
+        with self._storage_lock:
+            for attribute in self._raw:
+                self._raw[attribute] = self._raw[attribute].insert_objects(arrivals)
         self.index = new_index
         self._delta_plan = plan
 
@@ -333,18 +340,23 @@ class ThirdParty(Party):
             raise ProtocolError(
                 f"encrypted delta for non-categorical attribute {attribute!r}"
             )
-        columns = self._pending_categorical.get(attribute)
-        if columns is None or holder not in columns:
-            raise ProtocolError(
-                f"no stored ciphertext column for {attribute!r} from {holder!r}"
-            )
-        if len(columns[holder]) != int(message.payload["old_size"]):
-            raise ProtocolError(
-                f"categorical delta from {holder!r} does not extend the "
-                f"stored column ({len(columns[holder])} ciphertexts held, "
-                f"holder assumed {message.payload['old_size']})"
-            )
-        columns[holder].extend(message.payload["ciphertexts"])
+        # Size fields are harmless scalars; bind them so the exception text
+        # never interpolates the payload mapping itself.
+        old_size = int(message.payload["old_size"])
+        with self._storage_lock:
+            columns = self._pending_categorical.get(attribute)
+            if columns is None or holder not in columns:
+                raise ProtocolError(
+                    f"no stored ciphertext column for {attribute!r} from {holder!r}"
+                )
+            held = len(columns[holder])
+            if held != old_size:
+                raise ProtocolError(
+                    f"categorical delta from {holder!r} does not extend the "
+                    f"stored column ({held} ciphertexts held, "
+                    f"holder assumed {old_size})"
+                )
+            columns[holder].extend(message.payload["ciphertexts"])
 
     def finalize_categorical_delta(self, attribute: str) -> None:
         """Patch the global categorical matrix for this epoch's arrivals.
@@ -370,7 +382,9 @@ class ThirdParty(Party):
         if self._spec(attribute).taxonomy is not None:
             from repro.ext.taxonomy import third_party_taxonomy_matrix
 
-            self._raw[attribute] = third_party_taxonomy_matrix(columns, self.index)
+            rebuilt = third_party_taxonomy_matrix(columns, self.index)
+            with self._storage_lock:
+                self._raw[attribute] = rebuilt
             return
         merged = np.empty(self.index.total_objects, dtype=object)
         merged[:] = [c for site in self.index.sites for c in columns[site]]
@@ -426,14 +440,15 @@ class ThirdParty(Party):
                     f"new index holds {new_index.size_of(site)} objects for "
                     f"{site!r}, retirements imply {expected}"
                 )
-        for attribute in self._raw:
-            self._raw[attribute] = self._raw[attribute].remove_objects(positions)
-        for columns in self._pending_categorical.values():
-            for site, local_ids in removed_by_site.items():
-                drop = set(local_ids)
-                columns[site] = [
-                    c for i, c in enumerate(columns[site]) if i not in drop
-                ]
+        with self._storage_lock:
+            for attribute in self._raw:
+                self._raw[attribute] = self._raw[attribute].remove_objects(positions)
+            for columns in self._pending_categorical.values():
+                for site, local_ids in removed_by_site.items():
+                    drop = set(local_ids)
+                    columns[site] = [
+                        c for i, c in enumerate(columns[site]) if i not in drop
+                    ]
         self.index = new_index
         for spec in self.schema:
             self.finalize_attribute(spec.name)
@@ -442,9 +457,15 @@ class ThirdParty(Party):
 
     def finalize_attribute(self, attribute: str) -> None:
         """Normalise the attribute's completed matrix into [0, 1]."""
-        if attribute not in self._raw:
+        raw = self._raw.get(attribute)
+        if raw is None:
             raise ProtocolError(f"attribute {attribute!r} was never constructed")
-        self._normalized[attribute] = self._raw[attribute].normalized()
+        # Normalisation is O(n^2); run it outside the lock (the raw matrix
+        # is complete by the time a finalize step is scheduled) and only
+        # publish the result under it.
+        normalized = raw.normalized()
+        with self._storage_lock:
+            self._normalized[attribute] = normalized
 
     def attribute_matrix(self, attribute: str) -> DissimilarityMatrix:
         """The normalised per-attribute matrix (experiment access).
@@ -466,7 +487,8 @@ class ThirdParty(Party):
             raise ProtocolError(
                 f"{holder!r} sent {len(weights)} weights for {len(self.schema)} attributes"
             )
-        self._weights[holder] = weights
+        with self._storage_lock:
+            self._weights[holder] = weights
 
     def merged_matrix(self, weights: list[float] | None = None) -> DissimilarityMatrix:
         """Weighted merge of all normalised attribute matrices.

@@ -1,0 +1,41 @@
+"""RL1xx true positives.  Fixture corpus: linted, never imported."""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def ambient_random() -> float:
+    return random.random()
+
+
+def global_numpy_state():
+    return np.random.rand(3)
+
+
+def wall_clock() -> float:
+    return time.time()
+
+
+def os_entropy() -> bytes:
+    return os.urandom(16)
+
+
+def ambient_uuid() -> str:
+    return str(uuid.uuid4())
+
+
+def hash_order() -> list:
+    out = []
+    for item in {"a", "b", "c"}:
+        out.append(item)
+    return out
+
+
+def rogue_prng(seed: int):
+    from repro.crypto.prng import make_prng
+
+    return make_prng(seed)

@@ -1,0 +1,13 @@
+"""RL1xx negatives: allowed patterns inside a protocol layer."""
+
+import time
+
+
+def ordered(values) -> list:
+    # sorted() realizes a deterministic order, so set containers are fine
+    # as long as every iteration goes through it.
+    return sorted({v for v in values})
+
+
+def benchmark_hook() -> float:
+    return time.perf_counter()  # reprolint: disable=RL103 -- fixture: timing hook feeds diagnostics only, never protocol output

@@ -1,0 +1,11 @@
+"""RL4xx fixture: a "fast" module paired with ref_mod.py."""
+
+
+def vectorized_mask(values):
+    # Covered: ref_mod defines reference_vectorized_mask.
+    return values
+
+
+def vectorized_unmask(values):
+    # Uncovered: no counterpart, no allowlist entry -> RL401.
+    return values

@@ -1,0 +1,5 @@
+"""RL4xx fixture: the executable specification sibling of fast_mod."""
+
+
+def reference_vectorized_mask(values):
+    return list(values)

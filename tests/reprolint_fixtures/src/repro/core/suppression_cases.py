@@ -1,0 +1,19 @@
+"""RL0xx fixture: the suppression grammar's corner cases."""
+
+import time
+
+
+def justified() -> None:
+    time.sleep(0.0)  # reprolint: disable=RL103 -- fixture: a justified waiver stays visible but inactive
+
+
+def unjustified() -> float:
+    return time.monotonic()  # reprolint: disable=RL103
+
+
+def stale() -> int:
+    return 1  # reprolint: disable=RL501 -- fixture: nothing on this line packs bytes, so the waiver is stale
+
+
+def unknown_rule() -> int:
+    return 2  # reprolint: disable=RL999 -- fixture: there is no rule RL999

@@ -1,0 +1,29 @@
+"""RL2xx true positives.  Fixture corpus: linted, never imported."""
+
+import logging
+from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
+
+
+class Mixer:
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    def __repr__(self) -> str:
+        return f"Mixer(seed={self._seed})"
+
+
+@dataclass
+class Sealed:
+    key: bytes
+    size: int
+
+
+def announce(secret_key: bytes) -> None:
+    print(secret_key)
+    logger.info("session key %r", secret_key)
+
+
+def reject(payload) -> None:
+    raise ValueError(f"bad payload: {payload}")

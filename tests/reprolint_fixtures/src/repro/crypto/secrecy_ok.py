@@ -1,0 +1,33 @@
+"""RL2xx negatives: every secrecy escape hatch, used correctly."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Wrapped:
+    label: str
+    key: bytes = field(repr=False)
+
+
+class Quiet:
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._draws = 0
+
+    def __repr__(self) -> str:
+        return f"Quiet(seed=<redacted>, draws={self._draws})"
+
+
+def report(seed, secret) -> None:
+    # Sanitizing wrappers reveal structure, never content.
+    print(type(seed).__name__)
+    print(len(secret))
+    # Declared-safe structural attributes of a secret object.
+    print(secret.pair)
+
+
+def reject(message) -> None:
+    # Binding the harmless scalar to an honest name is the sanctioned
+    # way to mention payload-derived values in errors.
+    size = len(message.content)
+    raise ValueError(f"frame too large: {size}")

@@ -1,0 +1,19 @@
+"""RL3xx true positives.  Fixture corpus: linted, never imported."""
+
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # guarded-by: self._lock
+        self._entries: dict[str, int] = {}
+        # guarded-by: self._missing_lock
+        self._orphans: list[str] = []
+
+    def record(self, name: str) -> None:
+        self._entries[name] = 1
+
+    def forget(self, name: str) -> None:
+        entries = self._entries
+        entries.pop(name, None)

@@ -1,0 +1,29 @@
+"""RL3xx negatives: lock discipline done right, including the escapes."""
+
+import threading
+
+
+class SafeRegistry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._locks: dict[str, threading.Lock] = {}
+        # guarded-by: self._lock
+        self._entries: dict[str, int] = {}
+        # guarded-by: self._lock | self._locks[*]
+        self._lanes: dict[str, list[int]] = {}
+
+    def record(self, name: str) -> None:
+        with self._lock:
+            self._entries[name] = 1
+            self._locks[name] = threading.Lock()
+
+    def push(self, name: str, value: int) -> None:
+        # The wildcard alternative: any subscript of the lock table.
+        with self._locks[name]:
+            lane = self._lanes.setdefault(name, [])
+            lane.append(value)
+
+    def _forget_locked(self, name: str) -> None:
+        # The _locked suffix is the documented caller-holds-the-lock
+        # contract; writes here are exempt.
+        self._entries.pop(name, None)

@@ -1,0 +1,5 @@
+"""RL501 negative: the wire codec itself is allowed to pack bytes."""
+
+
+def encode(value: int) -> bytes:
+    return value.to_bytes(8, "big")

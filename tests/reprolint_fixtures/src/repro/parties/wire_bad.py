@@ -1,0 +1,7 @@
+"""RL501 true positives.  Fixture corpus: linted, never imported."""
+
+import struct
+
+
+def pack(value: int) -> bytes:
+    return struct.pack(">I", value) + value.to_bytes(4, "big")

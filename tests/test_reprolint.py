@@ -1,0 +1,263 @@
+"""Self-tests for the reprolint static-analysis suite.
+
+Fixture-driven: ``tests/reprolint_fixtures/`` mirrors the real source
+layout and carries at least one true positive per rule family, the
+negative cases for every escape hatch, and the suppression grammar's
+corner cases.  On top of that, the repo's own tree must lint clean --
+the linter is only useful while that invariant holds, so it is a test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from reprolint import __version__
+from reprolint.config import Config, ConfigError, load_config
+from reprolint.engine import lint_paths
+from reprolint.findings import RULES
+from reprolint.report import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "reprolint_fixtures"
+TOOLS = REPO_ROOT / "tools"
+
+
+@pytest.fixture(scope="module")
+def fixture_result():
+    config = load_config(FIXTURES / "pyproject.toml")
+    return lint_paths(["src"], config, FIXTURES)
+
+
+def rules_at(result, rel, *, suppressed=False):
+    return sorted(
+        f.rule
+        for f in result.findings
+        if f.path == rel and f.suppressed == suppressed
+    )
+
+
+# -- the rule catalogue is a stable public interface ------------------------
+
+
+def test_rule_catalogue_is_pinned():
+    assert set(RULES) == {
+        "RL001", "RL002", "RL003",
+        "RL101", "RL102", "RL103", "RL104", "RL105", "RL106",
+        "RL201", "RL202", "RL203", "RL204",
+        "RL301", "RL302",
+        "RL401", "RL402",
+        "RL501",
+    }
+
+
+def test_every_family_declares_known_rules():
+    from reprolint.rules import ALL_FAMILIES
+
+    declared = [rule for family in ALL_FAMILIES for rule in family.rules]
+    assert declared, "no rule families registered"
+    assert len(declared) == len(set(declared)), "rule ID claimed twice"
+    assert set(declared) <= set(RULES)
+
+
+# -- one true positive per family (and the negatives stay silent) -----------
+
+
+def test_determinism_positives(fixture_result):
+    rules = rules_at(fixture_result, "src/repro/core/determinism_bad.py")
+    assert rules == ["RL101", "RL102", "RL103", "RL104", "RL104", "RL105", "RL106"]
+
+
+def test_determinism_negatives(fixture_result):
+    assert rules_at(fixture_result, "src/repro/core/determinism_ok.py") == []
+
+
+def test_secrecy_positives(fixture_result):
+    rules = rules_at(fixture_result, "src/repro/crypto/secrecy_bad.py")
+    assert rules == ["RL201", "RL201", "RL202", "RL203", "RL204"]
+
+
+def test_secrecy_negatives(fixture_result):
+    assert rules_at(fixture_result, "src/repro/crypto/secrecy_ok.py") == []
+
+
+def test_lock_discipline_positives(fixture_result):
+    rules = rules_at(fixture_result, "src/repro/network/locks_bad.py")
+    assert rules == ["RL301", "RL301", "RL302"]
+    lines = sorted(
+        f.line
+        for f in fixture_result.findings
+        if f.path == "src/repro/network/locks_bad.py" and f.rule == "RL301"
+    )
+    # Direct subscript store and mutation through a local alias.
+    assert lines == [15, 19]
+
+
+def test_lock_discipline_negatives(fixture_result):
+    assert rules_at(fixture_result, "src/repro/network/locks_ok.py") == []
+
+
+def test_reference_coverage(fixture_result):
+    rules = rules_at(fixture_result, "src/repro/core/fast_mod.py")
+    assert rules == ["RL401", "RL402"]
+    (rl401,) = [
+        f
+        for f in fixture_result.findings
+        if f.path == "src/repro/core/fast_mod.py" and f.rule == "RL401"
+    ]
+    assert "vectorized_unmask" in rl401.message
+    assert rules_at(fixture_result, "src/repro/core/ref_mod.py") == []
+
+
+def test_serialization_boundary(fixture_result):
+    assert rules_at(fixture_result, "src/repro/parties/wire_bad.py") == [
+        "RL501",
+        "RL501",
+    ]
+    # The codec itself is exempt.
+    assert rules_at(fixture_result, "src/repro/network/serialization.py") == []
+
+
+# -- suppression handling ---------------------------------------------------
+
+
+def test_justified_suppression_is_marked_not_active(fixture_result):
+    rel = "src/repro/core/suppression_cases.py"
+    suppressed = [
+        f for f in fixture_result.findings if f.path == rel and f.suppressed
+    ]
+    assert [f.rule for f in suppressed] == ["RL103"]
+    assert "justified waiver" in suppressed[0].justification
+
+
+def test_unjustified_stale_and_unknown_suppressions(fixture_result):
+    rel = "src/repro/core/suppression_cases.py"
+    # Missing justification -> RL001 AND the RL103 stays active;
+    # stale -> RL002; unknown rule id -> RL001.
+    assert rules_at(fixture_result, rel) == ["RL001", "RL001", "RL002", "RL103"]
+
+
+def test_file_wide_suppression_covers_every_finding(fixture_result):
+    rel = "src/repro/core/filewide_cases.py"
+    assert rules_at(fixture_result, rel) == []
+    assert rules_at(fixture_result, rel, suppressed=True) == ["RL103", "RL103"]
+
+
+def test_hygiene_rules_are_not_waivable(tmp_path):
+    # A suppression of RL002 cannot silence the stale-suppression check.
+    bad = tmp_path / "src" / "repro" / "core" / "module.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "x = 1  # reprolint: disable=RL501 -- totally stale waiver\n"
+        "y = 2  # reprolint: disable=RL002 -- trying to waive the waiver check\n",
+        encoding="utf-8",
+    )
+    result = lint_paths(["src"], Config(), tmp_path)
+    assert sorted(f.rule for f in result.findings) == ["RL002", "RL002"]
+    assert not any(f.suppressed for f in result.findings)
+
+
+def test_syntax_error_becomes_rl003(tmp_path):
+    bad = tmp_path / "src" / "broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = lint_paths(["src"], Config(), tmp_path)
+    assert [f.rule for f in result.findings] == ["RL003"]
+
+
+# -- configuration ----------------------------------------------------------
+
+
+def test_unknown_config_key_is_an_error(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.reprolint]\nprotocol_pathz = []\n", encoding="utf-8")
+    with pytest.raises(ConfigError, match="protocol_pathz"):
+        load_config(pyproject)
+
+
+def test_missing_pyproject_yields_defaults(tmp_path):
+    config = load_config(tmp_path / "pyproject.toml")
+    assert config.in_protocol_scope("src/repro/core/session.py")
+    assert not config.in_protocol_scope("src/repro/clustering/linkage.py")
+    assert config.is_excluded("tests/reprolint_fixtures/src/x.py")
+
+
+# -- the repo's own tree must lint clean ------------------------------------
+
+
+def test_repository_is_clean():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    result = lint_paths(["src", "tests", "benchmarks"], config, REPO_ROOT)
+    active = [f.format() for f in result.active]
+    assert active == [], "\n".join(active)
+    # The one standing waiver: the simulator's latency sleep.
+    assert any(
+        f.path == "src/repro/network/simulator.py" and f.rule == "RL103"
+        for f in result.suppressed
+    )
+
+
+# -- reporters and CLI ------------------------------------------------------
+
+
+def test_json_report_shape(fixture_result):
+    payload = json.loads(render_json(fixture_result))
+    assert payload["version"] == 1
+    assert payload["files_scanned"] == fixture_result.files_scanned
+    assert payload["summary"]["RL301"] == 2
+    by_rule = {f["rule"] for f in payload["findings"]}
+    assert "RL401" in by_rule
+    suppressed = [f for f in payload["findings"] if f["suppressed"]]
+    assert suppressed and all(f["justification"] for f in suppressed)
+
+
+def test_text_report_mentions_suppression(fixture_result):
+    text = render_text(fixture_result)
+    assert "[suppressed:" in text
+    assert text.strip().endswith("suppressed")
+
+
+def _run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(TOOLS)
+    return subprocess.run(
+        [sys.executable, "-m", "reprolint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def test_cli_exit_codes_and_json_output(tmp_path):
+    clean = _run_cli("src", "tests", "benchmarks")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    artifact = tmp_path / "report.json"
+    dirty = _run_cli(
+        "src",
+        "--root", str(FIXTURES),
+        "--config", str(FIXTURES / "pyproject.toml"),
+        "--format", "json",
+        "--json-output", str(artifact),
+    )
+    assert dirty.returncode == 1
+    payload = json.loads(dirty.stdout)
+    assert payload["summary"]["RL101"] == 1
+    assert json.loads(artifact.read_text(encoding="utf-8")) == payload
+
+
+def test_cli_list_rules():
+    listing = _run_cli("--list-rules")
+    assert listing.returncode == 0
+    for rule_id in RULES:
+        assert rule_id in listing.stdout
+
+
+def test_version_is_exported():
+    assert __version__

@@ -1,0 +1,38 @@
+"""reprolint -- the repo's own static-analysis suite.
+
+The equivalence tests and hypothesis hammers enforce the DESIGN.md hard
+invariants *dynamically*: they catch a violation after it runs.  This
+package enforces the statically checkable half of those invariants at
+lint time, before anything runs:
+
+* **RL1xx determinism** -- no ambient randomness or wall-clock reads
+  inside the protocol layers; PRNGs flow through the labeled-seed
+  derivation APIs.
+* **RL2xx secrecy** -- secret-named values (seeds, keys, shared
+  secrets, payloads) never flow into logging, ``print``, exception
+  messages or ``__repr__``.
+* **RL3xx lock discipline** -- attributes annotated ``# guarded-by:
+  <lock>`` are only written inside a ``with <lock>`` block.
+* **RL4xx reference coverage** -- every public function of a vectorized
+  "fast" module keeps a named counterpart in its ``reference`` sibling
+  (the executable specification).
+* **RL5xx serialization boundary** -- raw byte packing stays inside the
+  wire codec and the crypto layer.
+
+Run ``python -m reprolint --list-rules`` for the full catalogue, or
+``python -m reprolint src tests benchmarks`` to lint the tree with the
+configuration in ``pyproject.toml`` (``[tool.reprolint]``).
+
+Everything here is stdlib-only (``ast`` + ``tokenize`` + ``tomllib``);
+the package never imports the code under analysis.
+"""
+
+from __future__ import annotations
+
+from reprolint.config import Config, load_config
+from reprolint.engine import lint_paths
+from reprolint.findings import Finding
+
+__version__ = "1.0.0"
+
+__all__ = ["Config", "Finding", "__version__", "lint_paths", "load_config"]

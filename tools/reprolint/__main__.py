@@ -1,0 +1,6 @@
+"""``python -m reprolint`` dispatches to the CLI."""
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

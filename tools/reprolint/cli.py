@@ -1,0 +1,91 @@
+"""Command line entry point: ``python -m reprolint [paths...]``.
+
+Exit codes: 0 clean (suppressed findings do not fail the build), 1 when
+any non-suppressed finding exists, 2 on usage or configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from reprolint import __version__
+from reprolint.config import ConfigError, load_config
+from reprolint.engine import lint_paths
+from reprolint.findings import RULES
+from reprolint.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Static checks for the repo's determinism, secrecy, "
+        "lock-discipline, reference-coverage and wire-boundary invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: [tool.reprolint].paths)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: cwd; config and relative paths "
+        "resolve against it)",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None,
+        help="pyproject.toml to read [tool.reprolint] from "
+        "(default: <root>/pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output", type=Path, default=None,
+        help="also write the JSON report to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--hide-suppressed", action="store_true",
+        help="omit suppressed findings from the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument("--version", action="version", version=f"reprolint {__version__}")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in sorted(RULES.items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    root = (args.root or Path.cwd()).resolve()
+    config_path = args.config or (root / "pyproject.toml")
+    try:
+        config = load_config(config_path)
+    except ConfigError as exc:
+        print(f"reprolint: configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(list(args.paths), config, root)
+
+    if args.json_output is not None:
+        args.json_output.parent.mkdir(parents=True, exist_ok=True)
+        args.json_output.write_text(render_json(result) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=not args.hide_suppressed))
+
+    return 1 if result.active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module is run via __main__
+    raise SystemExit(main())

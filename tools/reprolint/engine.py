@@ -1,0 +1,207 @@
+"""File walking, rule dispatch and suppression bookkeeping.
+
+Suppressions are the audited escape hatch::
+
+    time.sleep(self.latency)  # reprolint: disable=RL103 -- models link latency, never feeds protocol output
+
+    # reprolint: disable=RL106 -- session entropy helper IS the derivation API
+    prng = make_prng(seed)
+
+    # reprolint: disable-file=RL501 -- this module is a codec test vector
+
+``disable=`` covers the findings on its own line (or, when the comment
+stands alone, the next code line); ``disable-file=`` covers the whole
+file.  Every suppression must carry a ``-- justification`` (RL001
+otherwise), and a suppression that matches nothing is itself an error
+(RL002) so stale escapes cannot accumulate.  Suppressed findings stay
+in the report, marked, so reviewers see what was waived and why.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import RULES, Finding
+from reprolint.rules import ALL_FAMILIES
+from reprolint.rules.base import Module, extract_comments
+
+_SUPPRESSION = re.compile(
+    r"reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<rules>[A-Za-z0-9_, ]+?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    line: int
+    target_line: int
+    file_wide: bool
+    rules: tuple[str, ...]
+    justification: str
+    used: int = 0
+
+
+@dataclass
+class LintResult:
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self.active:
+            counts[item.rule] = counts.get(item.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def iter_python_files(root: Path, paths: list[str], config: Config):
+    """Yield (absolute path, root-relative POSIX path) under the lint roots."""
+    seen: set[Path] = set()
+    for raw in paths:
+        base = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if base.is_file():
+            candidates = [base]
+        else:
+            candidates = sorted(base.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py" or candidate in seen:
+                continue
+            if "__pycache__" in candidate.parts:
+                continue
+            seen.add(candidate)
+            try:
+                rel = candidate.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            if config.is_excluded(rel):
+                continue
+            yield candidate, rel
+
+
+def _parse_suppressions(
+    source: str, comments: dict[int, str]
+) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppression directives; malformed ones become RL001."""
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    problems: list[Finding] = []
+
+    def code_line_after(lineno: int) -> int:
+        for offset in range(lineno + 1, len(lines) + 1):
+            text = lines[offset - 1].strip()
+            if text and not text.startswith("#"):
+                return offset
+        return lineno
+
+    for lineno, comment in sorted(comments.items()):
+        if "reprolint:" not in comment:
+            continue
+        match = _SUPPRESSION.search(comment)
+        if match is None:
+            problems.append(
+                Finding(
+                    path="", line=lineno, col=0, rule="RL001",
+                    message="unrecognized reprolint directive; expected "
+                    "`# reprolint: disable=RL### -- justification`",
+                )
+            )
+            continue
+        rule_ids = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        unknown = [rule for rule in rule_ids if rule not in RULES]
+        justification = (match.group("why") or "").strip()
+        if unknown or not rule_ids:
+            problems.append(
+                Finding(
+                    path="", line=lineno, col=0, rule="RL001",
+                    message=f"suppression names unknown rule IDs {unknown}; "
+                    "see `python -m reprolint --list-rules`",
+                )
+            )
+            continue
+        if len(justification) < 10:
+            problems.append(
+                Finding(
+                    path="", line=lineno, col=0, rule="RL001",
+                    message="suppression carries no justification; append "
+                    "` -- <why this site is exempt>` (10+ characters)",
+                )
+            )
+            continue
+        standalone = lines[lineno - 1].strip().startswith("#")
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                target_line=code_line_after(lineno) if standalone else lineno,
+                file_wide=match.group("kind") == "disable-file",
+                rules=rule_ids,
+                justification=justification,
+            )
+        )
+    return suppressions, problems
+
+
+def lint_file(path: Path, rel: str, config: Config, root: Path) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        module = Module.parse(path, rel, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=rel, line=exc.lineno or 1, col=exc.offset or 0, rule="RL003",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+    findings: list[Finding] = []
+    for family in ALL_FAMILIES:
+        findings.extend(family.run(module, config, root))
+
+    suppressions, problems = _parse_suppressions(source, extract_comments(source))
+    for problem in problems:
+        problem.path = rel
+        findings.append(problem)
+
+    for item in findings:
+        if item.rule in {"RL001", "RL002"}:
+            continue  # the hygiene rules themselves are not waivable
+        for suppression in suppressions:
+            if item.rule not in suppression.rules:
+                continue
+            if suppression.file_wide or suppression.target_line == item.line:
+                item.suppressed = True
+                item.justification = suppression.justification
+                suppression.used += 1
+                break
+
+    for suppression in suppressions:
+        if not suppression.used:
+            findings.append(
+                Finding(
+                    path=rel, line=suppression.line, col=0, rule="RL002",
+                    message=f"suppression of {', '.join(suppression.rules)} "
+                    "matched no finding; delete the stale directive",
+                )
+            )
+    return findings
+
+
+def lint_paths(paths: list[str], config: Config, root: Path) -> LintResult:
+    result = LintResult(root=root)
+    for path, rel in iter_python_files(root, paths or config.paths, config):
+        result.files_scanned += 1
+        result.findings.extend(lint_file(path, rel, config, root))
+    result.findings.sort()
+    return result

@@ -1,0 +1,62 @@
+"""Finding records and the rule catalogue.
+
+Rule IDs are a public, stable interface: suppression comments, CI
+output and the DESIGN.md invariant table all refer to them, so an ID is
+never renumbered or reused (``tests/test_reprolint.py`` pins the
+catalogue).  New rules append within their family's hundred-block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    justification: str | None = field(default=None, compare=False)
+
+    def format(self) -> str:
+        tail = f"  [suppressed: {self.justification}]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tail}"
+
+
+#: The complete rule catalogue: id -> one-line summary.  Hundred-blocks
+#: group families; RL0xx are the linter's own hygiene rules.
+RULES: dict[str, str] = {
+    # -- meta / hygiene ---------------------------------------------------
+    "RL001": "suppression comment is malformed or carries no justification",
+    "RL002": "suppression comment matched no finding (stale suppression)",
+    "RL003": "file could not be parsed as Python",
+    # -- determinism ------------------------------------------------------
+    "RL101": "stdlib `random` used inside a protocol layer",
+    "RL102": "numpy global random state (`np.random`) inside a protocol layer",
+    "RL103": "wall-clock read (`time.*` / `datetime.now`) inside a protocol layer",
+    "RL104": "ambient OS entropy (`os.urandom` / `secrets` / `uuid`) inside a protocol layer",
+    "RL105": "iteration over an unordered set feeds protocol-visible output",
+    "RL106": "PRNG constructed outside the labeled-seed derivation APIs",
+    # -- secrecy ----------------------------------------------------------
+    "RL201": "secret-named value flows into logging or print",
+    "RL202": "secret-named value interpolated into a raised exception message",
+    "RL203": "secret-named value flows into __repr__/__str__ output",
+    "RL204": "dataclass field with a secret-carrying name lacks repr=False",
+    # -- lock discipline --------------------------------------------------
+    "RL301": "write to a guarded attribute outside its `with <lock>` block",
+    "RL302": "guarded-by annotation names a lock the class never defines",
+    # -- reference-equivalence coverage -----------------------------------
+    "RL401": "public function of a fast module has no reference counterpart",
+    "RL402": "reference allowlist entry matches nothing in the fast module",
+    # -- serialization boundary -------------------------------------------
+    "RL501": "raw byte packing (`struct`/`pickle`/`to_bytes`) outside the wire codec",
+}
+
+
+def is_known_rule(rule_id: str) -> bool:
+    return rule_id in RULES

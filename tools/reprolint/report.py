@@ -1,0 +1,52 @@
+"""Text and JSON reporters.
+
+The text reporter is for humans at a terminal; the JSON reporter is the
+machine interface CI archives as an artifact, so its shape (``version``,
+``summary``, ``findings[]`` with stable keys) is part of the public
+surface alongside the rule IDs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from reprolint.engine import LintResult
+from reprolint.findings import RULES
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = True) -> str:
+    lines: list[str] = []
+    for item in result.findings:
+        if item.suppressed and not show_suppressed:
+            continue
+        lines.append(item.format())
+    active = result.active
+    summary = ", ".join(f"{rule}×{count}" for rule, count in result.summary().items())
+    lines.append(
+        f"reprolint: {result.files_scanned} files, "
+        f"{len(active)} finding(s){f' ({summary})' if summary else ''}, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "summary": result.summary(),
+        "findings": [
+            {
+                "path": item.path,
+                "line": item.line,
+                "col": item.col,
+                "rule": item.rule,
+                "rule_summary": RULES.get(item.rule, ""),
+                "message": item.message,
+                "suppressed": item.suppressed,
+                "justification": item.justification,
+            }
+            for item in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

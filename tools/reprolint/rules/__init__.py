@@ -1,0 +1,27 @@
+"""Rule families, in catalogue order."""
+
+from __future__ import annotations
+
+from reprolint.rules.determinism import DeterminismRules
+from reprolint.rules.locks import LockDisciplineRules
+from reprolint.rules.refcover import ReferenceCoverageRules
+from reprolint.rules.secrecy import SecrecyRules
+from reprolint.rules.wire import SerializationBoundaryRules
+
+#: Every family the engine runs, in reporting order.
+ALL_FAMILIES = (
+    DeterminismRules,
+    SecrecyRules,
+    LockDisciplineRules,
+    ReferenceCoverageRules,
+    SerializationBoundaryRules,
+)
+
+__all__ = [
+    "ALL_FAMILIES",
+    "DeterminismRules",
+    "LockDisciplineRules",
+    "ReferenceCoverageRules",
+    "SecrecyRules",
+    "SerializationBoundaryRules",
+]

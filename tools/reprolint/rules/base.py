@@ -1,0 +1,157 @@
+"""Shared machinery for rule families.
+
+A :class:`Module` bundles everything a rule needs about one file: the
+parsed tree, a lazily built child->parent map (stdlib ``ast`` has no
+parent links), the comment table (``ast`` drops comments; we recover
+them with ``tokenize``) and the import alias table.  Rule families are
+stateless classes with a single ``run`` classmethod so the engine can
+treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+
+
+@dataclass
+class Module:
+    """One parsed source file plus derived lookup tables."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line number -> comment text (with the leading ``#`` stripped).
+    comments: dict[int, str] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] | None = None
+    _imports: dict[str, str] | None = None
+
+    @classmethod
+    def parse(cls, path: Path, rel: str, source: str) -> "Module":
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, rel=rel, source=source, tree=tree, comments=extract_comments(source))
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def ancestors(self, node: ast.AST):
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Binding name -> fully qualified imported name.
+
+        ``import numpy as np`` yields ``{"np": "numpy"}``; ``from os
+        import urandom`` yields ``{"urandom": "os.urandom"}``.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = alias.name
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for alias in node.names:
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Fully qualified dotted name of an expression, if statically known.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        qualified = self.imports.get(current.id, current.id)
+        return ".".join([qualified, *reversed(parts)])
+
+
+def extract_comments(source: str) -> dict[int, str]:
+    """Map line numbers to comment text, via ``tokenize`` (so ``#``
+    inside string literals is never mistaken for a comment)."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse
+        pass  # errors surface as RL003 from the engine's ast.parse
+    return comments
+
+
+def name_tokens(identifier: str) -> set[str]:
+    """Lower-case word tokens of an identifier (``sealedKeyBytes`` and
+    ``sealed_key_bytes`` both contain ``key``)."""
+    words: list[str] = []
+    current = ""
+    for char in identifier:
+        if char == "_":
+            if current:
+                words.append(current)
+            current = ""
+        elif char.isupper() and current and not current[-1].isupper():
+            words.append(current)
+            current = char
+        else:
+            current += char
+    if current:
+        words.append(current)
+    return {word.lower() for word in words if word}
+
+
+def enclosing_functions(module: Module, node: ast.AST) -> list[ast.AST]:
+    """Function definitions containing ``node``, innermost first."""
+    return [
+        anc
+        for anc in module.ancestors(node)
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def finding(
+    module: Module, node: ast.AST, rule: str, message: str
+) -> Finding:
+    return Finding(
+        path=module.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )
+
+
+class RuleFamily:
+    """Base class: a family inspects one module and emits findings."""
+
+    #: Rule IDs this family can emit (pinned by the self-tests).
+    rules: tuple[str, ...] = ()
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        raise NotImplementedError

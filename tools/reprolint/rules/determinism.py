@@ -1,0 +1,206 @@
+"""RL1xx -- determinism inside the protocol layers.
+
+The protocol layers (``core/``, ``crypto/``, ``network/``,
+``parties/``) must be bit-reproducible functions of their seeds and
+inputs: wire transcripts are golden-pinned, and every schedule/worker
+count must produce identical bytes (DESIGN.md invariants 1, 2, 5, 6).
+Ambient randomness, wall-clock reads and unordered iteration are the
+three ways a change silently breaks that, so all three are banned here
+at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily, finding
+
+#: time-module attributes that read the wall clock (or block on it).
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+}
+
+_DATETIME_CALLS = {
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_OS_ENTROPY = {"os.urandom", "os.getrandom"}
+_UUID_CALLS = {"uuid.uuid1", "uuid.uuid4"}
+
+#: Constructors/factories of :mod:`repro.crypto.prng`.  Everything else
+#: must mint generators through the labeled derivation APIs
+#: (``PairwiseSecret.prng(label)`` / ``derive_seed``), so no module can
+#: invent a stream that escapes the label-uniqueness argument.
+_PRNG_CONSTRUCTORS = {"Lcg64", "XorShift64Star", "HashDRBG", "make_prng"}
+
+#: Calls that realize an iteration order from their first argument.
+_ORDER_REALIZING_CALLS = {"list", "tuple", "enumerate", "iter", "max", "min"}
+
+
+def _is_set_expr(module: Module, node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"} and node.func.id not in module.imports
+    return False
+
+
+class DeterminismRules(RuleFamily):
+    rules = ("RL101", "RL102", "RL103", "RL104", "RL105", "RL106")
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        if not config.in_protocol_scope(module.rel):
+            return []
+        out: list[Finding] = []
+        prng_allowed = config.path_in(module.rel, config.prng_construction_allowed)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random":
+                        out.append(
+                            finding(
+                                module, node, "RL101",
+                                "stdlib `random` is seeded from global state; "
+                                "use a labeled ReseedablePRNG",
+                            )
+                        )
+                    elif top == "secrets":
+                        out.append(
+                            finding(
+                                module, node, "RL104",
+                                "`secrets` draws ambient OS entropy; protocol "
+                                "randomness must come from shared labeled seeds",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                top = node.module.split(".")[0]
+                if top == "random":
+                    out.append(
+                        finding(
+                            module, node, "RL101",
+                            "stdlib `random` is seeded from global state; "
+                            "use a labeled ReseedablePRNG",
+                        )
+                    )
+                elif node.module == "numpy.random" or (
+                    top == "numpy" and any(a.name == "random" for a in node.names)
+                ):
+                    out.append(
+                        finding(
+                            module, node, "RL102",
+                            "numpy random state is process-global; derive a "
+                            "ReseedablePRNG from a labeled seed instead",
+                        )
+                    )
+                elif top == "secrets":
+                    out.append(
+                        finding(
+                            module, node, "RL104",
+                            "`secrets` draws ambient OS entropy; protocol "
+                            "randomness must come from shared labeled seeds",
+                        )
+                    )
+
+            elif isinstance(node, ast.Attribute):
+                resolved = module.resolve(node)
+                if resolved is None:
+                    continue
+                if resolved.startswith("numpy.random"):
+                    # Flag only the outermost attribute of a chain, so
+                    # `np.random.rand` yields one finding, not two.
+                    parent = module.parents.get(node)
+                    if isinstance(parent, ast.Attribute) and (
+                        module.resolve(parent) or ""
+                    ).startswith("numpy.random"):
+                        continue
+                    out.append(
+                        finding(
+                            module, node, "RL102",
+                            f"`{resolved}` is process-global random state; "
+                            "derive a ReseedablePRNG from a labeled seed",
+                        )
+                    )
+                elif resolved in _CLOCK_CALLS or resolved in _DATETIME_CALLS:
+                    out.append(
+                        finding(
+                            module, node, "RL103",
+                            f"`{resolved}` reads the wall clock; protocol "
+                            "output must be a function of seeds and inputs only",
+                        )
+                    )
+                elif resolved in _OS_ENTROPY or resolved in _UUID_CALLS:
+                    out.append(
+                        finding(
+                            module, node, "RL104",
+                            f"`{resolved}` draws ambient OS entropy; protocol "
+                            "randomness must come from shared labeled seeds",
+                        )
+                    )
+
+            elif isinstance(node, ast.Call):
+                func = node.func
+                last = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if last in _PRNG_CONSTRUCTORS and not prng_allowed:
+                    out.append(
+                        finding(
+                            module, node, "RL106",
+                            f"direct `{last}(...)` call; protocol PRNGs must "
+                            "flow through the labeled-seed derivation APIs "
+                            "(PairwiseSecret.prng / derive_seed)",
+                        )
+                    )
+                # Calls that realize an unordered iteration order.
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_REALIZING_CALLS
+                    and node.args
+                    and _is_set_expr(module, node.args[0])
+                ):
+                    out.append(cls._unordered(module, node.args[0]))
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and _is_set_expr(module, node.args[0])
+                ):
+                    out.append(cls._unordered(module, node.args[0]))
+
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(module, node.iter):
+                    out.append(cls._unordered(module, node.iter))
+            elif isinstance(node, ast.comprehension):
+                if _is_set_expr(module, node.iter):
+                    out.append(cls._unordered(module, node.iter))
+        return out
+
+    @staticmethod
+    def _unordered(module: Module, node: ast.AST) -> Finding:
+        return finding(
+            module, node, "RL105",
+            "iterating a set realizes a hash-order-dependent sequence; "
+            "wrap it in sorted(...) before it can reach protocol output",
+        )

@@ -1,0 +1,333 @@
+"""RL3xx -- declarative lock discipline.
+
+Shared mutable attributes are declared with an annotation comment on
+their ``__init__`` assignment::
+
+    #: guards delivery state
+    # guarded-by: self._registry_lock | self._locks[*]
+    self._lanes: dict[...] = {}
+
+The checker then proves, lexically, that every *write* to the attribute
+-- rebinding, item assignment, ``del``, or a mutating method call such
+as ``.append``/``.setdefault``, including through local aliases
+(``lanes = self._lanes[r]; lanes.popleft()``) -- happens inside a
+``with <lock>:`` block matching one of the declared locks.  ``[*]``
+matches any subscript of a lock table (``with self._locks[recipient]:``).
+
+Two escape hatches, both visible in the diff: writes inside
+``__init__``/``__post_init__`` are exempt (the object has not escaped
+its constructor), and methods whose name ends in ``_locked`` are exempt
+(the suffix is the documented contract that the caller holds the lock).
+Reads are deliberately unchecked -- the protocol argument for lock-free
+reads (disjoint blocks, setup-phase-only registration) lives in the
+code; this rule pins the write side, which is where lost updates come
+from.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily
+
+_ANNOTATION = re.compile(r"guarded-by:\s*(.+)$")
+_SPEC = re.compile(r"^self\.(\w+)(\[\*\])?$")
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+_CTOR_METHODS = {"__init__", "__post_init__"}
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """One alternative of a guarded-by annotation."""
+
+    attr: str
+    wildcard: bool
+
+    def render(self) -> str:
+        return f"self.{self.attr}[*]" if self.wildcard else f"self.{self.attr}"
+
+    def matches(self, expr: ast.AST) -> bool:
+        if self.wildcard:
+            if not isinstance(expr, ast.Subscript):
+                return False
+            expr = expr.value
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == self.attr
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        )
+
+
+def _expression_base(expr: ast.AST) -> tuple[str, str] | None:
+    """Root of an access chain: ``("self", attr)`` or ``("name", id)``.
+
+    ``self._raw[k].method(...)`` roots at ``("self", "_raw")``;
+    ``lanes.get(k)`` roots at ``("name", "lanes")``.
+    """
+    while True:
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return ("self", expr.attr)
+            expr = expr.value
+        elif isinstance(expr, (ast.Subscript, ast.Starred)):
+            expr = expr.value
+        elif isinstance(expr, ast.Call):
+            expr = expr.func
+        elif isinstance(expr, ast.Name):
+            return ("name", expr.id)
+        else:
+            return None
+
+
+class LockDisciplineRules(RuleFamily):
+    rules = ("RL301", "RL302")
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        out: list[Finding] = []
+        for classdef in ast.walk(module.tree):
+            if isinstance(classdef, ast.ClassDef):
+                out.extend(cls._check_class(module, classdef))
+        return out
+
+    # -- per class ---------------------------------------------------------
+
+    @classmethod
+    def _check_class(cls, module: Module, classdef: ast.ClassDef) -> list[Finding]:
+        guarded: dict[str, list[LockSpec]] = {}
+        annotation_lines: dict[str, int] = {}
+        assigned_attrs: set[str] = set()
+        findings: list[Finding] = []
+
+        for node in ast.walk(classdef):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        assigned_attrs.add(target.attr)
+                        specs = cls._annotation_at(module, node.lineno)
+                        if specs is not None:
+                            guarded[target.attr] = specs
+                            annotation_lines[target.attr] = node.lineno
+
+        if not guarded:
+            return findings
+
+        for attr, specs in guarded.items():
+            line = annotation_lines[attr]
+            if not specs:
+                findings.append(
+                    Finding(
+                        path=module.rel, line=line, col=0, rule="RL302",
+                        message=f"malformed guarded-by annotation on `{attr}`: "
+                        "expected `self.<lock>` or `self.<locks>[*]`, "
+                        "alternatives separated by `|`",
+                    )
+                )
+                continue
+            for spec in specs:
+                if spec.attr not in assigned_attrs:
+                    findings.append(
+                        Finding(
+                            path=module.rel, line=line, col=0, rule="RL302",
+                            message=f"guarded-by on `{attr}` names "
+                            f"`{spec.render()}`, but the class never assigns "
+                            f"`self.{spec.attr}`",
+                        )
+                    )
+
+        for method in classdef.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _CTOR_METHODS or method.name.endswith("_locked"):
+                continue
+            findings.extend(cls._check_method(module, method, guarded))
+        return findings
+
+    @classmethod
+    def _annotation_at(cls, module: Module, lineno: int) -> list[LockSpec] | None:
+        for line in (lineno, lineno - 1, lineno - 2):
+            comment = module.comments.get(line)
+            if comment is None:
+                continue
+            match = _ANNOTATION.search(comment)
+            if match is None:
+                continue
+            specs: list[LockSpec] = []
+            for part in match.group(1).split("|"):
+                spec_match = _SPEC.match(part.strip())
+                if spec_match is None:
+                    return []  # malformed -> RL302 upstream
+                specs.append(
+                    LockSpec(attr=spec_match.group(1), wildcard=bool(spec_match.group(2)))
+                )
+            return specs
+        return None
+
+    # -- per method --------------------------------------------------------
+
+    @classmethod
+    def _check_method(
+        cls,
+        module: Module,
+        method: ast.AST,
+        guarded: dict[str, list[LockSpec]],
+    ) -> list[Finding]:
+        tainted = cls._alias_names(method, guarded)
+        findings: list[Finding] = []
+
+        def root_guard(expr: ast.AST) -> str | None:
+            """Guarded attribute an expression's base resolves to."""
+            base = _expression_base(expr)
+            if base is None:
+                return None
+            kind, name = base
+            if kind == "self" and name in guarded:
+                return name
+            if kind == "name" and name in tainted:
+                return tainted[name]
+            return None
+
+        def check_write(site: ast.AST, target: ast.AST) -> None:
+            # `columns = self._raw.get(k)` rebinds a LOCAL name -- that is
+            # alias creation (tracked separately), not a write to the
+            # guarded object.  Only stores through a subscript/attribute
+            # chain (or `self.<attr> = ...` itself) mutate shared state.
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    check_write(site, element)
+                return
+            if isinstance(target, ast.Name):
+                return
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attr = target.attr if target.attr in guarded else None
+            else:
+                attr = root_guard(target)
+            if attr is not None:
+                cls._require_lock(module, site, attr, guarded[attr], findings)
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    check_write(node, target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                check_write(node, node.target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    check_write(node, target)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                    attr = root_guard(func.value)
+                    if attr is not None:
+                        cls._require_lock(module, node, attr, guarded[attr], findings)
+        return findings
+
+    @staticmethod
+    def _alias_names(method: ast.AST, guarded: dict[str, list[LockSpec]]) -> dict[str, str]:
+        """Local names aliasing guarded state, to the attr they alias.
+
+        Fixpoint over assignments and for-targets so chains resolve in
+        any statement order (`lanes = self._lanes[r]; lane = lanes.get(k)`).
+        """
+        tainted: dict[str, str] = {}
+
+        def source_guard(expr: ast.AST) -> str | None:
+            base = _expression_base(expr)
+            if base is None:
+                return None
+            kind, name = base
+            if kind == "self" and name in guarded:
+                return name
+            if kind == "name" and name in tainted:
+                return tainted[name]
+            return None
+
+        def bind(target: ast.AST, attr: str) -> bool:
+            changed = False
+            if isinstance(target, ast.Name) and tainted.get(target.id) != attr:
+                tainted[target.id] = attr
+                changed = True
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    changed |= bind(element, attr)
+            return changed
+
+        for _ in range(8):  # alias chains are short; fixpoint converges fast
+            changed = False
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    attr = source_guard(node.value)
+                    if attr is not None:
+                        for target in node.targets:
+                            changed |= bind(target, attr)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    attr = source_guard(node.iter)
+                    if attr is not None:
+                        changed |= bind(node.target, attr)
+                elif isinstance(node, ast.NamedExpr):
+                    attr = source_guard(node.value)
+                    if attr is not None:
+                        changed |= bind(node.target, attr)
+            if not changed:
+                break
+        return tainted
+
+    @classmethod
+    def _require_lock(
+        cls,
+        module: Module,
+        site: ast.AST,
+        attr: str,
+        specs: list[LockSpec],
+        findings: list[Finding],
+    ) -> None:
+        for anc in module.ancestors(site):
+            if isinstance(anc, (ast.With, ast.AsyncWith)):
+                for item in anc.items:
+                    if any(spec.matches(item.context_expr) for spec in specs):
+                        return
+        wanted = " | ".join(spec.render() for spec in specs)
+        findings.append(
+            Finding(
+                path=module.rel,
+                line=getattr(site, "lineno", 1),
+                col=getattr(site, "col_offset", 0),
+                rule="RL301",
+                message=f"write to `{attr}` outside `with {wanted}`; the "
+                "attribute is declared guarded-by that lock",
+            )
+        )

@@ -1,0 +1,121 @@
+"""RL4xx -- reference-equivalence coverage.
+
+The vectorized "fast" modules are only trustworthy because their scalar
+originals survive as executable specifications (``core/reference.py``,
+``crypto/reference.py``, ``clustering/reference.py``) and equivalence
+suites compare the two.  This rule keeps that pairing structural:
+every public function of a fast module must have a counterpart *named*
+in its reference sibling -- the same name, or ``reference_<name>`` /
+``scalar_<name>`` -- or an explicit allowlist entry in
+``[tool.reprolint.reference_allowlist]`` whose pyproject comment says
+why no spec is needed.  A vectorized rewrite can therefore never
+silently drop its spec.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily, finding
+
+_SKIP_DECORATORS = {"property", "cached_property", "overload", "abstractmethod"}
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _public_functions(tree: ast.Module):
+    """Yield (display name, node) for the module's public surface.
+
+    Top-level public functions, and public methods of public classes
+    (dunders and properties excluded -- a repr needs no spec).
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_") and not (
+                _decorator_names(node) & _SKIP_DECORATORS
+            ):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and not item.name.startswith("_")
+                    and not (_decorator_names(item) & _SKIP_DECORATORS)
+                ):
+                    yield f"{node.name}.{item.name}", item
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Every function/class name defined anywhere in a module."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    }
+
+
+class ReferenceCoverageRules(RuleFamily):
+    rules = ("RL401", "RL402")
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        reference_rel = config.reference_pairs.get(module.rel)
+        if reference_rel is None:
+            return []
+        out: list[Finding] = []
+        reference_path = root / reference_rel
+        try:
+            reference_names = _defined_names(
+                ast.parse(reference_path.read_text(encoding="utf-8"))
+            )
+        except (OSError, SyntaxError):
+            out.append(
+                Finding(
+                    path=module.rel, line=1, col=0, rule="RL401",
+                    message=f"reference sibling {reference_rel!r} is missing "
+                    "or unparsable; the fast module has no executable spec",
+                )
+            )
+            return out
+
+        allowlist = set(config.reference_allowlist.get(module.rel, ()))
+        seen_public: set[str] = set()
+        for display, node in _public_functions(module.tree):
+            bare = display.rsplit(".", 1)[-1]
+            seen_public.update({display, bare})
+            candidates = {bare, f"reference_{bare}", f"scalar_{bare}"}
+            if candidates & reference_names:
+                continue
+            if display in allowlist or bare in allowlist:
+                continue
+            out.append(
+                finding(
+                    module, node, "RL401",
+                    f"public `{display}` has no counterpart in "
+                    f"{reference_rel} (looked for {sorted(candidates)}) and "
+                    "no reference_allowlist entry",
+                )
+            )
+        for entry in sorted(allowlist):
+            if entry not in seen_public:
+                out.append(
+                    Finding(
+                        path=module.rel, line=1, col=0, rule="RL402",
+                        message=f"reference_allowlist entry {entry!r} matches "
+                        "no public function of this module; delete the stale "
+                        "entry",
+                    )
+                )
+        return out

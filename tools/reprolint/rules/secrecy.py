@@ -1,0 +1,193 @@
+"""RL2xx -- secrecy taint: secrets stay out of human-readable output.
+
+Flow-insensitive by design: the lint tracks *names*, not values.  An
+identifier whose name carries a secret token (``seed``, ``key``,
+``secret``, ``payload``, ...) may never appear inside a logging call, a
+``print``, a raised exception's message or a ``__repr__`` return.  The
+discipline this buys is the reviewable one: code that wants to show a
+payload-derived *harmless* scalar must first bind it to an honestly
+named variable (``old_size = int(message.payload["old_size"])``), and
+code that genuinely needs the name suppresses with a written
+justification.  That is exactly how leakage-conscious protocol designs
+treat "what escapes the protocol" -- as a property declared per site,
+never an accident.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily, finding, name_tokens
+
+#: Wrappers whose result reveals only structure, never content.
+_SANITIZERS = {"type", "len", "id", "isinstance", "bool"}
+
+_LOG_METHODS = {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+_LOGGER_NAMES = {"logging", "logger", "log"}
+
+
+def _secret_nodes(module: Module, root: ast.AST, config: Config):
+    """Yield (node, identifier) for secret-named expressions under ``root``."""
+    tokens = set(config.secret_tokens)
+    safe_attrs = set(config.secrecy_safe_attrs)
+    safe_names = set(config.secrecy_safe_names)
+    for node in ast.walk(root):
+        if isinstance(node, ast.Name):
+            identifier = node.id
+        elif isinstance(node, ast.Attribute):
+            identifier = node.attr
+        else:
+            continue
+        if identifier in safe_names or not (name_tokens(identifier) & tokens):
+            continue
+        skip = False
+        previous: ast.AST = node
+        for anc in module.ancestors(node):
+            # `secret.pair` / `prng.draws`: accessing a declared-safe
+            # structural attribute of a secret object is fine.
+            if (
+                isinstance(anc, ast.Attribute)
+                and anc.value is previous
+                and anc.attr in safe_attrs
+            ):
+                skip = True
+                break
+            # `type(seed).__name__` / `len(key)`: sanitizing wrappers.
+            if (
+                isinstance(anc, ast.Call)
+                and isinstance(anc.func, ast.Name)
+                and anc.func.id in _SANITIZERS
+            ):
+                skip = True
+                break
+            if anc is root:
+                break
+            previous = anc
+        if not skip:
+            yield node, identifier
+
+
+def _is_print_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Name) and node.func.id == "print"
+
+
+def _is_logging_call(module: Module, node: ast.Call) -> bool:
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS):
+        return False
+    resolved = module.resolve(func.value)
+    if resolved is None:
+        return False
+    head = resolved.split(".")[0]
+    tail = resolved.split(".")[-1]
+    return head in _LOGGER_NAMES or tail in _LOGGER_NAMES or head == "logging"
+
+
+def _dataclass_decorated(module: Module, node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        resolved = module.resolve(target) or ""
+        if resolved in {"dataclass", "dataclasses.dataclass"}:
+            return True
+    return False
+
+
+def _field_hides_repr(value: ast.AST | None) -> bool:
+    """Whether an assigned default is ``field(..., repr=False)``."""
+    if not (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)):
+        return False
+    if value.func.id != "field":
+        return False
+    for keyword in value.keywords:
+        if keyword.arg == "repr" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+class SecrecyRules(RuleFamily):
+    rules = ("RL201", "RL202", "RL203", "RL204")
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        if not config.in_protocol_scope(module.rel):
+            return []
+        out: list[Finding] = []
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and (
+                _is_print_call(node) or _is_logging_call(module, node)
+            ):
+                for arg in [*node.args, *[k.value for k in node.keywords]]:
+                    for leak, identifier in _secret_nodes(module, arg, config):
+                        out.append(
+                            finding(
+                                module, leak, "RL201",
+                                f"secret-named `{identifier}` flows into "
+                                "logging/print; log a kind/fingerprint instead",
+                            )
+                        )
+
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                roots = (
+                    [*exc.args, *[k.value for k in exc.keywords]]
+                    if isinstance(exc, ast.Call)
+                    else [exc]
+                )
+                for arg in roots:
+                    for leak, identifier in _secret_nodes(module, arg, config):
+                        out.append(
+                            finding(
+                                module, leak, "RL202",
+                                f"secret-named `{identifier}` interpolated into "
+                                "an exception message; exceptions cross trust "
+                                "boundaries (logs, snapshots, bug reports)",
+                            )
+                        )
+
+            elif isinstance(node, ast.FunctionDef) and node.name in {
+                "__repr__",
+                "__str__",
+                "__format__",
+            }:
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.Return) and stmt.value is not None:
+                        for leak, identifier in _secret_nodes(
+                            module, stmt.value, config
+                        ):
+                            out.append(
+                                finding(
+                                    module, leak, "RL203",
+                                    f"secret-named `{identifier}` flows into "
+                                    f"{node.name}; reprs must carry structure, "
+                                    "never material",
+                                )
+                            )
+
+            elif isinstance(node, ast.ClassDef) and _dataclass_decorated(module, node):
+                safe_names = set(config.secrecy_safe_names)
+                for stmt in node.body:
+                    if not (
+                        isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                    ):
+                        continue
+                    field_name = stmt.target.id
+                    if field_name.startswith("_") or field_name in safe_names:
+                        continue
+                    if not (name_tokens(field_name) & set(config.secret_tokens)):
+                        continue
+                    if not _field_hides_repr(stmt.value):
+                        out.append(
+                            finding(
+                                module, stmt, "RL204",
+                                f"dataclass field `{field_name}` carries a "
+                                "secret-token name; declare it "
+                                "field(repr=False) so the auto-repr cannot "
+                                "leak it",
+                            )
+                        )
+        return out

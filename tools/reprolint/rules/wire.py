@@ -1,0 +1,65 @@
+"""RL5xx -- serialization boundary.
+
+The wire codec (``network/serialization.py``) is the single source of
+wire bytes: the golden-transcript suite pins its output, and the
+byte-accounting benchmarks assume every frame went through it.  A
+stray ``struct.pack`` or ``int.to_bytes`` in a feature module creates a
+second, unpinned byte layout; ``pickle`` additionally executes
+arbitrary code on load, which no honest-but-curious threat model
+survives.  So raw byte packing is an error everywhere except the codec
+itself and the crypto layer (whose primitives *define* byte strings).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily, finding
+
+_BANNED_MODULES = {"struct", "pickle", "marshal", "shelve"}
+_BYTE_METHODS = {"to_bytes", "from_bytes"}
+
+
+class SerializationBoundaryRules(RuleFamily):
+    rules = ("RL501",)
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        # The boundary applies to library code; tests may craft malformed
+        # frames, so only src-rooted files are in scope.
+        if not module.rel.startswith("src/"):
+            return []
+        if config.path_in(module.rel, config.serialization_allowed):
+            return []
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _BANNED_MODULES:
+                        out.append(cls._module_finding(module, node, alias.name))
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if node.module.split(".")[0] in _BANNED_MODULES:
+                    out.append(cls._module_finding(module, node, node.module))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _BYTE_METHODS:
+                    out.append(
+                        finding(
+                            module, node, "RL501",
+                            f"raw `{func.attr}` call outside the wire codec; "
+                            "route bytes through network/serialization.py "
+                            "(or keep the primitive inside crypto/)",
+                        )
+                    )
+        return out
+
+    @staticmethod
+    def _module_finding(module: Module, node: ast.AST, name: str) -> Finding:
+        return finding(
+            module, node, "RL501",
+            f"`{name}` import outside the wire codec; the codec is the "
+            "single source of wire bytes (and pickle executes code on load)",
+        )
