@@ -22,6 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: silently stopped persisting would otherwise "pass" by absence.
 REQUIRED_BENCH_FILES = (
     "BENCH_clustering.json",
+    "BENCH_faults.json",
     "BENCH_incremental.json",
     "BENCH_parallel.json",
     "BENCH_transport.json",

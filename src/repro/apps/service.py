@@ -27,13 +27,18 @@ from typing import Mapping, Sequence
 from repro.core.config import SessionConfig
 from repro.core.delta import DeltaPlan, SiteGrowth, construct_attributes_delta
 from repro.core.results import ClusteringResult
+from repro.core.scheduler import ConstructionOutcome
 from repro.core.session import ClusteringSession
 from repro.crypto.keys import PairwiseSecret
-from repro.data.matrix import DataMatrix
+from repro.data.matrix import DataMatrix, Schema
 from repro.data.partition import GlobalIndex
 from repro.distance.dissimilarity import DissimilarityMatrix
 from repro.exceptions import ConfigurationError, ProtocolError
+from repro.network.serialization import deserialize, serialize
 from repro.types import LinkageMethod
+
+#: Version tag of the checkpoint blob layout.
+SNAPSHOT_FORMAT = 1
 
 
 class ClusteringService:
@@ -102,6 +107,104 @@ class ClusteringService:
         """The third party's current merged matrix (experiment access only)."""
         return self._session.third_party.merged_matrix()
 
+    # -- checkpoint / resume ----------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize the service's resumable state into one blob.
+
+        The checkpoint captures everything the *protocol history* has
+        produced that a fresh setup cannot rederive: the third party's
+        raw condensed matrices and retained ciphertext columns, each
+        holder's current partition rows, the categorical group key, the
+        epoch counter, and -- the subtle part -- the draw position of
+        every stateful PRNG (channel nonce entropy per link, holder
+        entropy per site), keyed by the same labels the session derives
+        them under.  What it deliberately omits: pairwise secrets and
+        derived keys (rederived bit-identically from ``master_seed`` at
+        restore) and normalised matrices (pure functions of the raw
+        ones).
+
+        Must be taken at a quiescent point -- all lanes drained, no open
+        delta epoch -- i.e. between :meth:`ingest`/:meth:`retire` calls.
+        Restoring (:meth:`restore`) and re-running the interrupted epoch
+        reproduces the uninterrupted run bit for bit, because every delta
+        PRNG label is epoch-scoped and nonce streams resume from their
+        checkpointed positions.
+        """
+        session = self._session
+        session.network.assert_drained()
+        state = {
+            "format": SNAPSHOT_FORMAT,
+            "epoch": self._epoch,
+            "sites": {
+                site: session.index.size_of(site) for site in session.index.sites
+            },
+            "holder_rows": {
+                site: [list(row) for row in session.holders[site].matrix.rows]
+                for site in session.index.sites
+            },
+            "third_party": session.third_party.snapshot_state(),
+            "group_keys": {
+                site: session.holders[site].group_key_bytes()
+                for site in session.index.sites
+            },
+            "channel_entropy": session.network.channel_entropy_positions(),
+            "holder_entropy": {
+                site: session.holders[site].entropy_draws()
+                for site in session.index.sites
+            },
+        }
+        return serialize(state)
+
+    @classmethod
+    def restore(
+        cls,
+        config: SessionConfig,
+        schema: Schema,
+        blob: bytes,
+        tp_name: str = "TP",
+        shared_secrets: Mapping[tuple[str, str], PairwiseSecret] | None = None,
+    ) -> "ClusteringService":
+        """Rebuild a service from a :meth:`snapshot` blob.
+
+        ``config`` and ``schema`` must match the snapshotted service's
+        (the blob carries no secrets, so ``master_seed`` is the caller's
+        to supply).  Setup re-runs from the seed -- identical pairwise
+        secrets and channel keys -- then matrices, group key and PRNG
+        positions are installed from the blob and the construction phase
+        is marked complete without re-running any protocol round.
+        """
+        state = deserialize(blob)
+        if not isinstance(state, dict) or state.get("format") != SNAPSHOT_FORMAT:
+            raise ConfigurationError(
+                f"unsupported snapshot blob (format {state.get('format') if isinstance(state, dict) else None!r})"
+            )
+        partitions = {
+            site: DataMatrix(schema, [tuple(row) for row in rows])
+            for site, rows in state["holder_rows"].items()
+        }
+        for site, size in state["sites"].items():
+            if partitions[site].num_rows != size:
+                raise ConfigurationError(
+                    f"snapshot rows for {site!r} disagree with its recorded size"
+                )
+        service = cls.__new__(cls)
+        session = ClusteringSession(
+            config, partitions, tp_name=tp_name, shared_secrets=shared_secrets
+        )
+        session.third_party.restore_state(state["third_party"])
+        for site, group_key in state["group_keys"].items():
+            if group_key is not None:
+                session.holders[site].install_group_key(group_key)
+        session.network.advance_channel_entropy(state["channel_entropy"])
+        for site, target in state["holder_entropy"].items():
+            session.holders[site].advance_entropy(int(target))
+        session._constructed = True
+        service._session = session
+        service._epoch = int(state["epoch"])
+        service.delta_trace = []
+        return service
+
     # -- mutations ---------------------------------------------------------
 
     def ingest(
@@ -154,17 +257,28 @@ class ClusteringService:
             session.holders[site].ingest_rows(batch)
             session.partitions[site] = session.holders[site].matrix
         session.index = new_index
-        self.delta_trace = construct_attributes_delta(
+        outcome = construct_attributes_delta(
             session.schema,
             session.holders,
             session.third_party,
             plan,
             policy=session.config.suite.construction_schedule,
             max_workers=session.config.max_workers,
+            tolerate_faults=session.config.suite.tolerate_faults,
+            watchdog_timeout=session.config.watchdog_timeout,
         )
+        if isinstance(outcome, ConstructionOutcome):
+            self.delta_trace = list(outcome.trace)
+            session.degraded_report = outcome.report
+        else:
+            self.delta_trace = outcome
+        session.third_party.end_delta()
         if recluster:
             return self.recluster()
-        session.network.assert_drained()
+        if session.degraded:
+            session.network.drain()
+        else:
+            session.network.assert_drained()
         return None
 
     def retire(
@@ -222,10 +336,36 @@ class ClusteringService:
     # -- clustering --------------------------------------------------------
 
     def recluster(self) -> ClusteringResult:
-        """Cluster the current matrix and publish to every holder."""
+        """Cluster the current matrix and publish to every holder.
+
+        After a degraded delta (``suite.tolerate_faults``), clusters the
+        attributes whose construction completed and publishes only to
+        reachable holders -- same contract as
+        :meth:`repro.core.session.ClusteringSession.run`.
+        """
         session = self._session
         linkage = session.config.linkage
         assert isinstance(linkage, LinkageMethod)
+        if session.degraded:
+            report = session.degraded_report
+            assert report is not None
+            down = set(session.unreachable_sites)
+            plan = session.network.fault_plan
+            if plan is not None:
+                down.update(plan.crashed_parties())
+            reachable = [s for s in session.index.sites if s not in down]
+            result = session.third_party.cluster_and_publish(
+                reachable,
+                session.config.num_clusters,
+                linkage,
+                attributes=list(report.completed_attributes),
+            )
+            for site in reachable:
+                received = session.holders[site].receive_result(session.tp_name)
+                if received.to_payload() != result.to_payload():
+                    raise ProtocolError(f"result received by {site!r} diverged")
+            session.network.drain()
+            return result
         result = session.third_party.cluster_and_publish(
             list(session.index.sites), session.config.num_clusters, linkage
         )

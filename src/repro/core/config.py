@@ -7,6 +7,7 @@ from typing import Sequence
 
 from repro.crypto.prng import DEFAULT_PRNG_KIND, available_kinds
 from repro.exceptions import ConfigurationError
+from repro.network.retry import RetryPolicy
 from repro.types import LinkageMethod
 
 
@@ -61,6 +62,32 @@ class ProtocolSuiteConfig:
         parallel schedule overlaps these delays across independent
         (attribute, pair) runs, which is where its wall-clock win comes
         from on latency-bound workloads.
+    reliable_delivery:
+        Arm the network's reliable-delivery shim even without a fault
+        plan (installing a :class:`~repro.network.faults.FaultPlan` on
+        the session arms it regardless).  With the shim armed, frames
+        carry per-lane sequence numbers and payload CRCs, duplicates are
+        suppressed, and lost or damaged frames are recovered by
+        NACK/retransmit under the retry knobs below.
+    retry_max_attempts:
+        Delivery attempts per frame before the receiving lane gives up
+        with :class:`~repro.exceptions.LaneTimeoutError`.  This is the
+        knob that decides which fault rates the shim can *mask*.
+    retry_backoff_base:
+        First retransmit backoff in seconds; doubles per attempt.  The
+        default 0 never sleeps (the in-process simulator retransmits
+        instantly).
+    retry_backoff_cap:
+        Ceiling on a single backoff sleep, in seconds.
+    retry_deadline:
+        Optional wall-clock budget per receive, in seconds; ``None``
+        bounds recovery by ``retry_max_attempts`` alone.
+    tolerate_faults:
+        ``True`` lets construction degrade instead of abort when a party
+        crashes or a lane times out: the session keeps every unaffected
+        attribute's matrix and reports exactly what was lost
+        (:class:`~repro.core.scheduler.DegradedReport`).  The default
+        ``False`` preserves fail-fast behaviour.
     """
 
     prng_kind: str = DEFAULT_PRNG_KIND
@@ -71,6 +98,12 @@ class ProtocolSuiteConfig:
     fresh_string_masks: bool = False
     construction_schedule: str = "sequential"
     link_latency: float = 0.0
+    reliable_delivery: bool = False
+    retry_max_attempts: int = 6
+    retry_backoff_base: float = 0.0
+    retry_backoff_cap: float = 0.05
+    retry_deadline: float | None = None
+    tolerate_faults: bool = False
 
     def __post_init__(self) -> None:
         if self.prng_kind not in available_kinds():
@@ -96,6 +129,17 @@ class ProtocolSuiteConfig:
             raise ConfigurationError(
                 f"link_latency must be in [0, 1] seconds, got {self.link_latency}"
             )
+        # Delegate retry-knob validation to the policy that consumes them.
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        """The :class:`~repro.network.retry.RetryPolicy` these knobs spell."""
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            backoff_base=self.retry_backoff_base,
+            backoff_cap=self.retry_backoff_cap,
+            deadline=self.retry_deadline,
+        )
 
 
 @dataclass(frozen=True)
@@ -130,6 +174,13 @@ class SessionConfig:
         concurrency of :meth:`repro.apps.sessions.SessionBatch.run_many_parallel`.
         Results are bit-identical for every value; only wall-clock
         changes.  Ignored by the serial schedules.
+    watchdog_timeout:
+        Optional stall watchdog for parallel construction, in seconds
+        (default ``None``: wait forever, the historical behaviour).
+        When armed and no step completes for this long while steps are
+        outstanding, the run raises
+        :class:`~repro.exceptions.SchedulerStallError` naming every
+        pending step -- a deadlock report instead of a silent hang.
     suite:
         The protocol-level configuration.
     """
@@ -142,6 +193,7 @@ class SessionConfig:
     # and PRNG label derives from it, so it never appears in reprs.
     master_seed: int = field(default=0, repr=False)
     max_workers: int = 4
+    watchdog_timeout: float | None = None
     suite: ProtocolSuiteConfig = field(default_factory=ProtocolSuiteConfig)
 
     def __post_init__(self) -> None:
@@ -152,6 +204,10 @@ class SessionConfig:
         if self.max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
+            raise ConfigurationError(
+                f"watchdog_timeout must be > 0 seconds, got {self.watchdog_timeout}"
             )
         if isinstance(self.linkage, str):
             try:

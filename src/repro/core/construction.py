@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.core.scheduler import ConstructionScheduler
+from repro.core.scheduler import ConstructionOutcome, ConstructionScheduler
 from repro.data.matrix import AttributeSpec
 from repro.parties.holder import DataHolder
 from repro.parties.third_party import ThirdParty
@@ -51,16 +51,32 @@ def construct_attributes(
     third_party: ThirdParty,
     policy: str = "sequential",
     max_workers: int = 4,
-) -> list[str]:
+    tolerate_faults: bool = False,
+    watchdog_timeout: float | None = None,
+) -> list[str] | ConstructionOutcome:
     """Build the global matrices for many attributes under one schedule.
 
     ``max_workers`` sizes the worker pool of the ``"parallel"`` policy
     (ignored by the serial schedules).  Returns the realized step
     schedule (useful to assert pipelining in tests and to debug protocol
     choreography).
+
+    With ``tolerate_faults=True`` a crashed or unreachable party no
+    longer aborts the run: only the affected attributes' steps fail (and
+    their dependents are cancelled), the rest complete normally, and the
+    return value becomes a
+    :class:`~repro.core.scheduler.ConstructionOutcome` carrying an
+    explicit degradation report alongside the realized trace -- a
+    partial result set instead of an exception.  ``watchdog_timeout``
+    arms the parallel policy's stall watchdog.
     """
     scheduler = ConstructionScheduler(
-        holders, third_party, policy=policy, max_workers=max_workers
+        holders,
+        third_party,
+        policy=policy,
+        max_workers=max_workers,
+        tolerate_faults=tolerate_faults,
+        watchdog_timeout=watchdog_timeout,
     )
     for spec in specs:
         scheduler.add_attribute(spec)

@@ -47,7 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from repro.core.scheduler import ConstructionScheduler
+from repro.core.scheduler import ConstructionOutcome, ConstructionScheduler
 from repro.data.matrix import AttributeSpec
 from repro.data.partition import GlobalIndex
 from repro.exceptions import ConfigurationError
@@ -128,7 +128,9 @@ def construct_attributes_delta(
     plan: DeltaPlan,
     policy: str = "sequential",
     max_workers: int = 4,
-) -> list[str]:
+    tolerate_faults: bool = False,
+    watchdog_timeout: float | None = None,
+) -> list[str] | ConstructionOutcome:
     """Run the delta rounds for one ingest epoch under one schedule.
 
     The same step-graph executor as the full construction drives the
@@ -136,10 +138,18 @@ def construct_attributes_delta(
     overlaps local tails and sub-column protocol rounds across attributes
     and holder pairs, and ``"parallel"`` executes them on the scheduler's
     ``max_workers``-thread pool -- so ingest epochs parallelize exactly
-    like initial construction.  Returns the realized step schedule.
+    like initial construction.  Returns the realized step schedule (or a
+    :class:`~repro.core.scheduler.ConstructionOutcome` when
+    ``tolerate_faults`` -- same contract as
+    :func:`repro.core.construction.construct_attributes`).
     """
     scheduler = ConstructionScheduler(
-        holders, third_party, policy=policy, max_workers=max_workers
+        holders,
+        third_party,
+        policy=policy,
+        max_workers=max_workers,
+        tolerate_faults=tolerate_faults,
+        watchdog_timeout=watchdog_timeout,
     )
     for spec in specs:
         scheduler.add_attribute_delta(spec, plan)

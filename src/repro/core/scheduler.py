@@ -67,13 +67,23 @@ from typing import Callable, Mapping
 
 from repro.core import labels
 from repro.data.matrix import AttributeSpec
-from repro.exceptions import ConfigurationError, ProtocolError
+from repro.exceptions import (
+    ConfigurationError,
+    LaneTimeoutError,
+    PartyCrashError,
+    ProtocolError,
+    SchedulerStallError,
+)
 from repro.parties.holder import DataHolder
 from repro.parties.third_party import ThirdParty
 from repro.types import AttributeType
 
 #: Ordering policies accepted by :class:`ConstructionScheduler`.
 SCHEDULE_POLICIES = ("sequential", "interleaved", "parallel")
+
+#: Failures a fault-tolerant run degrades on (everything else still
+#: aborts: a wrong matrix is never an acceptable degradation).
+_FAULT_ERRORS = (PartyCrashError, LaneTimeoutError)
 
 # Wave ranks for the interleaved policy: steps of one wave across all
 # attributes and pairs are eligible before the next wave starts draining.
@@ -97,6 +107,58 @@ class Step:
     receives: tuple[str, str, str] | None = None
     order: tuple = ()
 
+    @property
+    def group(self) -> str:
+        """The attribute this step builds (step names are ``attr:phase``)."""
+        return self.name.split(":", 1)[0]
+
+
+@dataclass(frozen=True)
+class DegradedReport:
+    """What a fault-tolerant construction run lost, and what survived.
+
+    ``failed_steps`` maps each step that raised a tolerated fault
+    (:class:`~repro.exceptions.PartyCrashError` or
+    :class:`~repro.exceptions.LaneTimeoutError`) to a one-line error
+    summary; ``cancelled_steps`` are the transitive dependents that were
+    never run because of those failures.  An attribute is *failed* as
+    soon as any of its steps failed or was cancelled -- its matrix must
+    not be trusted -- and *completed* otherwise (its finalize ran, its
+    matrix is exactly the fault-free one).
+    """
+
+    failed_steps: tuple[tuple[str, str], ...]
+    cancelled_steps: tuple[str, ...]
+    failed_attributes: tuple[str, ...]
+    completed_attributes: tuple[str, ...]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed_steps or self.cancelled_steps)
+
+    def summary(self) -> str:
+        if not self.degraded:
+            return "construction completed without degradation"
+        failures = "; ".join(f"{name}: {error}" for name, error in self.failed_steps)
+        return (
+            f"construction degraded: {len(self.failed_steps)} step(s) failed "
+            f"({failures}), {len(self.cancelled_steps)} cancelled; lost "
+            f"attributes {list(self.failed_attributes)}, kept "
+            f"{list(self.completed_attributes)}"
+        )
+
+
+@dataclass(frozen=True)
+class ConstructionOutcome:
+    """Realized schedule plus the degradation report of a tolerant run."""
+
+    trace: tuple[str, ...]
+    report: DegradedReport
+
+    @property
+    def degraded(self) -> bool:
+        return self.report.degraded
+
 
 class ConstructionScheduler:
     """Builds and executes the step graph for a set of attributes.
@@ -109,6 +171,22 @@ class ConstructionScheduler:
         The TP whose matrices the steps fill.
     policy:
         One of :data:`SCHEDULE_POLICIES`.
+    tolerate_faults:
+        ``False`` (the default) re-raises the first step failure, as the
+        pre-fault-tolerance scheduler always did.  ``True`` degrades
+        instead: a step failing with :class:`PartyCrashError` or
+        :class:`LaneTimeoutError` marks only its attribute as failed,
+        transitively cancels the steps that depended on it, and lets
+        every other attribute finish; :meth:`run` then returns a
+        :class:`ConstructionOutcome` whose report names exactly what was
+        lost.  Any other exception still aborts the run.
+    watchdog_timeout:
+        Optional stall watchdog for the ``"parallel"`` policy, in
+        seconds.  When no step completes for this long while work is
+        outstanding, the run raises
+        :class:`~repro.exceptions.SchedulerStallError` naming every
+        pending step -- a deadlock report instead of a silent hang.
+        ``None`` (the default) waits forever, as before.
     """
 
     def __init__(
@@ -117,6 +195,8 @@ class ConstructionScheduler:
         third_party: ThirdParty,
         policy: str = "sequential",
         max_workers: int = 4,
+        tolerate_faults: bool = False,
+        watchdog_timeout: float | None = None,
     ) -> None:
         if policy not in SCHEDULE_POLICIES:
             raise ConfigurationError(
@@ -126,6 +206,10 @@ class ConstructionScheduler:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise ConfigurationError(
+                f"watchdog_timeout must be > 0 seconds, got {watchdog_timeout}"
+            )
         sites = list(third_party.index.sites)
         if set(sites) != set(holders):
             raise ProtocolError(
@@ -133,6 +217,8 @@ class ConstructionScheduler:
             )
         self.policy = policy
         self.max_workers = int(max_workers)
+        self.tolerate_faults = bool(tolerate_faults)
+        self.watchdog_timeout = watchdog_timeout
         self._holders = dict(holders)
         self._tp = third_party
         self._sites = sites
@@ -496,12 +582,60 @@ class ConstructionScheduler:
             return False
         if step.receives is not None:
             party, kind, sender = step.receives
+            if self.tolerate_faults:
+                plan = self._tp.network.fault_plan
+                if plan is not None and plan.permanently_down(party):
+                    # The receive will raise PartyCrashError immediately;
+                    # run it now so the failure is recorded instead of
+                    # gating forever on a dead party's queue head.
+                    return True
             head = self._tp.network.peek(party)
             if head is None or head.kind != kind or head.sender != sender:
                 return False
         return True
 
-    def run(self) -> list[str]:
+    def _dependents(self) -> dict[str, list[str]]:
+        """Reverse dependency edges over the whole graph."""
+        dependents: dict[str, list[str]] = {step.name: [] for step in self._steps}
+        for step in self._steps:
+            for dep in step.deps:
+                dependents[dep].append(step.name)
+        return dependents
+
+    def _doomed(self, failed: str, dependents: Mapping[str, list[str]]) -> set[str]:
+        """Every step transitively depending on a failed one.
+
+        Cancellation is complete because every receive step's ``deps``
+        include the step that sends its message: a failed sender never
+        leaves a receiver waiting forever -- the receiver is cancelled.
+        """
+        doomed: set[str] = set()
+        stack = list(dependents[failed])
+        while stack:
+            name = stack.pop()
+            if name in doomed:
+                continue
+            doomed.add(name)
+            stack.extend(dependents[name])
+        return doomed
+
+    def _report(
+        self, failed: Mapping[str, str], cancelled: tuple[str, ...]
+    ) -> DegradedReport:
+        lost_groups = {name.split(":", 1)[0] for name in failed}
+        lost_groups.update(name.split(":", 1)[0] for name in cancelled)
+        groups: list[str] = []
+        for step in self._steps:
+            if step.group not in groups:
+                groups.append(step.group)
+        return DegradedReport(
+            failed_steps=tuple(sorted(failed.items())),
+            cancelled_steps=cancelled,
+            failed_attributes=tuple(g for g in groups if g in lost_groups),
+            completed_attributes=tuple(g for g in groups if g not in lost_groups),
+        )
+
+    def run(self) -> list[str] | ConstructionOutcome:
         """Execute every step; returns the realized schedule (step names).
 
         The serial policies always run the lowest-ordered runnable step,
@@ -512,20 +646,52 @@ class ConstructionScheduler:
         The serial scan is O(steps^2) in the worst case, which is
         irrelevant next to the protocol work a step performs (sessions
         schedule at most a few thousand steps).
+
+        With ``tolerate_faults=True`` the return type changes to
+        :class:`ConstructionOutcome`: the realized trace plus a
+        :class:`DegradedReport` of the steps and attributes lost to
+        tolerated faults (empty when the run was clean or every fault
+        was masked by the network's retry layer).
         """
         if self.policy == "parallel":
-            return self._run_parallel()
-        return self._run_serial()
+            trace, failed, cancelled = _ParallelRun(
+                list(self._steps),
+                self.max_workers,
+                tolerate_faults=self.tolerate_faults,
+                watchdog_timeout=self.watchdog_timeout,
+            ).run()
+        else:
+            trace, failed, cancelled = self._run_serial()
+        if not self.tolerate_faults:
+            return trace
+        return ConstructionOutcome(
+            trace=tuple(trace), report=self._report(failed, cancelled)
+        )
 
-    def _run_serial(self) -> list[str]:
+    def _run_serial(self) -> tuple[list[str], dict[str, str], tuple[str, ...]]:
         pending = sorted(self._steps, key=lambda step: step.order)
         done: set[str] = set()
         trace: list[str] = []
+        failed: dict[str, str] = {}
+        cancelled: list[str] = []
+        dependents = self._dependents() if self.tolerate_faults else {}
         while pending:
             for index, step in enumerate(pending):
                 if self._runnable(step, done):
                     del pending[index]
-                    step.run()
+                    if self.tolerate_faults:
+                        try:
+                            step.run()
+                        except _FAULT_ERRORS as exc:
+                            failed[step.name] = f"{type(exc).__name__}: {exc}"
+                            doomed = self._doomed(step.name, dependents)
+                            cancelled.extend(
+                                s.name for s in pending if s.name in doomed
+                            )
+                            pending = [s for s in pending if s.name not in doomed]
+                            break
+                    else:
+                        step.run()
                     done.add(step.name)
                     trace.append(step.name)
                     break
@@ -534,35 +700,44 @@ class ConstructionScheduler:
                 raise ProtocolError(
                     f"construction schedule deadlocked; blocked steps: {blocked}"
                 )
-        return trace
-
-    def _run_parallel(self) -> list[str]:
-        """Dependency-driven execution on a thread pool.
-
-        Receive steps need no queue-head gating here: each pops from its
-        run's exclusive delivery lane, and its ``deps`` always include
-        the step that sent the lane's message, so by the time a step is
-        submitted its input is either in the lane or owed to it by a
-        concurrently-arriving send of the same lane (lanes are FIFO and
-        hold one run's stream, so any available message is the right
-        one).  A step failure stops submission, drains in-flight work
-        and re-raises the original exception.
-        """
-        return _ParallelRun(list(self._steps), self.max_workers).run()
+        return trace, failed, tuple(cancelled)
 
 
 class _ParallelRun:
     """Mutable state of one parallel schedule execution.
 
-    The worker threads and the submission loop share five pieces of
-    state; all of them live on this object, declared ``guarded-by`` the
-    run's single condition variable, and every mutation happens inside
-    ``with self._wake`` -- which the lock-discipline lint
-    (``reprolint`` RL301) verifies lexically.
+    Dependency-driven execution on a thread pool.  Receive steps need no
+    queue-head gating here: each pops from its run's exclusive delivery
+    lane, and its ``deps`` always include the step that sent the lane's
+    message, so by the time a step is submitted its input is either in
+    the lane or owed to it by a concurrently-arriving send of the same
+    lane (lanes are FIFO and hold one run's stream, so any available
+    message is the right one).
+
+    The worker threads and the submission loop share their state on this
+    object, declared ``guarded-by`` the run's single condition variable,
+    and every mutation happens inside ``with self._wake`` -- which the
+    lock-discipline lint (``reprolint`` RL301) verifies lexically.
+
+    Failure handling: by default a step failure stops submission, drains
+    in-flight work and re-raises the original exception.  With
+    ``tolerate_faults``, a step failing with one of :data:`_FAULT_ERRORS`
+    instead records the failure, transitively cancels its dependents and
+    lets independent steps keep running.  ``watchdog_timeout`` bounds how
+    long the submission loop waits without any step completing before it
+    declares a stall.
     """
 
-    def __init__(self, steps: list[Step], max_workers: int) -> None:
+    def __init__(
+        self,
+        steps: list[Step],
+        max_workers: int,
+        tolerate_faults: bool = False,
+        watchdog_timeout: float | None = None,
+    ) -> None:
         self.max_workers = max_workers
+        self.tolerate_faults = tolerate_faults
+        self.watchdog_timeout = watchdog_timeout
         self._step_table = {step.name: step for step in steps}
         dependents: dict[str, list[str]] = {name: [] for name in self._step_table}
         unmet: dict[str, int] = {}
@@ -593,9 +768,30 @@ class _ParallelRun:
         #: Exceptions raised by steps; the first one is re-raised.
         # guarded-by: self._wake
         self._failures: list[BaseException] = []
+        #: Tolerated step failures: name -> one-line error summary.
+        # guarded-by: self._wake
+        self._failed: dict[str, str] = {}
+        #: Steps cancelled because a dependency failed, in cancel order.
+        # guarded-by: self._wake
+        self._cancelled: list[str] = []
         #: Steps submitted but not yet finished.
         # guarded-by: self._wake
         self._running = 0
+
+    def _cancel_dependents_locked(self, name: str) -> None:
+        """Transitively cancel everything depending on a failed step."""
+        doomed: set[str] = set()
+        stack = list(self._dependents[name])
+        while stack:
+            candidate = stack.pop()
+            if candidate in doomed:
+                continue
+            doomed.add(candidate)
+            stack.extend(self._dependents[candidate])
+        for step in sorted(doomed & set(self._unmet), key=lambda n: self._step_table[n].order):
+            if step not in self._cancelled:
+                self._cancelled.append(step)
+        self._ready = [s for s in self._ready if s.name not in doomed]
 
     def _execute(self, step: Step) -> None:
         """Worker-thread body: run one step, then publish its outcome."""
@@ -606,7 +802,12 @@ class _ParallelRun:
             error = exc
         with self._wake:
             self._running -= 1
-            if error is not None:
+            if error is not None and self.tolerate_faults and isinstance(
+                error, _FAULT_ERRORS
+            ):
+                self._failed[step.name] = f"{type(error).__name__}: {error}"
+                self._cancel_dependents_locked(step.name)
+            elif error is not None:
                 self._failures.append(error)
             else:
                 self._trace.append(step.name)
@@ -615,28 +816,69 @@ class _ParallelRun:
                     self._unmet[name] -= 1
                     if not self._unmet[name]:
                         released.append(self._step_table[name])
-                self._ready.extend(sorted(released, key=lambda s: s.order))
+                cancelled = set(self._cancelled)
+                self._ready.extend(
+                    sorted(
+                        (s for s in released if s.name not in cancelled),
+                        key=lambda s: s.order,
+                    )
+                )
             self._wake.notify_all()
 
-    def run(self) -> list[str]:
-        with ThreadPoolExecutor(
+    def _settled_locked(self) -> int:
+        """Steps whose fate is decided (completed, failed or cancelled)."""
+        return len(self._trace) + len(self._failed) + len(self._cancelled)
+
+    def _stall_locked(self) -> SchedulerStallError:
+        """Build the watchdog's deadlock report (names pending steps)."""
+        settled = set(self._trace) | set(self._failed) | set(self._cancelled)
+        pending = sorted(set(self._step_table) - settled)
+        return SchedulerStallError(
+            f"parallel construction made no progress for "
+            f"{self.watchdog_timeout} s with {self._running} step(s) running; "
+            f"pending steps: {pending}"
+        )
+
+    def run(self) -> tuple[list[str], dict[str, str], tuple[str, ...]]:
+        stalled = False
+        pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="construction"
-        ) as pool:
+        )
+        try:
             with self._wake:
                 while True:
                     while self._ready and not self._failures:
                         self._running += 1
                         pool.submit(self._execute, self._ready.pop(0))
-                    if self._failures or not self._running:
+                    if self._failures:
                         break
-                    self._wake.wait()
+                    if not self._running:
+                        break
+                    settled = self._settled_locked()
+                    if not self._wake.wait(self.watchdog_timeout):
+                        if self._settled_locked() == settled:
+                            stalled = True
+                            raise self._stall_locked()
                 while self._running:
-                    self._wake.wait()
+                    if not self._wake.wait(self.watchdog_timeout):
+                        # Draining after a failure can stall too; give up
+                        # on the stuck worker and surface the failure.
+                        stalled = True
+                        break
+        finally:
+            # A stalled worker is blocked inside a step; waiting for it
+            # would turn the stall report back into a hang.
+            pool.shutdown(wait=not stalled, cancel_futures=stalled)
         if self._failures:
             raise self._failures[0]
-        if len(self._trace) != len(self._step_table):
-            blocked = sorted(set(self._step_table) - set(self._trace))
+        if self._settled_locked() != len(self._step_table):
+            blocked = sorted(
+                set(self._step_table)
+                - set(self._trace)
+                - set(self._failed)
+                - set(self._cancelled)
+            )
             raise ProtocolError(
                 f"construction schedule deadlocked; blocked steps: {blocked}"
             )
-        return self._trace
+        return self._trace, dict(self._failed), tuple(self._cancelled)

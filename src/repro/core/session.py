@@ -13,22 +13,37 @@ transcripts (including every byte count) are exactly reproducible.
 
 from __future__ import annotations
 
+import os
 from typing import Mapping
 
 from repro.core import labels
 from repro.core.config import SessionConfig
 from repro.core.construction import construct_attributes
 from repro.core.results import ClusteringResult
+from repro.core.scheduler import ConstructionOutcome, DegradedReport
 from repro.crypto.keys import PairwiseSecret, agree_pairwise
 from repro.crypto.prng import ReseedablePRNG, make_prng
 from repro.data.matrix import DataMatrix, Schema
 from repro.data.partition import GlobalIndex
 from repro.distance.dissimilarity import DissimilarityMatrix
-from repro.exceptions import ConfigurationError, ProtocolError
+from repro.exceptions import (
+    ConfigurationError,
+    LaneTimeoutError,
+    PartyCrashError,
+    ProtocolError,
+)
+from repro.network.faults import FaultPlan
 from repro.network.simulator import Network
 from repro.parties.holder import DataHolder
 from repro.parties.third_party import ThirdParty
 from repro.types import AttributeType, LinkageMethod
+
+#: Environment hook for CI chaos runs: naming a
+#: :data:`repro.network.faults.PRESETS` entry here makes every session
+#: install that seeded fault plan (seed derived from the master seed, so
+#: runs stay reproducible).  The determinism suites pass unchanged under
+#: any maskable preset -- that is the whole point.
+CHAOS_PRESET_ENV = "REPRO_CHAOS_PRESET"
 
 
 def session_entropy(master_seed: int, label: str) -> ReseedablePRNG:
@@ -61,6 +76,13 @@ class ClusteringSession:
         :class:`repro.apps.sessions.SessionBatch` amortises setup across
         many sessions.  Passing the secrets a standalone session would
         have derived leaves every transcript byte unchanged.
+    fault_plan:
+        Optional seeded :class:`~repro.network.faults.FaultPlan`;
+        installing one arms the network's reliable-delivery shim with the
+        suite's retry knobs.  When ``None``, the ``REPRO_CHAOS_PRESET``
+        environment variable (a preset name) installs a reproducible
+        chaos plan derived from the master seed -- the CI chaos-smoke
+        job's hook.
     """
 
     def __init__(
@@ -69,6 +91,7 @@ class ClusteringSession:
         partitions: Mapping[str, DataMatrix],
         tp_name: str = "TP",
         shared_secrets: Mapping[tuple[str, str], PairwiseSecret] | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if len(partitions) < 2:
             raise ConfigurationError(
@@ -90,12 +113,36 @@ class ClusteringSession:
         self.tp_name = tp_name
         self.schema: Schema = next(iter(schemas))
         self.index = GlobalIndex({s: m.num_rows for s, m in partitions.items()})
-        self.network = Network(latency=config.suite.link_latency)
+        if fault_plan is None:
+            preset = os.environ.get(CHAOS_PRESET_ENV)
+            if preset:
+                fault_plan = FaultPlan.preset(
+                    preset,
+                    seed=f"chaos|{config.master_seed}",
+                    parties=sorted(partitions),
+                )
+        retry = (
+            config.suite.retry_policy()
+            if (config.suite.reliable_delivery or fault_plan is not None)
+            else None
+        )
+        self.network = Network(
+            latency=config.suite.link_latency,
+            fault_plan=fault_plan,
+            retry=retry,
+        )
         self._constructed = False
         self._weights_collected = False
         #: Step names in the order the construction scheduler ran them
         #: (populated by :meth:`execute_protocol`).
         self.construction_trace: list[str] = []
+        #: Degradation report of the last construction
+        #: (:class:`~repro.core.scheduler.DegradedReport`; ``None`` until
+        #: a ``tolerate_faults`` run populates it).
+        self.degraded_report: DegradedReport | None = None
+        #: Sites the session could not exchange weights/results with
+        #: (tolerant runs only).
+        self.unreachable_sites: list[str] = []
 
         self._setup_parties(shared_secrets)
 
@@ -189,18 +236,45 @@ class ClusteringSession:
             for site in sites[1:]:
                 self.holders[site].receive_group_key(leader)
 
-        self.construction_trace = construct_attributes(
+        suite = self.config.suite
+        outcome = construct_attributes(
             self.schema,
             self.holders,
             self.third_party,
-            policy=self.config.suite.construction_schedule,
+            policy=suite.construction_schedule,
             max_workers=self.config.max_workers,
+            tolerate_faults=suite.tolerate_faults,
+            watchdog_timeout=self.config.watchdog_timeout,
         )
+        if isinstance(outcome, ConstructionOutcome):
+            self.construction_trace = list(outcome.trace)
+            self.degraded_report = outcome.report
+        else:
+            self.construction_trace = outcome
 
         for site in sites:
-            self.holders[site].send_weights(self.tp_name, self._holder_weights(site))
-            self.third_party.receive_weights(site)
+            if suite.tolerate_faults:
+                try:
+                    self.holders[site].send_weights(
+                        self.tp_name, self._holder_weights(site)
+                    )
+                    self.third_party.receive_weights(site)
+                except (PartyCrashError, LaneTimeoutError):
+                    self.unreachable_sites.append(site)
+            else:
+                self.holders[site].send_weights(
+                    self.tp_name, self._holder_weights(site)
+                )
+                self.third_party.receive_weights(site)
         self._constructed = True
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the last tolerant construction lost anything."""
+        return bool(
+            (self.degraded_report is not None and self.degraded_report.degraded)
+            or self.unreachable_sites
+        )
 
     def run(self) -> ClusteringResult:
         """Execute everything and publish one result to all holders.
@@ -208,10 +282,45 @@ class ClusteringSession:
         The merged matrix uses the average of the holders' submitted
         weight vectors (identical vectors -- the default -- therefore
         behave as any single one).
+
+        Under ``suite.tolerate_faults`` a degraded construction does not
+        abort the session: the third party clusters the merged matrix of
+        the attributes that *completed* (bit-identical to a session
+        configured with only those attributes), publishes to every
+        reachable holder, and :attr:`degraded_report` /
+        :attr:`unreachable_sites` say exactly what was lost.  Lanes that
+        cancelled steps will never read are drained rather than asserted
+        empty.
         """
         self.execute_protocol()
         linkage = self.config.linkage
         assert isinstance(linkage, LinkageMethod)
+        if self.degraded:
+            report = self.degraded_report
+            assert report is not None
+            down = set(self.unreachable_sites)
+            plan = self.network.fault_plan
+            if plan is not None:
+                down.update(plan.crashed_parties())
+            reachable = [s for s in self.index.sites if s not in down]
+            result = self.third_party.cluster_and_publish(
+                reachable,
+                self.config.num_clusters,
+                linkage,
+                attributes=list(report.completed_attributes),
+            )
+            for site in reachable:
+                try:
+                    holder_copy = self.holders[site].receive_result(self.tp_name)
+                except (PartyCrashError, LaneTimeoutError):
+                    self.unreachable_sites.append(site)
+                    continue
+                if holder_copy.to_payload() != result.to_payload():
+                    raise ProtocolError(f"result received by {site!r} diverged")
+            # Cancelled steps leave their lanes unread by design; see
+            # DESIGN.md "Fault model & recovery".
+            self.network.drain()
+            return result
         result = self.third_party.cluster_and_publish(
             list(self.index.sites), self.config.num_clusters, linkage
         )
@@ -254,9 +363,16 @@ class ClusteringSession:
         """The third party's merged matrix (experiment/test access only).
 
         Section 5 keeps this secret in deployments; experiments read it
-        to verify exactness against the centralized baseline.
+        to verify exactness against the centralized baseline.  A
+        degraded session merges only the attributes that completed --
+        the same matrix its published result clustered.
         """
         self.execute_protocol()
+        report = self.degraded_report
+        if report is not None and report.degraded:
+            return self.third_party.merged_matrix(
+                attributes=list(report.completed_attributes)
+            )
         return self.third_party.merged_matrix()
 
     def total_bytes(self) -> int:

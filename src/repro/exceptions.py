@@ -42,6 +42,54 @@ class IntegrityError(ChannelError):
     """Message authentication failed on a secure channel."""
 
 
+class PartyCrashError(ChannelError):
+    """A party is down (scripted crash) and cannot send or receive.
+
+    Raised by the network when a *permanently* crashed party attempts
+    I/O.  Transient crashes never raise: they only lose frames in
+    flight, which the reliable-delivery shim recovers by retransmit.
+    """
+
+    def __init__(self, party: str, message: str | None = None) -> None:
+        self.party = party
+        super().__init__(message or f"party {party!r} has crashed")
+
+
+class LaneTimeoutError(ChannelError, TimeoutError):
+    """Reliable delivery gave up on one lane.
+
+    Structured so recovery code (and a human reading a chaos-test log)
+    can see exactly which directed lane starved and how hard the shim
+    tried: ``sender``/``recipient``/``kind``/``tag`` name the lane,
+    ``attempts`` counts delivery attempts including retransmits.
+    """
+
+    def __init__(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        tag: str,
+        attempts: int,
+        reason: str = "no deliverable frame",
+    ) -> None:
+        self.sender = sender
+        self.recipient = recipient
+        self.kind = kind
+        self.tag = tag
+        self.attempts = attempts
+        lane = f"{kind!r} {sender}->{recipient}" + (f" [{tag}]" if tag else "")
+        super().__init__(
+            f"reliable delivery timed out on lane {lane} "
+            f"after {attempts} attempt(s): {reason}"
+        )
+
+
+class SchedulerStallError(ProtocolError):
+    """The parallel scheduler's watchdog fired: no step completed within
+    the configured timeout.  The message names every pending step."""
+
+
 class CryptoError(ReproError):
     """Cryptographic failure (bad key sizes, decryption failure...)."""
 

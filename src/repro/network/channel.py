@@ -16,6 +16,7 @@ DHJ listening on DHK->TP narrows ``y``.  We model both channel flavours:
 from __future__ import annotations
 
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -171,6 +172,35 @@ class Channel:
         if name not in self.endpoints:
             raise ChannelError(f"{name!r} is not an endpoint of {set(self.endpoints)}")
 
+    def entropy_draws(self) -> int | None:
+        """Words drawn from the nonce entropy so far (``None`` if insecure).
+
+        Checkpointing records this per channel: a restored session
+        fast-forwards the freshly derived entropy to the same position,
+        so post-restore nonces continue exactly where the snapshotted
+        session's would have.
+        """
+        if self._entropy is None:
+            return None
+        return self._entropy.draws
+
+    def advance_entropy(self, target: int) -> None:
+        """Fast-forward the nonce entropy to ``target`` drawn words.
+
+        Valid because the DRBG's state depends only on the total number
+        of words drawn, never on the call pattern that drew them.
+        """
+        if self._entropy is None:
+            raise ChannelError("insecure channel has no entropy to advance")
+        behind = target - self._entropy.draws
+        if behind < 0:
+            raise ChannelError(
+                f"cannot rewind channel entropy from {self._entropy.draws} "
+                f"to {target} draws"
+            )
+        if behind:
+            self._entropy.next_words(behind)
+
     def transmit(self, sender: str, recipient: str, kind: str, tag: str, payload: Any) -> Message:
         """Serialize, optionally seal, account, tap, and deliver."""
         self._require_endpoint(sender)
@@ -209,4 +239,5 @@ class Channel:
             payload=deserialize(plain),
             wire_bytes=len(wire),
             sealed=self.secure,
+            crc=zlib.crc32(plain),
         )

@@ -207,7 +207,11 @@ class _Reader:
 
     def take(self, count: int) -> bytes:
         if self._pos + count > len(self._data):
-            raise ChannelError("truncated message")
+            raise ChannelError(
+                f"truncated message: needed {count} byte(s) at offset "
+                f"{self._pos} but only {len(self._data) - self._pos} of "
+                f"{len(self._data)} remain"
+            )
         chunk = self._data[self._pos : self._pos + count]
         self._pos += count
         return chunk
@@ -267,7 +271,11 @@ def _decode_int_run(reader: _Reader, count: int) -> list[Any]:
             width = int.from_bytes(data[pos + 2 : pos + 6], "big")
         body_end = pos + 6 + width
         if body_end > end:
-            raise ChannelError("truncated message")
+            raise ChannelError(
+                f"truncated message: integer record at offset {pos} declares "
+                f"a {width}-byte body ending at {body_end} but the buffer "
+                f"holds only {end} byte(s)"
+            )
         stride = 6 + width
         possible = min(count - len(items), (end - pos) // stride, _VECTOR_CHUNK_MAX)
         if width <= 8 and possible >= _VECTOR_RUN_MIN:
@@ -316,7 +324,11 @@ def _decode_int_run_scalar(reader: _Reader, count: int) -> list[Any]:
         body_len = int.from_bytes(data[pos + 2 : pos + 6], "big")
         body_end = pos + 6 + body_len
         if body_end > end:
-            raise ChannelError("truncated message")
+            raise ChannelError(
+                f"truncated message: integer record at offset {pos} declares "
+                f"a {body_len}-byte body ending at {body_end} but the buffer "
+                f"holds only {end} byte(s)"
+            )
         value = int.from_bytes(data[pos + 6 : body_end], "big")
         items.append(-value if data[pos + 1] == 1 else value)
         pos = body_end

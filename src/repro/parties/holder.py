@@ -553,6 +553,34 @@ class DataHolder(Party):
         message = self.receive(kind="group_key", sender=leader)
         self._group_key = message.payload
 
+    def group_key_bytes(self) -> bytes | None:
+        """The categorical group key, for session checkpoints only.
+
+        Checkpoints stay inside the holder trust domain (the TP never
+        sees them), so exporting the key here does not widen Section 3's
+        threat model.
+        """
+        return self._group_key
+
+    def install_group_key(self, value: bytes) -> None:
+        """Restore a checkpointed group key without re-running distribution."""
+        self._group_key = value
+
+    def entropy_draws(self) -> int:
+        """Words drawn from this holder's private entropy (checkpointing)."""
+        return self._entropy.draws
+
+    def advance_entropy(self, target: int) -> None:
+        """Fast-forward this holder's entropy to a checkpointed position."""
+        behind = target - self._entropy.draws
+        if behind < 0:
+            raise ProtocolError(
+                f"cannot rewind {self.name!r} entropy from "
+                f"{self._entropy.draws} to {target} draws"
+            )
+        if behind:
+            self._entropy.next_words(behind)
+
     def send_categorical(self, spec: AttributeSpec, tp_name: str) -> None:
         """Encrypt this site's column deterministically and ship it.
 

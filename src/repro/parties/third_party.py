@@ -223,6 +223,15 @@ class ThirdParty(Party):
         self.index = new_index
         self._delta_plan = plan
 
+    def end_delta(self) -> None:
+        """Close the current ingest epoch (no-op when none is open).
+
+        The service calls this once the epoch's construction has
+        finished; between epochs the third party is quiescent, which is
+        what :meth:`snapshot_state` requires.
+        """
+        self._delta_plan = None
+
     def _current_plan(self, epoch: int):
         plan = self._delta_plan
         if plan is None or plan.epoch != epoch:
@@ -490,13 +499,91 @@ class ThirdParty(Party):
         with self._storage_lock:
             self._weights[holder] = weights
 
-    def merged_matrix(self, weights: list[float] | None = None) -> DissimilarityMatrix:
-        """Weighted merge of all normalised attribute matrices.
+    def snapshot_state(self) -> dict:
+        """Serializable construction state for session checkpoints.
+
+        Captures the *raw* condensed matrices (normalisation is a pure
+        function of them and is recomputed on restore), the retained
+        ciphertext columns (delta/retirement bookkeeping needs them) and
+        the holders' weight vectors.  Must be taken between epochs --
+        never while a delta is open.
+        """
+        if self._delta_plan is not None:
+            raise ProtocolError("cannot snapshot while a delta epoch is open")
+        with self._storage_lock:
+            return {
+                "raw": {
+                    attr: [float(v) for v in matrix.condensed]
+                    for attr, matrix in self._raw.items()
+                },
+                "pending_categorical": {
+                    attr: {site: list(column) for site, column in columns.items()}
+                    for attr, columns in self._pending_categorical.items()
+                },
+                "weights": {
+                    site: [float(w) for w in vector]
+                    for site, vector in self._weights.items()
+                },
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a checkpointed construction state (see :meth:`snapshot_state`)."""
+        total = self.index.total_objects
+        raw = {
+            attr: DissimilarityMatrix(
+                total, np.asarray(condensed, dtype=np.float64)
+            )
+            for attr, condensed in state["raw"].items()
+        }
+        with self._storage_lock:
+            self._raw = raw
+            self._pending_categorical = {
+                attr: {site: list(column) for site, column in columns.items()}
+                for attr, columns in state["pending_categorical"].items()
+            }
+            self._weights = {
+                site: [float(w) for w in vector]
+                for site, vector in state["weights"].items()
+            }
+        for attr in raw:
+            self.finalize_attribute(attr)
+
+    def finalized_attributes(self) -> list[str]:
+        """Names of attributes whose matrices are finalised, schema order.
+
+        A degraded session merges exactly these -- the attributes whose
+        construction completed before a fault took their peers down.
+        """
+        with self._storage_lock:
+            return [a.name for a in self.schema if a.name in self._normalized]
+
+    def merged_matrix(
+        self,
+        weights: list[float] | None = None,
+        attributes: list[str] | None = None,
+    ) -> DissimilarityMatrix:
+        """Weighted merge of the normalised attribute matrices.
 
         ``weights=None`` averages the holders' submitted vectors (all
-        equal vectors therefore behave as any one of them).
+        equal vectors therefore behave as any one of them); explicit
+        ``weights`` always span the *full* schema.  ``attributes``
+        restricts the merge to a subset (a degraded session passes the
+        completed attributes); weights for excluded attributes are simply
+        not used, so a partial merge over attributes ``S`` is exactly the
+        matrix a fault-free session configured with only ``S`` would
+        publish.
         """
-        missing = [a.name for a in self.schema if a.name not in self._normalized]
+        if attributes is None:
+            names = [a.name for a in self.schema]
+        else:
+            wanted = set(attributes)
+            unknown = wanted - {a.name for a in self.schema}
+            if unknown:
+                raise ProtocolError(f"unknown attributes {sorted(unknown)}")
+            names = [a.name for a in self.schema if a.name in wanted]
+        if not names:
+            raise ProtocolError("no attributes selected to merge")
+        missing = [n for n in names if n not in self._normalized]
         if missing:
             raise ProtocolError(f"attributes not finalised: {missing}")
         if weights is None:
@@ -505,8 +592,9 @@ class ThirdParty(Party):
                 weights = list(stacked.mean(axis=0))
             else:
                 weights = [1.0] * len(self.schema)
-        matrices = [self._normalized[a.name] for a in self.schema]
-        return merge_weighted(matrices, weights)
+        positions = {a.name: i for i, a in enumerate(self.schema)}
+        matrices = [self._normalized[n] for n in names]
+        return merge_weighted(matrices, [weights[positions[n]] for n in names])
 
     # -- clustering and publication (Section 5) ----------------------------------------------
 
@@ -516,9 +604,14 @@ class ThirdParty(Party):
         num_clusters: int,
         linkage: LinkageMethod,
         weights: list[float] | None = None,
+        attributes: list[str] | None = None,
     ) -> ClusteringResult:
-        """Cluster the merged matrix, publish membership lists to holders."""
-        final = self.merged_matrix(weights)
+        """Cluster the merged matrix, publish membership lists to holders.
+
+        ``attributes`` restricts the merge (degraded sessions cluster
+        over the attributes that survived; see :meth:`merged_matrix`).
+        """
+        final = self.merged_matrix(weights, attributes=attributes)
         dendrogram = agglomerative(final, linkage)
         flat = dendrogram.cut_at_k(min(num_clusters, final.num_objects))
         quality = average_square_distance(final, flat)

@@ -1,0 +1,24 @@
+"""RL103 fixture: the retry module's clock-waiver pattern.
+
+Mirrors ``src/repro/network/retry.py``: wall-clock reads that pace or
+bound a retry loop carry justified waivers (suppressed, not active),
+while a clock read that leaks into protocol-visible state stays an
+active finding no matter what the surrounding code looks like.
+"""
+
+import time
+
+
+def paced_backoff(delay: float) -> None:
+    if delay > 0:
+        time.sleep(delay)  # reprolint: disable=RL103 -- fixture: paces retransmits in wall-clock time only, like RetryPolicy.backoff
+
+
+def deadline_anchor() -> float:
+    return time.monotonic()  # reprolint: disable=RL103 -- fixture: bounds a retry loop's wall-clock budget, like RetryPolicy.start_clock
+
+
+def leaked_into_protocol_state() -> float:
+    # No waiver: a clock read feeding protocol-visible state must stay
+    # an active finding even in a module full of justified waivers.
+    return time.monotonic()

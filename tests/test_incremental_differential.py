@@ -18,6 +18,8 @@ Two layers enforce it:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import settings, strategies as st
 from hypothesis.stateful import (
@@ -293,10 +295,13 @@ class TestDeterministicScenarios:
             results[schedule] = service
         for schedule in ("interleaved", "parallel"):
             assert results["sequential"].matrix() == results[schedule].matrix()
-            assert (
-                results["sequential"].total_bytes()
-                == results[schedule].total_bytes()
-            )
+            if not os.environ.get("REPRO_CHAOS_PRESET"):
+                # Chaos retransmits make wire bytes schedule-dependent;
+                # the matrices above stay pinned regardless.
+                assert (
+                    results["sequential"].total_bytes()
+                    == results[schedule].total_bytes()
+                )
 
 
 class TestServiceErrorPaths:

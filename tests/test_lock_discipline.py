@@ -205,8 +205,9 @@ class TestParallelRunState:
         log: list[str] = []
         lock = threading.Lock()
         steps = self._steps(12, log, lock)
-        trace = _ParallelRun(steps, max_workers=6).run()
+        trace, failed, cancelled = _ParallelRun(steps, max_workers=6).run()
         assert sorted(trace) == sorted(s.name for s in steps)
+        assert not failed and cancelled == ()
         assert trace[0] == "root" and trace[-1] == "sink"
         assert sorted(log) == sorted(trace)
 

@@ -101,6 +101,24 @@ class TestSerialization:
             with pytest.raises(ChannelError, match="truncated message"):
                 deserialize(data[:cut])
 
+    def test_truncation_error_reports_offset_and_deficit(self):
+        """Truncation diagnostics name the offset, need, and remainder."""
+        data = serialize([1, 2, 3])
+        with pytest.raises(ChannelError, match="truncated message") as exc:
+            deserialize(data[:-2])
+        detail = str(exc.value)
+        assert "offset" in detail
+        assert f"of {len(data) - 2} remain" in detail
+
+    def test_truncated_int_run_error_names_record(self):
+        """A cut I-run body reports the record's offset and declared size."""
+        data = serialize([2**40, 2**41])
+        with pytest.raises(ChannelError, match="truncated message") as exc:
+            deserialize(data[:-1])
+        detail = str(exc.value)
+        assert "integer record at offset" in detail
+        assert f"holds only {len(data) - 1} byte(s)" in detail
+
     def test_malformed_length_field_in_run(self):
         """A record whose length field points past the buffer raises."""
         good = bytearray(serialize([7] * 50))

@@ -83,7 +83,7 @@ def _fingerprint(session: ClusteringSession, result) -> dict:
     merged = session.final_matrix()
     dendrogram = agglomerative(merged, LinkageMethod.AVERAGE)
     pam = k_medoids(merged, 2)
-    return {
+    fingerprint = {
         "result": result.to_payload(),
         "merged": merged.condensed.tobytes(),
         "attributes": {
@@ -93,9 +93,15 @@ def _fingerprint(session: ClusteringSession, result) -> dict:
         },
         "dendrogram": dendrogram.merges,
         "medoids": (pam.medoids, pam.labels),
-        "total_bytes": session.total_bytes(),
-        "bytes_by_tag": session.network.bytes_by_tag(),
     }
+    if not os.environ.get("REPRO_CHAOS_PRESET"):
+        # Chaos runs retransmit, and how many frames each schedule has
+        # in flight when a fault hits differs per policy -- wire-byte
+        # totals are legitimately schedule-dependent there.  Results
+        # above stay pinned bit-identical regardless.
+        fingerprint["total_bytes"] = session.total_bytes()
+        fingerprint["bytes_by_tag"] = session.network.bytes_by_tag()
+    return fingerprint
 
 
 class TestPolicySweep:
@@ -439,4 +445,5 @@ class TestParallelService:
         reference = services[("sequential", 1)]
         for key, service in services.items():
             assert service.matrix() == reference.matrix(), key
-            assert service.total_bytes() == reference.total_bytes(), key
+            if not os.environ.get("REPRO_CHAOS_PRESET"):
+                assert service.total_bytes() == reference.total_bytes(), key

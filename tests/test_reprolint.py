@@ -142,6 +142,18 @@ def test_unjustified_stale_and_unknown_suppressions(fixture_result):
     assert rules_at(fixture_result, rel) == ["RL001", "RL001", "RL002", "RL103"]
 
 
+def test_retry_clock_waiver_pattern(fixture_result):
+    """The retry module's justified clock waivers lint clean while an
+    unwaived clock read in the same module stays an active finding."""
+    rel = "src/repro/network/retry_cases.py"
+    assert rules_at(fixture_result, rel) == ["RL103"]
+    suppressed = [
+        f for f in fixture_result.findings if f.path == rel and f.suppressed
+    ]
+    assert [f.rule for f in suppressed] == ["RL103", "RL103"]
+    assert all("fixture" in f.justification for f in suppressed)
+
+
 def test_file_wide_suppression_covers_every_finding(fixture_result):
     rel = "src/repro/core/filewide_cases.py"
     assert rules_at(fixture_result, rel) == []

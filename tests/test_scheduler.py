@@ -10,15 +10,29 @@ the :class:`repro.apps.sessions.SessionBatch` setup amortisation.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.apps.sessions import SessionBatch
 from repro.core.config import ProtocolSuiteConfig, SessionConfig
-from repro.core.scheduler import SCHEDULE_POLICIES, ConstructionScheduler, Step
+from repro.core.scheduler import (
+    SCHEDULE_POLICIES,
+    ConstructionOutcome,
+    ConstructionScheduler,
+    Step,
+    _ParallelRun,
+)
 from repro.core.session import ClusteringSession
 from repro.data.alphabet import DNA_ALPHABET
 from repro.data.matrix import AttributeSpec, DataMatrix
-from repro.exceptions import ConfigurationError, ProtocolError
+from repro.exceptions import (
+    ConfigurationError,
+    LaneTimeoutError,
+    PartyCrashError,
+    ProtocolError,
+    SchedulerStallError,
+)
 from repro.network.channel import Eavesdropper
 from repro.types import AttributeType
 
@@ -287,3 +301,144 @@ class TestSessionBatch:
                 partitions,
                 shared_secrets={("A", "B"): batch._secrets[("A", "B")]},
             )
+
+
+def _synthetic(name, run=None, deps=(), order=(0,)):
+    return Step(name=name, run=run or (lambda: None), deps=deps, order=order)
+
+
+class TestFailurePropagation:
+    """A failed step dooms exactly its dependents -- nothing else."""
+
+    def _crash(self):
+        raise PartyCrashError("B")
+
+    def test_serial_tolerant_cancels_dependents(self):
+        session, _ = _tapped_session("sequential")
+        scheduler = ConstructionScheduler(
+            session.holders, session.third_party, tolerate_faults=True
+        )
+        scheduler._steps.extend(
+            [
+                _synthetic("lost:fail", run=self._crash, order=(0,)),
+                _synthetic("lost:child", deps=("lost:fail",), order=(1,)),
+                _synthetic("lost:grandchild", deps=("lost:child",), order=(2,)),
+                _synthetic("kept:ok", order=(3,)),
+            ]
+        )
+        scheduler._names.update(s.name for s in scheduler._steps)
+        outcome = scheduler.run()
+        assert isinstance(outcome, ConstructionOutcome)
+        assert outcome.degraded
+        assert list(outcome.trace) == ["kept:ok"]
+        assert dict(outcome.report.failed_steps) == {
+            "lost:fail": "PartyCrashError: party 'B' has crashed"
+        }
+        assert set(outcome.report.cancelled_steps) == {
+            "lost:child", "lost:grandchild"
+        }
+        assert outcome.report.failed_attributes == ("lost",)
+        assert outcome.report.completed_attributes == ("kept",)
+        assert "lost" in outcome.report.summary()
+
+    def test_serial_non_fault_error_still_aborts(self):
+        session, _ = _tapped_session("sequential")
+        scheduler = ConstructionScheduler(
+            session.holders, session.third_party, tolerate_faults=True
+        )
+
+        def boom():
+            raise ValueError("wrong matrix shape")
+
+        scheduler._steps.append(_synthetic("a:bad", run=boom))
+        with pytest.raises(ValueError, match="wrong matrix shape"):
+            scheduler.run()
+
+    def test_parallel_tolerant_accounts_for_every_step(self):
+        """trace + failed + cancelled partition the graph exactly."""
+        steps = [
+            _synthetic("lost:fail", run=self._crash, order=(0,)),
+            _synthetic("lost:child", deps=("lost:fail",), order=(1,)),
+            _synthetic("kept:a", order=(2,)),
+            _synthetic("kept:b", deps=("kept:a",), order=(3,)),
+        ]
+        run = _ParallelRun(steps, max_workers=2, tolerate_faults=True)
+        trace, failed, cancelled = run.run()
+        assert sorted(trace) == ["kept:a", "kept:b"]
+        assert set(failed) == {"lost:fail"}
+        assert "PartyCrashError" in failed["lost:fail"]
+        assert cancelled == ("lost:child",)
+        assert len(trace) + len(failed) + len(cancelled) == len(steps)
+
+    def test_parallel_intolerant_preserves_original_exception(self):
+        marker = LaneTimeoutError("A", "B", "blob", "t", attempts=3, reason="gone")
+        def boom():
+            raise marker
+        run = _ParallelRun([_synthetic("a:bad", run=boom)], max_workers=2)
+        with pytest.raises(LaneTimeoutError) as exc:
+            run.run()
+        assert exc.value is marker
+        assert exc.value.attempts == 3
+
+    def test_parallel_tolerant_run_via_session_stays_clean(self):
+        """tolerate_faults on a fault-free parallel run degrades nothing
+        and returns the same result as the plain run."""
+        suite = ProtocolSuiteConfig(
+            construction_schedule="parallel", tolerate_faults=True
+        )
+        partitions = _partitions()
+        session = ClusteringSession(
+            SessionConfig(num_clusters=2, master_seed=3, suite=suite), partitions
+        )
+        result = session.run()
+        assert not session.degraded
+        assert session.degraded_report is not None
+        assert not session.degraded_report.degraded
+        baseline, _ = _tapped_session("sequential")
+        assert result.to_payload() == baseline.run().to_payload()
+
+
+class TestWatchdog:
+    def test_watchdog_validation(self):
+        session, _ = _tapped_session("sequential")
+        with pytest.raises(ConfigurationError):
+            ConstructionScheduler(
+                session.holders, session.third_party, watchdog_timeout=0
+            )
+        with pytest.raises(ConfigurationError):
+            SessionConfig(num_clusters=2, watchdog_timeout=-1.0)
+
+    def test_watchdog_off_by_default(self):
+        assert SessionConfig(num_clusters=2).watchdog_timeout is None
+
+    def test_watchdog_reports_stall_with_pending_steps(self):
+        """A wedged worker turns into a stall report, not a silent hang."""
+        release = threading.Event()
+        steps = [
+            _synthetic("a:wedged", run=release.wait, order=(0,)),
+            _synthetic("a:after", deps=("a:wedged",), order=(1,)),
+        ]
+        run = _ParallelRun([*steps], max_workers=2, watchdog_timeout=0.05)
+        try:
+            with pytest.raises(SchedulerStallError) as exc:
+                run.run()
+        finally:
+            release.set()
+        detail = str(exc.value)
+        assert "a:after" in detail and "a:wedged" in detail
+        assert "no progress" in detail
+
+    def test_watchdog_does_not_fire_while_progressing(self):
+        """Steps finishing within the window keep the watchdog quiet even
+        when the whole run takes much longer than the timeout."""
+        suite = ProtocolSuiteConfig(construction_schedule="parallel")
+        partitions = _partitions()
+        session = ClusteringSession(
+            SessionConfig(
+                num_clusters=2, master_seed=3, suite=suite, watchdog_timeout=30.0
+            ),
+            partitions,
+        )
+        result = session.run()
+        baseline, _ = _tapped_session("sequential")
+        assert result.to_payload() == baseline.run().to_payload()

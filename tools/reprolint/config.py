@@ -42,6 +42,9 @@ class Config:
             "src/repro/crypto/prng.py",
             "src/repro/crypto/keys.py",
             "src/repro/core/session.py",
+            # Fault-injection schedules draw from their own labeled lane
+            # streams, deliberately disjoint from protocol entropy.
+            "src/repro/network/faults.py",
         ]
     )
 
