@@ -25,6 +25,7 @@ REQUIRED_BENCH_FILES = (
     "BENCH_faults.json",
     "BENCH_incremental.json",
     "BENCH_parallel.json",
+    "BENCH_sockets.json",
     "BENCH_transport.json",
 )
 

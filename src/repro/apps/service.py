@@ -33,7 +33,7 @@ from repro.crypto.keys import PairwiseSecret
 from repro.data.matrix import DataMatrix, Schema
 from repro.data.partition import GlobalIndex
 from repro.distance.dissimilarity import DissimilarityMatrix
-from repro.exceptions import ConfigurationError, ProtocolError
+from repro.exceptions import ConfigurationError, ProtocolError, SnapshotError
 from repro.network.serialization import deserialize, serialize
 from repro.types import LinkageMethod
 
@@ -173,19 +173,60 @@ class ClusteringService:
         secrets and channel keys -- then matrices, group key and PRNG
         positions are installed from the blob and the construction phase
         is marked complete without re-running any protocol round.
+
+        Raises :class:`~repro.exceptions.SnapshotError` when the blob is
+        truncated or corrupted, carries an unsupported format version, is
+        missing state sections, or disagrees with the supplied ``schema``
+        -- so supervisors can tell "bad checkpoint file" apart from
+        protocol failures.
         """
-        state = deserialize(blob)
-        if not isinstance(state, dict) or state.get("format") != SNAPSHOT_FORMAT:
-            raise ConfigurationError(
-                f"unsupported snapshot blob (format {state.get('format') if isinstance(state, dict) else None!r})"
+        try:
+            state = deserialize(blob)
+        except Exception as exc:
+            raise SnapshotError(
+                f"snapshot blob is truncated or corrupted: {exc}"
+            ) from exc
+        if not isinstance(state, dict):
+            raise SnapshotError(
+                f"snapshot blob must decode to a dict, got {type(state).__name__}"
             )
-        partitions = {
-            site: DataMatrix(schema, [tuple(row) for row in rows])
-            for site, rows in state["holder_rows"].items()
-        }
+        if state.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unsupported snapshot format {state.get('format')!r} "
+                f"(this build reads format {SNAPSHOT_FORMAT})"
+            )
+        required = (
+            "epoch",
+            "sites",
+            "holder_rows",
+            "third_party",
+            "group_keys",
+            "channel_entropy",
+            "holder_entropy",
+        )
+        missing = [key for key in required if key not in state]
+        if missing:
+            raise SnapshotError(
+                f"snapshot blob is missing state sections: {missing}"
+            )
+        if set(state["holder_rows"]) != set(state["sites"]):
+            raise SnapshotError(
+                "snapshot sites and holder rows disagree on the consortium "
+                f"({sorted(state['sites'])} vs {sorted(state['holder_rows'])})"
+            )
+        try:
+            partitions = {
+                site: DataMatrix(schema, [tuple(row) for row in rows])
+                for site, rows in state["holder_rows"].items()
+            }
+        except Exception as exc:
+            raise SnapshotError(
+                "snapshot rows do not fit the supplied schema "
+                f"(was it taken under a different session config?): {exc}"
+            ) from exc
         for site, size in state["sites"].items():
             if partitions[site].num_rows != size:
-                raise ConfigurationError(
+                raise SnapshotError(
                     f"snapshot rows for {site!r} disagree with its recorded size"
                 )
         service = cls.__new__(cls)

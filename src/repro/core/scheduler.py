@@ -106,6 +106,12 @@ class Step:
     deps: tuple[str, ...] = ()
     receives: tuple[str, str, str] | None = None
     order: tuple = ()
+    #: The party whose process executes this step.  The in-process
+    #: scheduler ignores it (every step runs locally); the socket
+    #: runner (:mod:`repro.parties.runner`) slices the graph by owner
+    #: so each party process executes exactly its own steps, in
+    #: registration order.
+    owner: str = ""
 
     @property
     def group(self) -> str:
@@ -237,6 +243,7 @@ class ConstructionScheduler:
         lane: int,
         deps: tuple[str, ...] = (),
         receives: tuple[str, str, str] | None = None,
+        owner: str = "",
     ) -> str:
         """Register a step; ``lane`` spreads one wave across pairs/sites."""
         if name in self._names:
@@ -251,9 +258,28 @@ class ConstructionScheduler:
         self._seq += 1
         self._names.add(name)
         self._steps.append(
-            Step(name=name, run=run, deps=deps, receives=receives, order=order)
+            Step(
+                name=name,
+                run=run,
+                deps=deps,
+                receives=receives,
+                order=order,
+                owner=owner,
+            )
         )
         return name
+
+    def party_plan(self, owner: str) -> list[Step]:
+        """One party's slice of the graph, in registration order.
+
+        Registration order is the sequential policy's global order, so
+        each party executing its own slice serially -- with blocking
+        receives standing in for queue-head gating -- realizes exactly
+        the schedule the sequential in-process run would: every lane's
+        frames are produced and consumed in the same order, which is
+        what makes multi-process transcripts byte-identical.
+        """
+        return [step for step in self._steps if step.owner == owner]
 
     def add_attribute(self, spec: AttributeSpec) -> None:
         """Append the Figure 11 steps for one attribute to the graph."""
@@ -270,6 +296,7 @@ class ConstructionScheduler:
                     lambda site=site: self._holders[site].send_categorical(spec, tp.name),
                     wave=_SEND_LOCAL,
                     lane=lane,
+                    owner=site,
                 )
                 finalize_deps.append(
                     self._add(
@@ -281,6 +308,7 @@ class ConstructionScheduler:
                         lane=lane,
                         deps=(sent,),
                         receives=(tp.name, "encrypted_column", site),
+                        owner=tp.name,
                     )
                 )
             self._add(
@@ -289,6 +317,7 @@ class ConstructionScheduler:
                 wave=_FINALIZE,
                 lane=0,
                 deps=tuple(finalize_deps),
+                owner=tp.name,
             )
             self._attr_index += 1
             return
@@ -300,6 +329,7 @@ class ConstructionScheduler:
                 lambda site=site: self._holders[site].send_local_matrix(tp.name, spec),
                 wave=_SEND_LOCAL,
                 lane=lane,
+                owner=site,
             )
             finalize_deps.append(
                 self._add(
@@ -309,6 +339,7 @@ class ConstructionScheduler:
                     lane=lane,
                     deps=(sent,),
                     receives=(tp.name, "local_matrix", site),
+                    owner=tp.name,
                 )
             )
 
@@ -330,6 +361,7 @@ class ConstructionScheduler:
                         ),
                         wave=_INITIATE,
                         lane=pair_lane,
+                        owner=initiator,
                     )
                     responded = self._add(
                         f"{attr}:respond[{pair}]",
@@ -340,6 +372,7 @@ class ConstructionScheduler:
                         lane=pair_lane,
                         deps=(initiated,),
                         receives=(responder, masked_kind, initiator),
+                        owner=responder,
                     )
                     absorb = lambda r=responder, t=tag: tp.receive_numeric_block(
                         r, tag=t
@@ -352,6 +385,7 @@ class ConstructionScheduler:
                         ),
                         wave=_INITIATE,
                         lane=pair_lane,
+                        owner=initiator,
                     )
                     responded = self._add(
                         f"{attr}:respond[{pair}]",
@@ -362,6 +396,7 @@ class ConstructionScheduler:
                         lane=pair_lane,
                         deps=(initiated,),
                         receives=(responder, masked_kind, initiator),
+                        owner=responder,
                     )
                     absorb = lambda r=responder, t=tag: tp.receive_alnum_block(r, tag=t)
                 finalize_deps.append(
@@ -372,6 +407,7 @@ class ConstructionScheduler:
                         lane=pair_lane,
                         deps=(responded,),
                         receives=(tp.name, block_kind, responder),
+                        owner=tp.name,
                     )
                 )
                 pair_lane += 1
@@ -382,6 +418,7 @@ class ConstructionScheduler:
             wave=_FINALIZE,
             lane=0,
             deps=tuple(finalize_deps),
+            owner=tp.name,
         )
         self._attr_index += 1
 
@@ -417,6 +454,7 @@ class ConstructionScheduler:
                     ),
                     wave=_SEND_LOCAL,
                     lane=lane,
+                    owner=site,
                 )
                 finalize_deps.append(
                     self._add(
@@ -428,6 +466,7 @@ class ConstructionScheduler:
                         lane=lane,
                         deps=(sent,),
                         receives=(tp.name, "encrypted_column_delta", site),
+                        owner=tp.name,
                     )
                 )
             self._add(
@@ -436,6 +475,7 @@ class ConstructionScheduler:
                 wave=_FINALIZE,
                 lane=0,
                 deps=tuple(finalize_deps),
+                owner=tp.name,
             )
             self._attr_index += 1
             return
@@ -449,6 +489,7 @@ class ConstructionScheduler:
                 ),
                 wave=_SEND_LOCAL,
                 lane=lane,
+                owner=site,
             )
             finalize_deps.append(
                 self._add(
@@ -458,6 +499,7 @@ class ConstructionScheduler:
                     lane=lane,
                     deps=(sent,),
                     receives=(tp.name, "local_matrix_delta", site),
+                    owner=tp.name,
                 )
             )
 
@@ -518,6 +560,7 @@ class ConstructionScheduler:
                             ),
                             wave=_INITIATE,
                             lane=pair_lane,
+                            owner=initiator,
                         )
                         responded = self._add(
                             f"{attr}:respond[{pair}]{suffix}",
@@ -528,6 +571,7 @@ class ConstructionScheduler:
                             lane=pair_lane,
                             deps=(initiated,),
                             receives=(responder, masked_kind, initiator),
+                            owner=responder,
                         )
                         absorb = lambda r=responder, t=tag: tp.receive_numeric_delta_block(
                             r, tag=t
@@ -540,6 +584,7 @@ class ConstructionScheduler:
                             ].alnum_initiate_delta(spec, r, tp.name, p, epoch, ir),
                             wave=_INITIATE,
                             lane=pair_lane,
+                            owner=initiator,
                         )
                         responded = self._add(
                             f"{attr}:respond[{pair}]{suffix}",
@@ -550,6 +595,7 @@ class ConstructionScheduler:
                             lane=pair_lane,
                             deps=(initiated,),
                             receives=(responder, masked_kind, initiator),
+                            owner=responder,
                         )
                         absorb = lambda r=responder, t=tag: tp.receive_alnum_delta_block(
                             r, tag=t
@@ -562,6 +608,7 @@ class ConstructionScheduler:
                             lane=pair_lane,
                             deps=(responded,),
                             receives=(tp.name, block_kind, responder),
+                            owner=tp.name,
                         )
                     )
                     pair_lane += 1
@@ -572,6 +619,7 @@ class ConstructionScheduler:
             wave=_FINALIZE,
             lane=0,
             deps=tuple(finalize_deps),
+            owner=tp.name,
         )
         self._attr_index += 1
 

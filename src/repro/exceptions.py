@@ -85,6 +85,38 @@ class LaneTimeoutError(ChannelError, TimeoutError):
         )
 
 
+class SessionResetError(ChannelError):
+    """A peer restarted from a checkpoint; the current epoch is void.
+
+    Raised by a socket transport out of blocked sends/receives when a
+    peer's handshake announces a higher incarnation (it was killed and
+    restarted by the supervisor).  The party driver catches this,
+    restores its own checkpoint, and re-enters the protocol in the new
+    era -- see DESIGN.md "Transport" for the reset sequence.
+    """
+
+    def __init__(self, trigger_party: str, incarnation: int, era: int) -> None:
+        self.trigger_party = trigger_party
+        self.incarnation = incarnation
+        self.era = era
+        super().__init__(
+            f"session reset: party {trigger_party!r} restarted "
+            f"(incarnation {incarnation}); protocol must resume from "
+            f"checkpoint in era {era}"
+        )
+
+
+class SnapshotError(ConfigurationError):
+    """A session snapshot blob is unusable for restore.
+
+    Raised when :meth:`repro.apps.service.ClusteringService.restore`
+    receives a truncated or corrupted blob, a blob of the wrong format
+    version, or a blob that was taken under a different session
+    configuration than the one supplied.  Structured so supervisors can
+    distinguish "bad checkpoint file" from protocol failures.
+    """
+
+
 class SchedulerStallError(ProtocolError):
     """The parallel scheduler's watchdog fired: no step completed within
     the configured timeout.  The message names every pending step."""

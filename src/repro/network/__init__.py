@@ -14,21 +14,36 @@ channel-security analysis.
 """
 
 from repro.network.channel import Channel, ChannelStats, Eavesdropper
+from repro.network.handshake import LinkCipher, LinkSecurity
 from repro.network.message import Message
 from repro.network.serialization import (
+    FRAME_HEADER_LEN,
+    decode_frame,
     deserialize,
+    encode_frame,
+    frame_body_length,
     serialize,
     serialized_size,
 )
 from repro.network.simulator import Network
+from repro.network.tcp import SocketTransport
+from repro.network.transport import Transport
 
 __all__ = [
     "Channel",
     "ChannelStats",
     "Eavesdropper",
+    "FRAME_HEADER_LEN",
+    "LinkCipher",
+    "LinkSecurity",
     "Message",
     "Network",
+    "SocketTransport",
+    "Transport",
     "serialize",
     "deserialize",
     "serialized_size",
+    "encode_frame",
+    "decode_frame",
+    "frame_body_length",
 ]

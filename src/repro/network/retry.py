@@ -19,6 +19,7 @@ the module out of the linted network layer.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -57,15 +58,29 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
             )
+        if not math.isfinite(self.backoff_base) or not math.isfinite(self.backoff_cap):
+            # NaN compares false against every bound below, and an
+            # infinite base/cap would turn one retransmit pause into an
+            # unbounded sleep -- both must fail loudly at construction.
+            raise ConfigurationError(
+                "backoff_base and backoff_cap must be finite, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ConfigurationError(
                 "backoff_base and backoff_cap must be >= 0, got "
                 f"{self.backoff_base}/{self.backoff_cap}"
             )
-        if self.deadline is not None and self.deadline <= 0:
-            raise ConfigurationError(
-                f"deadline must be > 0 seconds, got {self.deadline}"
-            )
+        if self.deadline is not None:
+            if not math.isfinite(self.deadline):
+                raise ConfigurationError(
+                    f"deadline must be finite (use None for no deadline), "
+                    f"got {self.deadline}"
+                )
+            if self.deadline <= 0:
+                raise ConfigurationError(
+                    f"deadline must be > 0 seconds, got {self.deadline}"
+                )
 
     def backoff_delay(self, attempt: int) -> float:
         """Capped exponential delay before retry ``attempt`` (1-based)."""

@@ -398,6 +398,65 @@ def deserialize(data: bytes) -> Any:
     return value
 
 
+#: Length-prefix header size of a socket frame (big-endian u32).
+FRAME_HEADER_LEN = 4
+
+#: Upper bound on one frame's body.  A real session's largest payload is
+#: a full comparison matrix (megabytes at most); a header past this cap
+#: means the stream desynchronised or a peer is garbage, and the
+#: connection should be torn down instead of allocating gigabytes.
+MAX_FRAME_BODY = 1 << 30
+
+
+def encode_frame(obj: Any) -> bytes:
+    """One socket frame: 4-byte big-endian length prefix + payload bytes.
+
+    This is the unit the socket transports write to a connection; the
+    payload is the deterministic :func:`serialize` encoding, so framing
+    adds exactly :data:`FRAME_HEADER_LEN` bytes and nothing else.
+    """
+    body = serialize(obj)
+    if len(body) > MAX_FRAME_BODY:
+        raise ChannelError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BODY}-byte cap"
+        )
+    return _pack_length(len(body)) + body
+
+
+def frame_body_length(header: bytes) -> int:
+    """Decode a frame's length prefix into its body byte count.
+
+    Socket readers call this on exactly :data:`FRAME_HEADER_LEN` bytes;
+    a short header (peer died mid-frame) or an implausible length (the
+    stream desynchronised) raises :class:`ChannelError` so the transport
+    treats the connection as broken rather than misparsing.
+    """
+    if len(header) != FRAME_HEADER_LEN:
+        raise ChannelError(
+            f"frame header must be {FRAME_HEADER_LEN} byte(s), "
+            f"got {len(header)}"
+        )
+    length = int(struct.unpack(">I", header)[0])
+    if length > MAX_FRAME_BODY:
+        raise ChannelError(
+            f"frame header declares a {length}-byte body, beyond the "
+            f"{MAX_FRAME_BODY}-byte cap; stream is desynchronised"
+        )
+    return length
+
+
+def decode_frame(data: bytes) -> Any:
+    """Inverse of :func:`encode_frame` for a complete buffered frame."""
+    body_len = frame_body_length(data[:FRAME_HEADER_LEN])
+    body = data[FRAME_HEADER_LEN:]
+    if len(body) != body_len:
+        raise ChannelError(
+            f"frame declares a {body_len}-byte body but carries {len(body)}"
+        )
+    return deserialize(body)
+
+
 def serialized_size(obj: Any) -> int:
     """Wire size of a payload in bytes (what cost accounting charges).
 

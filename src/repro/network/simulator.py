@@ -77,6 +77,7 @@ from repro.network.channel import Channel, Eavesdropper
 from repro.network.faults import FaultPlan
 from repro.network.message import Message
 from repro.network.retry import RetryPolicy
+from repro.network.transport import Transport
 
 #: Lane key: ``(sender, kind, tag)`` of a message, per recipient.
 LaneKey = tuple[str, str, str]
@@ -115,8 +116,16 @@ class _Scan:
     frame: _Frame | None = None
 
 
-class Network:
-    """Registry of parties and channels with lane-structured delivery."""
+class Network(Transport):
+    """Registry of parties and channels with lane-structured delivery.
+
+    This is the in-process implementation of the
+    :class:`~repro.network.transport.Transport` interface: every party
+    of the session shares this one object, so "the network" is a table
+    of queues rather than sockets.  The socket transports
+    (:mod:`repro.network.tcp`) implement the same interface per party
+    process.
+    """
 
     def __init__(
         self,
@@ -163,6 +172,7 @@ class Network:
             "corrupt_detected": 0,
             "delayed_deliveries": 0,
             "crash_losses": 0,
+            "frames_abandoned": 0,
         }
         self._stats_lock = threading.Lock()
         #: Guards party/channel registration (setup is usually serial,
@@ -498,16 +508,29 @@ class Network:
                 self._retransmit(recipient, scan.lane, scan.frame)
 
     def _abandon_frame(self, recipient: str, key: LaneKey, frame: _Frame) -> None:
-        """Discard one unrecoverable frame (timeout path)."""
+        """Discard an unrecoverable frame *and the lane queued behind it*.
+
+        A lane is FIFO: once its head has exhausted the retry budget,
+        every frame queued behind the dead head belongs to the same
+        protocol run the degraded scheduler is about to cancel -- nobody
+        will ever pop them.  Purging the whole lane (counted in
+        ``reliability_stats()["frames_abandoned"]``) keeps
+        :meth:`pending`/:meth:`drain`/:meth:`assert_drained` honest
+        after a *tolerated* timeout: the network reports clean instead
+        of leaking the abandoned entries forever.
+        """
+        abandoned = 0
         with self._locks[recipient]:
             lanes = self._lanes[recipient]
             lane = lanes.get(key)
             if lane and lane[0][1] is frame:
-                lane.popleft()
-                self._expected[recipient][key] = frame.seq + 1
-                self._purge_stale_locked(recipient, key)
-                if not lane and key in lanes:
-                    del lanes[key]
+                abandoned = len(lane)
+                highest = max(queued.seq for _, queued in lane)
+                lane.clear()
+                self._expected[recipient][key] = highest + 1
+                del lanes[key]
+        if abandoned:
+            self._bump("frames_abandoned", abandoned)
 
     def receive(
         self,

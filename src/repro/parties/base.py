@@ -7,18 +7,21 @@ from typing import Any
 from repro.crypto.keys import PairwiseSecret
 from repro.exceptions import ProtocolError
 from repro.network.message import Message
-from repro.network.simulator import Network
+from repro.network.transport import Transport
 
 
 class Party:
-    """A named participant bound to the shared simulated network.
+    """A named participant bound to a session transport.
 
     Subclasses add role behaviour; this base provides messaging plus the
     pairwise-secret store every role needs (Section 4.1: each relevant
-    pair of parties shares a secret number).
+    pair of parties shares a secret number).  The transport may be the
+    in-process simulator or a per-process socket endpoint
+    (:mod:`repro.network.tcp`) -- protocol code cannot tell the
+    difference.
     """
 
-    def __init__(self, name: str, network: Network) -> None:
+    def __init__(self, name: str, network: Transport) -> None:
         if not name:
             raise ProtocolError("party name must be non-empty")
         self.name = name
@@ -26,8 +29,8 @@ class Party:
         self._secrets: dict[str, PairwiseSecret] = {}
 
     @property
-    def network(self) -> Network:
-        """The shared simulated network this party is bound to.
+    def network(self) -> Transport:
+        """The session transport this party is bound to.
 
         The construction scheduler peeks delivery queues through this to
         gate receive steps; parties themselves only send/receive.

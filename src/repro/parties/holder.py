@@ -25,7 +25,7 @@ from repro.distance.edit import pairwise_edit_distance_rows, pairwise_edit_dista
 from repro.distance.local import local_dissimilarity
 from repro.distance.numeric import FixedPointCodec
 from repro.exceptions import ProtocolError
-from repro.network.simulator import Network
+from repro.network.transport import Transport
 from repro.parties.base import Party
 from repro.types import AttributeType
 
@@ -80,7 +80,7 @@ class DataHolder(Party):
         self,
         name: str,
         matrix: DataMatrix,
-        network: Network,
+        network: Transport,
         suite: ProtocolSuiteConfig,
         entropy: ReseedablePRNG,
     ) -> None:

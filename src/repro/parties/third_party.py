@@ -38,7 +38,7 @@ from repro.distance.dissimilarity import DissimilarityMatrix
 from repro.distance.merge import merge_weighted
 from repro.distance.numeric import FixedPointCodec
 from repro.exceptions import ProtocolError
-from repro.network.simulator import Network
+from repro.network.transport import Transport
 from repro.parties.base import Party
 from repro.types import AttributeType, LinkageMethod
 
@@ -49,7 +49,7 @@ class ThirdParty(Party):
     def __init__(
         self,
         name: str,
-        network: Network,
+        network: Transport,
         schema: Schema,
         index: GlobalIndex,
         suite: ProtocolSuiteConfig,

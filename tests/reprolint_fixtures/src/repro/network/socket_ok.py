@@ -1,0 +1,11 @@
+"""RL502 negative: the transport layer may use sockets and event loops."""
+
+import asyncio
+import socket
+
+
+def listen(path: str) -> socket.socket:
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(path)
+    asyncio.new_event_loop().close()
+    return server

@@ -1,0 +1,12 @@
+"""RL502 true positives.  Fixture corpus: linted, never imported."""
+
+import asyncio
+import socket
+from selectors import DefaultSelector
+
+
+def dial(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port))
+    asyncio.get_event_loop()
+    DefaultSelector()
+    return sock

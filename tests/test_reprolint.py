@@ -52,7 +52,7 @@ def test_rule_catalogue_is_pinned():
         "RL201", "RL202", "RL203", "RL204",
         "RL301", "RL302",
         "RL401", "RL402",
-        "RL501",
+        "RL501", "RL502",
     }
 
 
@@ -121,6 +121,17 @@ def test_serialization_boundary(fixture_result):
     ]
     # The codec itself is exempt.
     assert rules_at(fixture_result, "src/repro/network/serialization.py") == []
+
+
+def test_socket_boundary(fixture_result):
+    # One finding per banned import: asyncio, socket, selectors.
+    assert rules_at(fixture_result, "src/repro/parties/socket_bad.py") == [
+        "RL502",
+        "RL502",
+        "RL502",
+    ]
+    # The transport layer itself is exempt.
+    assert rules_at(fixture_result, "src/repro/network/socket_ok.py") == []
 
 
 # -- suppression handling ---------------------------------------------------

@@ -107,6 +107,12 @@ class Config:
         ]
     )
 
+    #: Paths allowed to open sockets or run event loops (the transport
+    #: layer).  Everything else must go through a Transport.
+    socket_allowed: list[str] = field(
+        default_factory=lambda: ["src/repro/network"]
+    )
+
     def __post_init__(self) -> None:
         self.paths = [_norm_prefix(p) for p in self.paths]
         self.exclude = [_norm_prefix(p) for p in self.exclude]
@@ -117,6 +123,7 @@ class Config:
         self.serialization_allowed = [
             _norm_prefix(p) for p in self.serialization_allowed
         ]
+        self.socket_allowed = [_norm_prefix(p) for p in self.socket_allowed]
         self.reference_pairs = {
             _norm_prefix(k): _norm_prefix(v) for k, v in self.reference_pairs.items()
         }
@@ -154,6 +161,7 @@ _KNOWN_KEYS = {
     "reference_pairs",
     "reference_allowlist",
     "serialization_allowed",
+    "socket_allowed",
 }
 
 

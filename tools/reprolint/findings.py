@@ -55,6 +55,7 @@ RULES: dict[str, str] = {
     "RL402": "reference allowlist entry matches nothing in the fast module",
     # -- serialization boundary -------------------------------------------
     "RL501": "raw byte packing (`struct`/`pickle`/`to_bytes`) outside the wire codec",
+    "RL502": "raw socket / event-loop usage (`socket`/`asyncio`/`selectors`) outside the transport layer",
 }
 
 

@@ -1,4 +1,4 @@
-"""RL5xx -- serialization boundary.
+"""RL5xx -- serialization and transport boundaries.
 
 The wire codec (``network/serialization.py``) is the single source of
 wire bytes: the golden-transcript suite pins its output, and the
@@ -7,7 +7,15 @@ stray ``struct.pack`` or ``int.to_bytes`` in a feature module creates a
 second, unpinned byte layout; ``pickle`` additionally executes
 arbitrary code on load, which no honest-but-curious threat model
 survives.  So raw byte packing is an error everywhere except the codec
-itself and the crypto layer (whose primitives *define* byte strings).
+itself and the crypto layer (whose primitives *define* byte strings)
+-- that is RL501.
+
+RL502 draws the same line one layer up: sockets and event loops belong
+to the transport layer (``network/``).  Protocol code that opens its
+own socket bypasses the transcript accounting, the liveness machinery
+and the fault injection that make socket runs comparable to simulator
+runs, so ``socket``/``asyncio``/``selectors`` imports are errors in
+``src/`` outside ``socket_allowed``.
 """
 
 from __future__ import annotations
@@ -21,29 +29,39 @@ from reprolint.rules.base import Module, RuleFamily, finding
 
 _BANNED_MODULES = {"struct", "pickle", "marshal", "shelve"}
 _BYTE_METHODS = {"to_bytes", "from_bytes"}
+_SOCKET_MODULES = {"socket", "asyncio", "selectors"}
 
 
 class SerializationBoundaryRules(RuleFamily):
-    rules = ("RL501",)
+    rules = ("RL501", "RL502")
 
     @classmethod
     def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
-        # The boundary applies to library code; tests may craft malformed
-        # frames, so only src-rooted files are in scope.
+        # The boundaries apply to library code; tests may craft malformed
+        # frames or drive transports directly, so only src-rooted files
+        # are in scope.
         if not module.rel.startswith("src/"):
             return []
-        if config.path_in(module.rel, config.serialization_allowed):
+        check_bytes = not config.path_in(module.rel, config.serialization_allowed)
+        check_sockets = not config.path_in(module.rel, config.socket_allowed)
+        if not (check_bytes or check_sockets):
             return []
         out: list[Finding] = []
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name.split(".")[0] in _BANNED_MODULES:
+                    top = alias.name.split(".")[0]
+                    if check_bytes and top in _BANNED_MODULES:
                         out.append(cls._module_finding(module, node, alias.name))
+                    if check_sockets and top in _SOCKET_MODULES:
+                        out.append(cls._socket_finding(module, node, alias.name))
             elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
-                if node.module.split(".")[0] in _BANNED_MODULES:
+                top = node.module.split(".")[0]
+                if check_bytes and top in _BANNED_MODULES:
                     out.append(cls._module_finding(module, node, node.module))
-            elif isinstance(node, ast.Call):
+                if check_sockets and top in _SOCKET_MODULES:
+                    out.append(cls._socket_finding(module, node, node.module))
+            elif isinstance(node, ast.Call) and check_bytes:
                 func = node.func
                 if isinstance(func, ast.Attribute) and func.attr in _BYTE_METHODS:
                     out.append(
@@ -62,4 +80,13 @@ class SerializationBoundaryRules(RuleFamily):
             module, node, "RL501",
             f"`{name}` import outside the wire codec; the codec is the "
             "single source of wire bytes (and pickle executes code on load)",
+        )
+
+    @staticmethod
+    def _socket_finding(module: Module, node: ast.AST, name: str) -> Finding:
+        return finding(
+            module, node, "RL502",
+            f"`{name}` import outside the transport layer; sockets and "
+            "event loops live in network/ (use a Transport, or add the "
+            "path to socket_allowed with a justification)",
         )
