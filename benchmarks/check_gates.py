@@ -1,11 +1,14 @@
-"""Fail if any persisted benchmark speedup regressed below its gate.
+"""Fail if any persisted benchmark measurement regressed past its gate.
 
 Walks every ``BENCH_*.json`` at the repo root; any JSON object carrying
 both a ``speedup`` and a ``gate`` key is a gated measurement, and the
-recorded speedup must meet the recorded gate.  Benchmarks persist the
-gate they actually ran under (CI relaxes the bars via env vars for noisy
-shared runners), so this check is consistent in both environments while
-still catching a bench that silently recorded a regression.
+recorded speedup must meet the recorded gate.  Objects carrying both
+``peak_rss_mb`` and ``rss_cap_mb`` are gated the other way around: the
+recorded peak RSS must stay under the recorded ceiling (the storage
+bench's memory-bound runs).  Benchmarks persist the gate they actually
+ran under (CI relaxes the bars via env vars for noisy shared runners),
+so this check is consistent in both environments while still catching a
+bench that silently recorded a regression.
 
 Usage: ``python benchmarks/check_gates.py`` (exit code 1 on regression).
 """
@@ -26,6 +29,7 @@ REQUIRED_BENCH_FILES = (
     "BENCH_incremental.json",
     "BENCH_parallel.json",
     "BENCH_sockets.json",
+    "BENCH_storage.json",
     "BENCH_transport.json",
 )
 
@@ -40,6 +44,18 @@ def gated_entries(node, path=""):
     elif isinstance(node, list):
         for index, value in enumerate(node):
             yield from gated_entries(value, f"{path}[{index}]")
+
+
+def rss_entries(node, path=""):
+    """Yield (path, peak_rss_mb, rss_cap_mb) for every RSS-gated object."""
+    if isinstance(node, dict):
+        if "peak_rss_mb" in node and "rss_cap_mb" in node:
+            yield path, float(node["peak_rss_mb"]), float(node["rss_cap_mb"])
+        for key, value in node.items():
+            yield from rss_entries(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from rss_entries(value, f"{path}[{index}]")
 
 
 def main() -> int:
@@ -61,6 +77,16 @@ def main() -> int:
             if speedup < gate:
                 failures.append(
                     f"{bench_file.name}:{path}: {speedup}x below gate {gate}x"
+                )
+        for path, peak, cap in rss_entries(payload):
+            checked += 1
+            status = "ok" if peak <= cap else "REGRESSED"
+            print(
+                f"{bench_file.name}:{path}: {peak} MB RSS (cap {cap} MB) {status}"
+            )
+            if peak > cap:
+                failures.append(
+                    f"{bench_file.name}:{path}: {peak} MB RSS over cap {cap} MB"
                 )
     if not checked:
         print("no gated benchmark entries found")

@@ -36,12 +36,75 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distance.dissimilarity import DissimilarityMatrix
+from repro.distance.dissimilarity import (
+    DissimilarityMatrix,
+    condensed_offsets,
+    condensed_row_gather,
+)
 from repro.exceptions import ClusteringError
 
 #: Candidate columns are scored in blocks of this many to bound the
 #: working set at O(n * block) instead of O(n^2) scratch.
 _CANDIDATE_BLOCK = 512
+
+
+class _StorePanels:
+    """Row/column panels of the square matrix, streamed off a condensed store.
+
+    The sharded PAM path never materialises ``to_square()``: a row panel
+    for rows ``[r0, r1)`` is one contiguous condensed segment (all
+    below-diagonal entries of those rows), a symmetric in-band fill, and
+    one block-ascending gather for the columns beyond ``r1``.  Column
+    blocks are the transposed panels copied C-contiguous, so every
+    reduction downstream runs over temporaries with the exact shape,
+    layout, and element order of the dense path's -- which is what keeps
+    medoid selection bit-identical on the float64 memmap backend.
+    """
+
+    def __init__(self, matrix: DissimilarityMatrix) -> None:
+        self.store = matrix.store
+        self.n = matrix.num_objects
+        self.offsets = condensed_offsets(self.n)
+        self._scratch = np.empty(self.n, dtype=np.int64)
+
+    def column(self, index: int) -> np.ndarray:
+        """Column ``index`` of the square (== row, exactly: symmetry)."""
+        return condensed_row_gather(
+            self.store, int(index), self.n, self.offsets, scratch=self._scratch
+        )
+
+    def columns(self, indices: np.ndarray) -> np.ndarray:
+        """Columns at ``indices`` as a C-contiguous ``(n, len(indices))``
+        array -- the layout ``square[:, indices]`` fancy indexing yields."""
+        out = np.empty((self.n, len(indices)), dtype=np.float64)
+        for slot, index in enumerate(indices):
+            out[:, slot] = self.column(int(index))
+        return out
+
+    def row_panel(self, r0: int, r1: int) -> np.ndarray:
+        """Rows ``[r0, r1)`` of the square as a ``(r1 - r0, n)`` array."""
+        n = self.n
+        width = r1 - r0
+        panel = np.zeros((width, n), dtype=np.float64)
+        base = int(self.offsets[r0])
+        segment = self.store.read(base, r1 * (r1 - 1) // 2)
+        for a in range(width):
+            row = r0 + a
+            start = int(self.offsets[row]) - base
+            panel[a, :row] = segment[start : start + row]
+            # In-band symmetric fill: d(row, r0..row-1) is column `row`
+            # of the earlier panel rows.
+            panel[:a, row] = segment[start + r0 : start + row]
+        if r1 < n:
+            cols = np.arange(r0, r1, dtype=np.int64)
+            positions = self.offsets[r1:, None] + cols[None, :]
+            tail = self.store.gather(positions.reshape(-1)).reshape(n - r1, width)
+            panel[:, r1:] = tail.T
+        return panel
+
+    def column_block(self, start: int, stop: int) -> np.ndarray:
+        """Columns ``[start, stop)`` as C-contiguous ``(n, stop - start)``."""
+        return np.ascontiguousarray(self.row_panel(start, stop).T)
 
 
 @dataclass(frozen=True)
@@ -88,6 +151,38 @@ def _build_init(square: np.ndarray, k: int) -> list[int]:
     return medoids
 
 
+def _store_build_init(source: _StorePanels, k: int) -> list[int]:
+    """BUILD over a sharded matrix: :func:`_build_init` panel by panel.
+
+    Each gain pass reduces per-row over contiguous panel rows -- the same
+    pairwise-summation element order as the dense full-matrix temporary
+    -- so the greedy choices (argmin/argmax over bit-identical vectors)
+    match the dense path exactly on float64 backends.
+    """
+    n = source.n
+    sums = np.empty(n, dtype=np.float64)
+    for r0 in range(0, n, _CANDIDATE_BLOCK):
+        r1 = min(n, r0 + _CANDIDATE_BLOCK)
+        sums[r0:r1] = source.row_panel(r0, r1).sum(axis=1)
+    first = int(sums.argmin())
+    medoids = [first]
+    is_medoid = np.zeros(n, dtype=bool)
+    is_medoid[first] = True
+    nearest = source.column(first)
+    while len(medoids) < k:
+        gains = np.empty(n, dtype=np.float64)
+        for r0 in range(0, n, _CANDIDATE_BLOCK):
+            r1 = min(n, r0 + _CANDIDATE_BLOCK)
+            panel = source.row_panel(r0, r1)
+            gains[r0:r1] = np.maximum(nearest[None, :] - panel, 0.0).sum(axis=1)
+        gains[is_medoid] = -np.inf
+        best = int(gains.argmax())
+        medoids.append(best)
+        is_medoid[best] = True
+        nearest = np.minimum(nearest, source.column(best))
+    return medoids
+
+
 def _swap_deltas(
     square: np.ndarray,
     medoid_idx: np.ndarray,
@@ -109,6 +204,39 @@ def _swap_deltas(
         shared = reduction.sum(axis=0)
         # For points losing their nearest medoid, the reduction term is
         # replaced by min(d(i,c), dsecond(i)) - dnearest(i).
+        correction = np.minimum(d_c, dsecond_col) - dnear_col - reduction
+        for m in range(k):
+            deltas[m, block] = shared + correction[member[m]].sum(axis=0)
+    deltas[:, medoid_idx] = np.inf
+    return deltas
+
+
+def _store_swap_deltas(
+    source: _StorePanels,
+    medoid_idx: np.ndarray,
+    nearest: np.ndarray,
+    dnearest: np.ndarray,
+    dsecond: np.ndarray,
+) -> np.ndarray:
+    """:func:`_swap_deltas` over streamed column blocks.
+
+    The dense path's reductions all run on C-contiguous ``(n, block)``
+    temporaries (the strided ``square[:, block]`` view is consumed by
+    elementwise ops first), so feeding the same expressions a contiguous
+    ``column_block`` copy reproduces every delta bit for bit.
+    """
+    n = source.n
+    k = medoid_idx.shape[0]
+    member = [nearest == m for m in range(k)]
+    deltas = np.empty((k, n), dtype=np.float64)
+    dnear_col = dnearest[:, None]
+    dsecond_col = dsecond[:, None]
+    for start in range(0, n, _CANDIDATE_BLOCK):
+        stop = min(start + _CANDIDATE_BLOCK, n)
+        block = slice(start, stop)
+        d_c = source.column_block(start, stop)
+        reduction = np.minimum(d_c - dnear_col, 0.0)
+        shared = reduction.sum(axis=0)
         correction = np.minimum(d_c, dsecond_col) - dnear_col - reduction
         for m in range(k):
             deltas[m, block] = shared + correction[member[m]].sum(axis=0)
@@ -165,8 +293,17 @@ def k_medoids(
     n = matrix.num_objects
     if not 1 <= k <= n:
         raise ClusteringError(f"k must be in [1, {n}], got {k}")
-    square = matrix.to_square()
-    medoids = _build_init(square, k)
+    values = matrix.store.array_view()
+    if values is not None:
+        square: np.ndarray | None = matrix.to_square()
+        source: _StorePanels | None = None
+        medoids = _build_init(square, k)
+    else:
+        # Sharded backend: stream panels, never materialise the square --
+        # peak memory is O(n * _CANDIDATE_BLOCK) plus the store's cache.
+        square = None
+        source = _StorePanels(matrix)
+        medoids = _store_build_init(source, k)
 
     iterations = 0
     converged = False
@@ -176,7 +313,10 @@ def k_medoids(
     while iterations < max_iterations:
         iterations += 1
         medoid_idx = np.asarray(medoids, dtype=np.int64)
-        distances = square[:, medoid_idx]
+        if square is not None:
+            distances = square[:, medoid_idx]
+        else:
+            distances = source.columns(medoid_idx)
         nearest = distances.argmin(axis=1)
         dnearest = distances[row_index, nearest]
         if k > 1:
@@ -184,14 +324,24 @@ def k_medoids(
             dsecond = distances.min(axis=1)
         else:
             dsecond = np.full(n, np.inf)
-        deltas = _swap_deltas(square, medoid_idx, nearest, dnearest, dsecond)
+        if square is not None:
+            deltas = _swap_deltas(square, medoid_idx, nearest, dnearest, dsecond)
+        else:
+            deltas = _store_swap_deltas(
+                source, medoid_idx, nearest, dnearest, dsecond
+            )
         swap = _select_swap(deltas)
         if swap is None:
             converged = True
             break
         medoids[swap[0]] = int(swap[1])
 
-    nearest, cost = _assignment_cost(square, medoids)
+    if square is not None:
+        nearest, cost = _assignment_cost(square, medoids)
+    else:
+        distances = source.columns(np.asarray(medoids, dtype=np.int64))
+        nearest = distances.argmin(axis=1)
+        cost = float(distances[row_index, nearest].sum())
     # Renumber labels by first appearance so results are comparable.
     remap: dict[int, int] = {}
     labels = []

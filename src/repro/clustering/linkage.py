@@ -61,9 +61,11 @@ import numpy as np
 from repro.clustering.dendrogram import Dendrogram, Merge
 from repro.distance.dissimilarity import (
     DissimilarityMatrix,
+    condensed_has_duplicates,
     condensed_offsets,
     condensed_row_gather,
 )
+from repro.distance.store import CondensedStore
 from repro.exceptions import ClusteringError
 from repro.types import LinkageMethod
 
@@ -76,12 +78,25 @@ class _Workspace:
     way *unmasked*: retired pairs' condensed slots receive stale garbage,
     which is safe because every reader either indexes active slots only
     or masks inactive entries to infinity afterwards.
+
+    The working buffer is either a plain condensed ndarray (``condensed``
+    is copied -- the dense path, bit-identical to the seed) or a
+    :class:`~repro.distance.store.CondensedStore` working copy the
+    workspace takes ownership of (the sharded path); the ``value_at`` /
+    ``values_at`` / ``write_span`` / ``scatter`` helpers dispatch so the
+    merge arithmetic -- which only ever sees gathered float64 rows -- is
+    shared verbatim between both.
     """
 
-    def __init__(self, condensed: np.ndarray, n: int) -> None:
+    def __init__(self, condensed: np.ndarray | CondensedStore, n: int) -> None:
         self.n = n
         self.offsets = condensed_offsets(n)
-        self.working = condensed.copy()
+        if isinstance(condensed, np.ndarray):
+            self.working: np.ndarray | CondensedStore = condensed.copy()
+            self._view: np.ndarray | None = self.working
+        else:
+            self.working = condensed
+            self._view = condensed.array_view()
         self.active = np.ones(n, dtype=bool)
         self.sizes = np.ones(n, dtype=np.int64)
         # inf where retired, 0.0 where active: adding it to a gathered row
@@ -96,6 +111,35 @@ class _Workspace:
         tail = self._tail[: self.n - index - 1]
         np.add(self.offsets[index + 1 :], index, out=tail)
         return tail
+
+    def value_at(self, position: int) -> float:
+        """One condensed working entry."""
+        if self._view is not None:
+            return float(self._view[position])
+        return float(self.working.read(position, position + 1)[0])
+
+    def values_at(self, positions: np.ndarray) -> np.ndarray:
+        """Working entries at ``positions`` (the Anderberg column reads)."""
+        if self._view is not None:
+            return self._view[positions]
+        return self.working.gather(positions)
+
+    def write_span(self, start: int, values: np.ndarray) -> None:
+        if self._view is not None:
+            self._view[start : start + values.size] = values
+        else:
+            self.working.write(start, values)
+
+    def scatter(self, positions: np.ndarray, values: np.ndarray) -> None:
+        if self._view is not None:
+            self._view[positions] = values
+        else:
+            self.working.scatter(positions, values)
+
+    def close(self) -> None:
+        """Release an owned working store (no-op on the dense path)."""
+        if isinstance(self.working, CondensedStore):
+            self.working.close()
 
     def gather_row(self, index: int, out: np.ndarray) -> np.ndarray:
         """Row ``index`` of the square, read off the condensed vector
@@ -113,9 +157,8 @@ class _Workspace:
         seed run performing the same merges in the same order.  Returns
         the raw merge height (squared scale for Ward).
         """
-        working = self.working
         sizes = self.sizes
-        height = float(working[self.offsets[j] + i])
+        height = self.value_at(int(self.offsets[j]) + i)
         d_ik = self.gather_row(i, self._row_i)
         d_jk = self.gather_row(j, self._row_j)
 
@@ -148,9 +191,9 @@ class _Workspace:
         # Unmasked write-back: the diagonal entry has no condensed slot,
         # and retired pairs' slots may take garbage (never read again).
         start = int(self.offsets[i])
-        working[start : start + i] = updated[:i]
+        self.write_span(start, updated[:i])
         if i + 1 < self.n:
-            working[self._tail_positions(i)] = updated[i + 1 :]
+            self.scatter(self._tail_positions(i), updated[i + 1 :])
         self.active[j] = False
         self.inactive_inf[j] = np.inf
         sizes[i] = size_i + size_j
@@ -223,7 +266,6 @@ def _argmin_pairs(
     are already bit-identical to the seed's -- no replay needed.
     """
     n = workspace.n
-    working = workspace.working
     offsets = workspace.offsets
     active = workspace.active
     nn_distance = np.full(n, np.inf)
@@ -235,7 +277,7 @@ def _argmin_pairs(
             nn_distance[row] = np.inf
             nn_partner[row] = -1
             return
-        values = working[offsets[partners] + row]
+        values = workspace.values_at(offsets[partners] + row)
         best = int(np.argmin(values))
         nn_distance[row] = values[best]
         nn_partner[row] = int(partners[best])
@@ -253,7 +295,7 @@ def _argmin_pairs(
         nn_partner[j] = -1
         if i > 0:
             rows = np.flatnonzero(active[:i])
-            fresh = working[offsets[i] + rows]
+            fresh = workspace.values_at(offsets[i] + rows)
             cached_partner = nn_partner[rows]
             stale = (cached_partner == i) | (cached_partner == j)
             better = ~stale & (
@@ -320,22 +362,44 @@ def _canonical_order(
 
 
 def _replay(
-    condensed: np.ndarray,
-    n: int,
+    workspace: _Workspace,
     method: LinkageMethod,
     ordered_pairs: list[tuple[int, int]],
 ) -> list[tuple[int, int, float]]:
-    """Re-apply ordered merges on a fresh condensed copy.
+    """Re-apply ordered merges on a fresh workspace.
 
     The replay exists for bit-equality: Lance-Williams updates associate
     floats in evaluation order, so heights must be produced by applying
     the merges in their final (canonical) order -- exactly what the seed
     loop does -- not in NN-chain discovery order.
     """
-    workspace = _Workspace(condensed, n)
     return [
         (i, j, workspace.merge(i, j, method)) for i, j in ordered_pairs
     ]
+
+
+def _spawn_working(
+    source: CondensedStore, method: LinkageMethod
+) -> CondensedStore:
+    """Pristine working copy of a sharded condensed vector.
+
+    The working store gets a cache budget covering every block: the merge
+    loop revisits all rows constantly, and an undersized cache would turn
+    each row gather into a munmap/remap refault storm.  Peak RSS for the
+    sharded linkage path is therefore ~one condensed triangle (plus O(n)
+    buffers) -- half the square-matrix footprint, and the source matrix's
+    own cache budget still holds for every other consumer.
+    """
+    working = source.spawn(
+        source.size,
+        cache_bytes=source.size * 8 + source.block_entries * 8,
+    )
+    for start, stop in source.block_ranges():
+        block = source.read(start, stop)
+        if method is LinkageMethod.WARD:
+            block = block ** 2
+        working.write(start, block)
+    return working
 
 
 def _emit(
@@ -386,15 +450,34 @@ def agglomerative(
     if n == 1:
         return Dendrogram(1, [])
 
-    condensed = np.array(matrix.condensed, dtype=np.float64)
-    if method is LinkageMethod.WARD:
-        condensed = condensed ** 2
+    values = matrix.store.array_view()
+    if values is not None:
+        condensed = np.array(values, dtype=np.float64)
+        if method is LinkageMethod.WARD:
+            condensed = condensed ** 2
+        ordered_values = np.sort(condensed)
+        has_ties = bool(np.any(ordered_values[1:] == ordered_values[:-1]))
 
-    ordered_values = np.sort(condensed)
-    has_ties = bool(np.any(ordered_values[1:] == ordered_values[:-1]))
-    if has_ties:
-        chronological = _argmin_pairs(_Workspace(condensed, n), method)
+        def make() -> _Workspace:
+            return _Workspace(condensed, n)
+
     else:
-        discovered = _nn_chain_pairs(_Workspace(condensed, n), method)
-        chronological = _replay(condensed, n, method, _canonical_order(discovered))
+        ready = [_spawn_working(matrix.store, method)]
+        has_ties = condensed_has_duplicates(ready[0])
+
+        def make() -> _Workspace:
+            working = ready.pop() if ready else _spawn_working(matrix.store, method)
+            return _Workspace(working, n)
+
+    if has_ties:
+        workspace = make()
+        chronological = _argmin_pairs(workspace, method)
+        workspace.close()
+    else:
+        workspace = make()
+        discovered = _nn_chain_pairs(workspace, method)
+        workspace.close()
+        workspace = make()
+        chronological = _replay(workspace, method, _canonical_order(discovered))
+        workspace.close()
     return Dendrogram(n, _emit(chronological, n, method))

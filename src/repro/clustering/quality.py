@@ -27,6 +27,7 @@ import numpy as np
 from repro.distance.dissimilarity import (
     DissimilarityMatrix,
     condensed_pair_indices,
+    condensed_unravel,
     same_label_mask,
 )
 from repro.exceptions import ClusteringError
@@ -62,14 +63,32 @@ def average_square_distance(matrix: DissimilarityMatrix, labels: Sequence[int]) 
     singleton clusters report 0.0.
     """
     labels = _validate_labels(matrix, labels)
-    unique, _, row_codes, col_codes = _pair_label_codes(matrix, labels)
-    values = matrix.condensed
-    same = row_codes == col_codes
-    cluster_of_pair = row_codes[same]
-    sums = np.bincount(
-        cluster_of_pair, weights=values[same] ** 2, minlength=unique.size
-    )
-    counts = np.bincount(cluster_of_pair, minlength=unique.size)
+    values = matrix.store.array_view()
+    if values is not None:
+        unique, _, row_codes, col_codes = _pair_label_codes(matrix, labels)
+        same = row_codes == col_codes
+        cluster_of_pair = row_codes[same]
+        sums = np.bincount(
+            cluster_of_pair, weights=values[same] ** 2, minlength=unique.size
+        )
+        counts = np.bincount(cluster_of_pair, minlength=unique.size)
+    else:
+        # Streamed: np.add.at into one accumulator over ascending blocks
+        # adds per-cluster terms in the same order as the full bincount,
+        # so this published statistic stays bit-identical on float64
+        # sharded backends.
+        unique, codes = np.unique(np.asarray(labels), return_inverse=True)
+        sums = np.zeros(unique.size, dtype=np.float64)
+        counts = np.zeros(unique.size, dtype=np.int64)
+        for start, stop in matrix.store.block_ranges():
+            i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+            row_codes, col_codes = codes[i], codes[j]
+            same = row_codes == col_codes
+            cluster_of_pair = row_codes[same]
+            np.add.at(
+                sums, cluster_of_pair, matrix.store.read(start, stop)[same] ** 2
+            )
+            counts += np.bincount(cluster_of_pair, minlength=unique.size)
     return {
         int(cluster): (float(total / count) if count else 0.0)
         for cluster, total, count in zip(unique, sums, counts)
@@ -83,18 +102,31 @@ def silhouette_score(matrix: DissimilarityMatrix, labels: Sequence[int]) -> floa
     in singleton clusters contribute 0 by the standard convention.
     """
     labels = _validate_labels(matrix, labels)
-    unique, codes, row_codes, col_codes = _pair_label_codes(matrix, labels)
+    unique, codes = np.unique(np.asarray(labels), return_inverse=True)
     k = unique.size
     if k < 2:
         raise ClusteringError("silhouette requires at least two clusters")
     n = matrix.num_objects
-    values = matrix.condensed
-    i, j = condensed_pair_indices(n)
-    # cluster_sums[p, c]: total distance from object p to cluster c's members.
-    cluster_sums = (
-        np.bincount(i * k + col_codes, weights=values, minlength=n * k)
-        + np.bincount(j * k + row_codes, weights=values, minlength=n * k)
-    ).reshape(n, k)
+    values = matrix.store.array_view()
+    if values is not None:
+        i, j = condensed_pair_indices(n)
+        row_codes, col_codes = codes[i], codes[j]
+        # cluster_sums[p, c]: total distance from object p to cluster c's members.
+        cluster_sums = (
+            np.bincount(i * k + col_codes, weights=values, minlength=n * k)
+            + np.bincount(j * k + row_codes, weights=values, minlength=n * k)
+        ).reshape(n, k)
+    else:
+        # Streamed twin of the bincount pair: same accumulators, same
+        # addend order (ascending condensed positions), bit-identical.
+        row_sums = np.zeros(n * k, dtype=np.float64)
+        col_sums = np.zeros(n * k, dtype=np.float64)
+        for start, stop in matrix.store.block_ranges():
+            i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+            block = matrix.store.read(start, stop)
+            np.add.at(row_sums, i * k + codes[j], block)
+            np.add.at(col_sums, j * k + codes[i], block)
+        cluster_sums = (row_sums + col_sums).reshape(n, k)
     counts = np.bincount(codes, minlength=k)
     objects = np.arange(n)
     own_count = counts[codes]
@@ -122,13 +154,29 @@ def dunn_index(matrix: DissimilarityMatrix, labels: Sequence[int]) -> float:
     arr = np.asarray(labels)
     if np.unique(arr).size < 2:
         raise ClusteringError("Dunn index requires at least two clusters")
-    values = matrix.condensed
-    same = same_label_mask(arr)
-    within = values[same]
-    max_within = float(within.max()) if within.size else 0.0
-    if max_within == 0.0:
+    values = matrix.store.array_view()
+    if values is not None:
+        same = same_label_mask(arr)
+        within = values[same]
+        max_within = float(within.max()) if within.size else 0.0
+        if max_within == 0.0:
+            return float("inf")
+        return float(values[~same].min()) / max_within
+    # Streamed: min/max are exactly associative, so block-wise extrema
+    # reproduce the dense answer bit-for-bit.
+    max_within = -np.inf
+    min_between = np.inf
+    for start, stop in matrix.store.block_ranges():
+        i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+        same = arr[i] == arr[j]
+        block = matrix.store.read(start, stop)
+        if np.any(same):
+            max_within = max(max_within, float(block[same].max()))
+        if not np.all(same):
+            min_between = min(min_between, float(block[~same].min()))
+    if max_within <= 0.0:
         return float("inf")
-    return float(values[~same].min()) / max_within
+    return min_between / max_within
 
 
 def cophenetic_correlation(matrix: DissimilarityMatrix, dendrogram) -> float:

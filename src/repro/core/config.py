@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
 
 from repro.crypto.prng import DEFAULT_PRNG_KIND, available_kinds
 from repro.exceptions import ConfigurationError
 from repro.network.retry import RetryPolicy
 from repro.types import LinkageMethod
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.distance.store import StoreSpec
 
 
 @dataclass(frozen=True)
@@ -88,6 +91,22 @@ class ProtocolSuiteConfig:
         attribute's matrix and reports exactly what was lost
         (:class:`~repro.core.scheduler.DegradedReport`).  The default
         ``False`` preserves fail-fast behaviour.
+    store_backend:
+        Storage backend for the third party's dissimilarity matrices
+        (``"memory"`` | ``"float32"`` | ``"memmap"``); ``None`` defers to
+        the ``REPRO_STORE_BACKEND`` environment default.  The float64
+        memmap backend is bit-identical to in-memory end to end
+        (matrices, dendrograms, medoids, wire bytes); float32 trades
+        half the storage for one rounding per stored value.
+    store_block_entries:
+        Entries per row-block shard / streaming granularity (``None``:
+        environment or module default).
+    store_cache_bytes:
+        LRU byte budget for resident memmap blocks (``None``:
+        environment or module default).
+    store_dir:
+        Base directory for memmap shard directories (``None``:
+        environment override or the system temp dir).
     """
 
     prng_kind: str = DEFAULT_PRNG_KIND
@@ -104,6 +123,10 @@ class ProtocolSuiteConfig:
     retry_backoff_cap: float = 0.05
     retry_deadline: float | None = None
     tolerate_faults: bool = False
+    store_backend: str | None = None
+    store_block_entries: int | None = None
+    store_cache_bytes: int | None = None
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.prng_kind not in available_kinds():
@@ -131,6 +154,32 @@ class ProtocolSuiteConfig:
             )
         # Delegate retry-knob validation to the policy that consumes them.
         self.retry_policy()
+        # Same for the storage knobs: StoreSpec validates on construction.
+        self.store_spec()
+
+    def store_spec(self) -> "StoreSpec":
+        """Resolved storage backend for the session's matrices.
+
+        Starts from the environment default (so whole runs can be
+        re-pointed via ``REPRO_STORE_BACKEND``) and overrides any field
+        set explicitly on this config -- explicit config beats
+        environment beats module defaults.
+        """
+        from repro.distance.store import default_store_spec
+
+        spec = default_store_spec()
+        overrides: dict[str, object] = {}
+        if self.store_backend is not None:
+            overrides["backend"] = self.store_backend
+        if self.store_block_entries is not None:
+            overrides["block_entries"] = self.store_block_entries
+        if self.store_cache_bytes is not None:
+            overrides["cache_bytes"] = self.store_cache_bytes
+        if self.store_dir is not None:
+            overrides["directory"] = self.store_dir
+        if overrides:
+            spec = replace(spec, **overrides)  # type: ignore[arg-type]
+        return spec
 
     def retry_policy(self) -> RetryPolicy:
         """The :class:`~repro.network.retry.RetryPolicy` these knobs spell."""

@@ -6,10 +6,19 @@ between each pair of objects ... the distance of an object to itself is 0
 d[i][j] = d[j][i]."
 
 :class:`DissimilarityMatrix` stores exactly that strict lower triangle in
-a condensed numpy vector -- half the memory of a square matrix and an
-honest representation of what the third party actually materialises.
-Pair ``(i, j)`` with ``i > j`` lives at position ``i*(i-1)/2 + j``, i.e.
+condensed layout -- half the memory of a square matrix and an honest
+representation of what the third party actually materialises.  Pair
+``(i, j)`` with ``i > j`` lives at position ``i*(i-1)/2 + j``, i.e.
 row-major over Figure 2's filled entries.
+
+Storage is delegated to a :class:`~repro.distance.store.CondensedStore`
+backend (in-memory float64 by default; float32 and memory-mapped
+row-block shards for out-of-core scale).  Every operation asks the
+backend for :meth:`~repro.distance.store.CondensedStore.array_view`
+first: when that returns an ndarray (the in-memory backend) the
+historical numpy expressions run on it verbatim -- bit-identical to the
+pre-backend code -- and otherwise the same operation streams block-wise
+through the store, so no consumer algorithm changes per backend.
 """
 
 from __future__ import annotations
@@ -18,6 +27,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.distance.store import (
+    CondensedStore,
+    StoreSpec,
+    open_store,
+)
 from repro.exceptions import ClusteringError, ConfigurationError
 
 
@@ -26,6 +40,8 @@ from repro.exceptions import ClusteringError, ConfigurationError
 # Free functions over the condensed layout (pair (i, j), i > j, at position
 # i*(i-1)/2 + j).  The clustering layer runs directly on condensed vectors
 # through these, so the O(n^2)-memory algorithms never materialise a square.
+# Value-carrying primitives accept either a plain ndarray or a
+# CondensedStore and stream in the latter case.
 
 
 def condensed_size(num_objects: int) -> int:
@@ -44,6 +60,26 @@ def condensed_position(i, j):
     upper = np.maximum(i, j)
     lower = np.minimum(i, j)
     return upper * (upper - 1) // 2 + lower
+
+
+def condensed_unravel(positions) -> tuple[np.ndarray, np.ndarray]:
+    """Pair indices ``(i, j)``, ``i > j``, of condensed position(s).
+
+    The inverse of :func:`condensed_position`: a float sqrt solve with an
+    integer correction pass, exact at any position a float64 sqrt can
+    land within one row of (guarded both ways).  This is what lets
+    block-wise streams recover pair structure from a span of positions
+    without materialising :func:`condensed_pair_indices` for the whole
+    triangle.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    rows = (1 + np.sqrt(1 + 8 * positions.astype(np.float64))) // 2
+    rows = rows.astype(np.int64)
+    # Guard against float rounding at huge positions.
+    rows[rows * (rows - 1) // 2 > positions] -= 1
+    rows[(rows + 1) * rows // 2 <= positions] += 1
+    cols = positions - rows * (rows - 1) // 2
+    return rows, cols
 
 
 def condensed_offsets(num_objects: int) -> np.ndarray:
@@ -72,7 +108,7 @@ def condensed_row_positions(
 
 
 def condensed_row_gather(
-    values: np.ndarray,
+    values: np.ndarray | CondensedStore,
     index: int,
     num_objects: int,
     offsets: np.ndarray | None = None,
@@ -87,14 +123,31 @@ def condensed_row_gather(
     Hot loops (the NN-chain clustering path) amortise allocation by
     passing a preallocated ``out`` (length ``num_objects``, the row) and
     ``scratch`` (length ``num_objects``, int64, workspace for the
-    above-diagonal gather positions).
+    above-diagonal gather positions).  ``values`` may be a
+    :class:`~repro.distance.store.CondensedStore`, in which case the
+    below-diagonal part is one contiguous block read and the tail one
+    ascending grouped gather.
     """
     if offsets is None:
         offsets = condensed_offsets(num_objects)
+    if isinstance(values, np.ndarray):
+        if out is None:
+            out = np.empty(num_objects, dtype=values.dtype)
+        start = int(offsets[index])
+        out[:index] = values[start : start + index]
+        out[index] = diagonal
+        if index + 1 < num_objects:
+            if scratch is None:
+                positions = offsets[index + 1 :] + index
+            else:
+                positions = scratch[: num_objects - index - 1]
+                np.add(offsets[index + 1 :], index, out=positions)
+            np.take(values, positions, out=out[index + 1 :])
+        return out
     if out is None:
-        out = np.empty(num_objects, dtype=values.dtype)
+        out = np.empty(num_objects, dtype=np.float64)
     start = int(offsets[index])
-    out[:index] = values[start : start + index]
+    out[:index] = values.read(start, start + index)
     out[index] = diagonal
     if index + 1 < num_objects:
         if scratch is None:
@@ -102,12 +155,12 @@ def condensed_row_gather(
         else:
             positions = scratch[: num_objects - index - 1]
             np.add(offsets[index + 1 :], index, out=positions)
-        np.take(values, positions, out=out[index + 1 :])
+        values.gather(positions, out=out[index + 1 :])
     return out
 
 
 def condensed_row_scatter(
-    values: np.ndarray,
+    values: np.ndarray | CondensedStore,
     index: int,
     num_objects: int,
     row: np.ndarray,
@@ -122,29 +175,104 @@ def condensed_row_scatter(
         where = np.ones(num_objects, dtype=bool)
     mask = where.copy()
     mask[index] = False
-    values[pos[mask]] = row[mask]
+    if isinstance(values, np.ndarray):
+        values[pos[mask]] = row[mask]
+    else:
+        values.scatter(pos[mask], row[mask])
 
 
-def condensed_argmin(values: np.ndarray, num_objects: int) -> tuple[int, int]:
+def condensed_argmin(
+    values: np.ndarray | CondensedStore, num_objects: int
+) -> tuple[int, int]:
     """Pair ``(i, j)``, ``i > j``, holding the smallest condensed value.
 
     Ties break exactly like ``np.argmin`` over the corresponding square
     matrix: the smallest ``(min(i, j), max(i, j))`` in lexicographic order
     -- the rule the seed agglomerative loop used, preserved so condensed
-    consumers stay merge-for-merge deterministic.
+    consumers stay merge-for-merge deterministic.  For a store backend
+    the scan streams block-wise: a min pass, then a tie-collection pass
+    at the exact minimum, then the identical tie-break -- the selected
+    pair is bit-for-bit the in-memory answer.
     """
-    if values.size == 0:
-        raise ClusteringError("condensed argmin needs at least one pair")
-    minimum = values.min()
-    ties = np.flatnonzero(values == minimum)
-    rows = (1 + np.sqrt(1 + 8 * ties.astype(np.float64))) // 2
-    rows = rows.astype(np.int64)
-    # Guard against float rounding at huge positions.
-    rows[rows * (rows - 1) // 2 > ties] -= 1
-    rows[(rows + 1) * rows // 2 <= ties] += 1
-    cols = ties - rows * (rows - 1) // 2
+    if isinstance(values, np.ndarray):
+        if values.size == 0:
+            raise ClusteringError("condensed argmin needs at least one pair")
+        minimum = values.min()
+        ties = np.flatnonzero(values == minimum)
+    else:
+        if values.size == 0:
+            raise ClusteringError("condensed argmin needs at least one pair")
+        minimum = np.inf
+        for start, stop in values.block_ranges():
+            minimum = min(minimum, float(values.read(start, stop).min()))
+        tie_spans = []
+        for start, stop in values.block_ranges():
+            local = np.flatnonzero(values.read(start, stop) == minimum)
+            if local.size:
+                tie_spans.append(local + start)
+        ties = np.concatenate(tie_spans)
+    rows, cols = condensed_unravel(ties)
     best = np.lexsort((rows, cols))[0]
     return int(rows[best]), int(cols[best])
+
+
+#: Byte budget for one hash-partition group of the streamed duplicate
+#: scan (the tie detector's transient working set).
+_DUPLICATE_SCAN_BYTES = 512 << 20
+#: Odd 64-bit multiplier spreading IEEE bit patterns across groups.
+_DUPLICATE_HASH = np.uint64(0x9E3779B97F4A7C15)
+
+
+def condensed_has_duplicates(
+    values: np.ndarray | CondensedStore, budget_bytes: int = _DUPLICATE_SCAN_BYTES
+) -> bool:
+    """Whether any two condensed entries hold the same value.
+
+    The in-memory answer is one sort plus an adjacent compare.  For a
+    store backend the same *boolean* is computed without materialising
+    the vector: values are partitioned by a hash of their (zero-
+    canonicalised) IEEE bit pattern into groups sized to ``budget_bytes``
+    and each group is sorted separately -- identical values share a bit
+    pattern, hence a group, so no duplicate can hide across groups.  The
+    linkage layer's tie check uses this, keeping NN-chain vs cached-
+    argmin path selection identical across backends.
+    """
+    if isinstance(values, np.ndarray):
+        if values.size < 2:
+            return False
+        ordered = np.sort(values)
+        return bool(np.any(ordered[1:] == ordered[:-1]))
+    size = values.size
+    if size < 2:
+        return False
+    groups = max(1, -(-(size * 8) // budget_bytes))
+    for group in range(groups):
+        parts = []
+        for start, stop in values.block_ranges():
+            block = values.read(start, stop)
+            if group == 0:
+                # Local duplicates resolve without any partitioning work.
+                local = np.sort(block)
+                if np.any(local[1:] == local[:-1]):
+                    return True
+                if groups == 1:
+                    continue
+            # Canonicalise -0.0 to +0.0: equal values, distinct patterns.
+            block = block + 0.0
+            bits = block.view(np.uint64)
+            mask = (bits * _DUPLICATE_HASH) % np.uint64(groups) == np.uint64(group)
+            part = block[mask]
+            if part.size:
+                parts.append(part)
+        if groups == 1:
+            return False
+        if not parts:
+            continue
+        merged = np.concatenate(parts)
+        merged.sort()
+        if np.any(merged[1:] == merged[:-1]):
+            return True
+    return False
 
 
 def condensed_pair_indices(num_objects: int) -> tuple[np.ndarray, np.ndarray]:
@@ -183,16 +311,34 @@ _TRIANGLE_CHUNK_CELLS = 1 << 17
 
 
 class DissimilarityMatrix:
-    """Symmetric, zero-diagonal distance matrix in condensed storage."""
+    """Symmetric, zero-diagonal distance matrix in condensed storage.
 
-    def __init__(self, num_objects: int, condensed: np.ndarray | None = None) -> None:
+    ``store_spec`` picks the storage backend; ``None`` means the
+    historical in-memory float64 array.  The ``REPRO_STORE_BACKEND``
+    environment override is deliberately *not* consulted here: it flows
+    in through :meth:`repro.core.config.ProtocolSuiteConfig.store_spec`,
+    so it re-points the session-owned matrices (the third party's
+    attribute and merged matrices -- the ones that scale with n) while
+    transient construction-time matrices stay exact float64 regardless.
+    Matrices derived from an existing one (copies, normalisations,
+    submatrices, grown or shrunk epochs) inherit their source's backend.
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        condensed: np.ndarray | None = None,
+        *,
+        store_spec: StoreSpec | None = None,
+    ) -> None:
         if num_objects < 1:
             raise ConfigurationError(
                 f"dissimilarity matrix needs >= 1 object, got {num_objects}"
             )
         expected = condensed_size(num_objects)
+        spec = store_spec if store_spec is not None else StoreSpec()
         if condensed is None:
-            condensed = np.zeros(expected, dtype=np.float64)
+            self._store = open_store(spec, expected)
         else:
             condensed = np.asarray(condensed, dtype=np.float64)
             if condensed.shape != (expected,):
@@ -203,18 +349,33 @@ class DissimilarityMatrix:
                 raise ConfigurationError("distances must be non-negative")
             if np.any(~np.isfinite(condensed)):
                 raise ConfigurationError("distances must be finite")
+            self._store = open_store(spec, expected, values=condensed)
         self._n = num_objects
-        self._values = condensed
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def zeros(cls, num_objects: int) -> "DissimilarityMatrix":
-        """All-zero matrix, ready to be filled."""
-        return cls(num_objects)
+    def _adopt(cls, num_objects: int, store: CondensedStore) -> "DissimilarityMatrix":
+        """Wrap an existing backend store (internal; invariants already hold)."""
+        matrix = cls.__new__(cls)
+        matrix._n = num_objects
+        matrix._store = store
+        return matrix
 
     @classmethod
-    def from_square(cls, square: np.ndarray, atol: float = 1e-9) -> "DissimilarityMatrix":
+    def zeros(
+        cls, num_objects: int, store_spec: StoreSpec | None = None
+    ) -> "DissimilarityMatrix":
+        """All-zero matrix, ready to be filled."""
+        return cls(num_objects, store_spec=store_spec)
+
+    @classmethod
+    def from_square(
+        cls,
+        square: np.ndarray,
+        atol: float = 1e-9,
+        store_spec: StoreSpec | None = None,
+    ) -> "DissimilarityMatrix":
         """Validate and condense a full square distance matrix.
 
         The strict lower triangle is lifted with one fancy-indexing read
@@ -230,18 +391,21 @@ class DissimilarityMatrix:
         if not np.allclose(np.diag(square), 0.0, atol=atol):
             raise ConfigurationError("diagonal must be zero")
         n = square.shape[0]
-        return cls(n, square[np.tril_indices(n, -1)])
+        return cls(n, square[np.tril_indices(n, -1)], store_spec=store_spec)
 
     @classmethod
     def from_pairwise(
-        cls, num_objects: int, distance: Callable[[int, int], float]
+        cls,
+        num_objects: int,
+        distance: Callable[[int, int], float],
+        store_spec: StoreSpec | None = None,
     ) -> "DissimilarityMatrix":
         """Fill by evaluating ``distance(i, j)`` over the lower triangle.
 
         This is the paper's Figure 12 loop shape; the callable receives
         global positions ``i > j``.
         """
-        out = cls(num_objects)
+        values = np.zeros(condensed_size(num_objects), dtype=np.float64)
         pos = 0
         for i in range(1, num_objects):
             for j in range(i):
@@ -250,9 +414,9 @@ class DissimilarityMatrix:
                     raise ConfigurationError(
                         f"distance({i}, {j}) returned invalid value {value}"
                     )
-                out._values[pos] = value
+                values[pos] = value
                 pos += 1
-        return out
+        return cls(num_objects, values, store_spec=store_spec)
 
     # -- indexing ------------------------------------------------------------
 
@@ -261,11 +425,60 @@ class DissimilarityMatrix:
         return self._n
 
     @property
+    def store(self) -> CondensedStore:
+        """The storage backend.  Algorithms use this to dispatch: a
+        non-``None`` :meth:`~repro.distance.store.CondensedStore.array_view`
+        is the dense fast path, otherwise they stream block-wise."""
+        return self._store
+
+    @property
+    def store_kind(self) -> str:
+        """Backend name (``memory`` | ``float32`` | ``memmap``)."""
+        return self._store.kind
+
+    @property
     def condensed(self) -> np.ndarray:
-        """Read-only view of the strict lower triangle, Figure 2 order."""
-        view = self._values.view()
-        view.flags.writeable = False
-        return view
+        """The strict lower triangle, Figure 2 order (read-only).
+
+        A zero-copy view for the in-memory backend; sharded backends
+        materialise a fresh array, so large-scale consumers should
+        stream through :meth:`read_condensed` /
+        :attr:`store` instead.
+        """
+        view = self._store.array_view()
+        if view is not None:
+            view = view.view()
+            view.flags.writeable = False
+            return view
+        full = self._store.read(0, condensed_size(self._n))
+        full.flags.writeable = False
+        return full
+
+    def read_condensed(self, start: int, stop: int) -> np.ndarray:
+        """One condensed span ``[start, stop)`` as a fresh float64 array."""
+        if not 0 <= start <= stop <= condensed_size(self._n):
+            raise ConfigurationError(
+                f"condensed span [{start}, {stop}) out of range"
+            )
+        return self._store.read(start, stop)
+
+    def write_condensed(self, start: int, values: np.ndarray) -> None:
+        """Overwrite one condensed span, with constructor-grade validation.
+
+        The streaming construction hook: synthetic-scale builders (the
+        storage probe, benchmarks) fill a matrix block-by-block without
+        ever materialising the whole triangle.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if not 0 <= start <= start + values.size <= condensed_size(self._n):
+            raise ConfigurationError(
+                f"condensed span [{start}, {start + values.size}) out of range"
+            )
+        if np.any(values < 0):
+            raise ConfigurationError("distances must be non-negative")
+        if np.any(~np.isfinite(values)):
+            raise ConfigurationError("distances must be finite")
+        self._store.write(start, values)
 
     @staticmethod
     def _position(i: int, j: int) -> int:
@@ -284,7 +497,11 @@ class DissimilarityMatrix:
         i, j = self._check_pair(*pair)
         if i == j:
             return 0.0
-        return float(self._values[self._position(i, j)])
+        values = self._store.array_view()
+        if values is not None:
+            return float(values[self._position(i, j)])
+        position = self._position(i, j)
+        return float(self._store.read(position, position + 1)[0])
 
     def __setitem__(self, pair: tuple[int, int], value: float) -> None:
         i, j = self._check_pair(*pair)
@@ -294,7 +511,13 @@ class DissimilarityMatrix:
             return
         if value < 0 or not np.isfinite(value):
             raise ConfigurationError(f"invalid distance value {value}")
-        self._values[self._position(i, j)] = value
+        values = self._store.array_view()
+        if values is not None:
+            values[self._position(i, j)] = value
+        else:
+            self._store.write(
+                self._position(i, j), np.array([value], dtype=np.float64)
+            )
 
     def set_block(self, rows: Sequence[int], cols: Sequence[int], block: np.ndarray) -> None:
         """Assign a rectangular cross-site block.
@@ -329,7 +552,12 @@ class DissimilarityMatrix:
                 )
         if np.any(block < 0) or np.any(~np.isfinite(block)):
             raise ConfigurationError("block distances must be non-negative and finite")
-        self._values[condensed_position(row_idx[:, None], col_idx[None, :])] = block
+        positions = condensed_position(row_idx[:, None], col_idx[None, :])
+        values = self._store.array_view()
+        if values is not None:
+            values[positions] = block
+        else:
+            self._store.scatter(positions, block)
 
     def cross_block(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         """Read a rectangular block as one fancy-indexed condensed gather.
@@ -352,7 +580,11 @@ class DissimilarityMatrix:
             return block
         off_diagonal = row_idx[:, None] != col_idx[None, :]
         positions = condensed_position(row_idx[:, None], col_idx[None, :])
-        block[off_diagonal] = self._values[positions[off_diagonal]]
+        values = self._store.array_view()
+        if values is not None:
+            block[off_diagonal] = values[positions[off_diagonal]]
+        else:
+            block[off_diagonal] = self._store.gather(positions[off_diagonal])
         return block
 
     # -- whole-matrix operations ----------------------------------------------
@@ -360,7 +592,13 @@ class DissimilarityMatrix:
     def to_square(self) -> np.ndarray:
         """Full symmetric square matrix (copies)."""
         square = np.zeros((self._n, self._n), dtype=np.float64)
-        square[np.tril_indices(self._n, -1)] = self._values
+        values = self._store.array_view()
+        if values is not None:
+            square[np.tril_indices(self._n, -1)] = values
+        else:
+            for start, stop in self._store.block_ranges():
+                i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+                square[i, j] = self._store.read(start, stop)
         return square + square.T
 
     def to_scipy_condensed(self) -> np.ndarray:
@@ -370,13 +608,23 @@ class DissimilarityMatrix:
         ``scipy.cluster.hierarchy``.
         """
         i, j = np.triu_indices(self._n, 1)
-        return self._values[condensed_position(i, j)]
+        positions = condensed_position(i, j)
+        values = self._store.array_view()
+        if values is not None:
+            return values[positions]
+        return self._store.gather(positions)
 
     def max_value(self) -> float:
         """Largest pairwise distance (the Figure 11 normaliser)."""
-        if self._values.size == 0:
+        if self._store.size == 0:
             return 0.0
-        return float(self._values.max())
+        values = self._store.array_view()
+        if values is not None:
+            return float(values.max())
+        peak = -np.inf
+        for start, stop in self._store.block_ranges():
+            peak = max(peak, float(self._store.read(start, stop).max()))
+        return peak
 
     def normalized(self) -> "DissimilarityMatrix":
         """Scale into [0, 1] by the maximum distance (Figure 11, step 4).
@@ -386,7 +634,15 @@ class DissimilarityMatrix:
         peak = self.max_value()
         if peak == 0.0:
             return self.copy()
-        return DissimilarityMatrix(self._n, self._values / peak)
+        values = self._store.array_view()
+        if values is not None:
+            return DissimilarityMatrix._adopt(
+                self._n, self._store.adopt(values / peak)
+            )
+        fresh = self._store.spawn(self._store.size)
+        for start, stop in fresh.block_ranges():
+            fresh.write(start, self._store.read(start, stop) / peak)
+        return DissimilarityMatrix._adopt(self._n, fresh)
 
     def submatrix(self, indices: Sequence[int]) -> "DissimilarityMatrix":
         """Restriction to a subset of objects, in the given order."""
@@ -400,10 +656,20 @@ class DissimilarityMatrix:
             raise ConfigurationError(
                 f"submatrix indices out of range for {self._n} objects"
             )
-        a, b = np.tril_indices(len(indices), -1)
-        return DissimilarityMatrix(
-            len(indices), self._values[condensed_position(idx[a], idx[b])]
-        )
+        values = self._store.array_view()
+        if values is not None:
+            a, b = np.tril_indices(len(indices), -1)
+            return DissimilarityMatrix._adopt(
+                len(indices),
+                self._store.adopt(values[condensed_position(idx[a], idx[b])]),
+            )
+        fresh = self._store.spawn(condensed_size(len(indices)))
+        for start, stop in fresh.block_ranges():
+            a, b = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+            fresh.write(
+                start, self._store.gather(condensed_position(idx[a], idx[b]))
+            )
+        return DissimilarityMatrix._adopt(len(indices), fresh)
 
     def set_submatrix(self, indices: Sequence[int], local: "DissimilarityMatrix") -> None:
         """Scatter a small matrix onto an arbitrary subset of objects.
@@ -430,8 +696,17 @@ class DissimilarityMatrix:
             )
         if local.num_objects < 2:
             return
-        a, b = np.tril_indices(local.num_objects, -1)
-        self._values[condensed_position(idx[a], idx[b])] = local._values
+        values = self._store.array_view()
+        local_values = local._store.array_view()
+        if values is not None and local_values is not None:
+            a, b = np.tril_indices(local.num_objects, -1)
+            values[condensed_position(idx[a], idx[b])] = local_values
+            return
+        for start, stop in local._store.block_ranges():
+            a, b = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+            self._store.scatter(
+                condensed_position(idx[a], idx[b]), local._store.read(start, stop)
+            )
 
     def insert_objects(self, new_positions: Sequence[int]) -> "DissimilarityMatrix":
         """Grown matrix with fresh objects at the given (new-frame) positions.
@@ -439,9 +714,9 @@ class DissimilarityMatrix:
         ``new_positions`` are the rows the inserted objects occupy in the
         grown matrix; existing objects keep their relative order in the
         remaining rows.  Every pair of surviving objects keeps its exact
-        value via one fancy-indexed condensed remap; every pair touching
-        an inserted object starts at 0, to be filled by the delta
-        construction (:mod:`repro.core.delta`).
+        value via one condensed remap (streamed block-wise on sharded
+        backends); every pair touching an inserted object starts at 0, to
+        be filled by the delta construction (:mod:`repro.core.delta`).
         """
         new_positions = list(new_positions)
         if len(set(new_positions)) != len(new_positions):
@@ -457,16 +732,27 @@ class DissimilarityMatrix:
         inserted = np.zeros(grown, dtype=bool)
         inserted[np.asarray(new_positions, dtype=np.int64)] = True
         new_of_old = np.flatnonzero(~inserted)
-        out = DissimilarityMatrix(grown)
+        out_store = self._store.spawn(condensed_size(grown))
+        out = DissimilarityMatrix._adopt(grown, out_store)
         if self._n >= 2:
-            i, j = condensed_pair_indices(self._n)
-            # The map old->new is strictly increasing, so i > j survives
-            # remapping and the condensed slot is direct arithmetic (no
-            # per-pair max/min) -- this runs on every ingest epoch.
-            upper = new_of_old[i]
-            targets = upper * (upper - 1) // 2
-            targets += new_of_old[j]
-            out._values[targets] = self._values
+            values = self._store.array_view()
+            out_values = out_store.array_view()
+            if values is not None and out_values is not None:
+                i, j = condensed_pair_indices(self._n)
+                # The map old->new is strictly increasing, so i > j survives
+                # remapping and the condensed slot is direct arithmetic (no
+                # per-pair max/min) -- this runs on every ingest epoch.
+                upper = new_of_old[i]
+                targets = upper * (upper - 1) // 2
+                targets += new_of_old[j]
+                out_values[targets] = values
+            else:
+                for start, stop in self._store.block_ranges():
+                    i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+                    upper = new_of_old[i]
+                    targets = upper * (upper - 1) // 2
+                    targets += new_of_old[j]
+                    out_store.scatter(targets, self._store.read(start, stop))
         return out
 
     def remove_objects(self, positions: Sequence[int]) -> "DissimilarityMatrix":
@@ -506,8 +792,18 @@ class DissimilarityMatrix:
             )
         if size < 2:
             return
-        i, j = np.tril_indices(size, -1)
-        self._values[condensed_position(i + offset, j + offset)] = local._values
+        values = self._store.array_view()
+        local_values = local._store.array_view()
+        if values is not None and local_values is not None:
+            i, j = np.tril_indices(size, -1)
+            values[condensed_position(i + offset, j + offset)] = local_values
+            return
+        for start, stop in local._store.block_ranges():
+            i, j = condensed_unravel(np.arange(start, stop, dtype=np.int64))
+            self._store.scatter(
+                condensed_position(i + offset, j + offset),
+                local._store.read(start, stop),
+            )
 
     def set_diagonal_delta(
         self, offset: int, old_size: int, new_size: int, tail: np.ndarray
@@ -541,27 +837,68 @@ class DissimilarityMatrix:
         if np.any(tail < 0) or np.any(~np.isfinite(tail)):
             raise ConfigurationError("distances must be non-negative and finite")
         i, j = condensed_tail_indices(old_size, new_size)
-        self._values[condensed_position(i + offset, j + offset)] = tail
+        positions = condensed_position(i + offset, j + offset)
+        values = self._store.array_view()
+        if values is not None:
+            values[positions] = tail
+        else:
+            self._store.scatter(positions, tail)
 
     def copy(self) -> "DissimilarityMatrix":
-        return DissimilarityMatrix(self._n, self._values.copy())
+        values = self._store.array_view()
+        if values is not None:
+            return DissimilarityMatrix._adopt(
+                self._n, self._store.adopt(values.copy())
+            )
+        fresh = self._store.spawn(self._store.size)
+        for start, stop in fresh.block_ranges():
+            fresh.write(start, self._store.read(start, stop))
+        return DissimilarityMatrix._adopt(self._n, fresh)
 
     def allclose(self, other: "DissimilarityMatrix", atol: float = 1e-9) -> bool:
         """Entry-wise comparison; the zero-accuracy-loss assertions use this."""
-        return self._n == other._n and bool(
-            np.allclose(self._values, other._values, atol=atol)
-        )
+        if self._n != other._n:
+            return False
+        values = self._store.array_view()
+        other_values = other._store.array_view()
+        if values is not None and other_values is not None:
+            return bool(np.allclose(values, other_values, atol=atol))
+        for start, stop in self._store.block_ranges():
+            if not np.allclose(
+                self._store.read(start, stop),
+                other._store.read(start, stop),
+                atol=atol,
+            ):
+                return False
+        return True
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DissimilarityMatrix):
             return NotImplemented
-        return self._n == other._n and bool(np.array_equal(self._values, other._values))
+        if self._n != other._n:
+            return False
+        values = self._store.array_view()
+        other_values = other._store.array_view()
+        if values is not None and other_values is not None:
+            return bool(np.array_equal(values, other_values))
+        for start, stop in self._store.block_ranges():
+            if not np.array_equal(
+                self._store.read(start, stop), other._store.read(start, stop)
+            ):
+                return False
+        return True
 
     def mean_value(self) -> float:
         """Average pairwise distance (quality reporting)."""
-        if self._values.size == 0:
+        if self._store.size == 0:
             return 0.0
-        return float(self._values.mean())
+        values = self._store.array_view()
+        if values is not None:
+            return float(values.mean())
+        total = 0.0
+        for start, stop in self._store.block_ranges():
+            total += float(self._store.read(start, stop).sum())
+        return total / self._store.size
 
     def check_triangle_inequality(
         self, atol: float = 1e-9, chunk_rows: int | None = None
@@ -576,7 +913,9 @@ class DissimilarityMatrix:
         blocks are ever materialised -- never the O(n^2) square -- and the
         first violating ``(j, i)`` block returns immediately, so a
         non-metric matrix with an early violation costs O(chunk * n)
-        instead of a full O(n^3) sweep over a square copy.
+        instead of a full O(n^3) sweep over a square copy.  Row gathers
+        go through :func:`condensed_row_gather`, which streams on store
+        backends, so the bound holds there too.
         """
         n = self._n
         if n < 3:
@@ -588,12 +927,16 @@ class DissimilarityMatrix:
         scratch = np.empty(n, dtype=np.int64)
         rows_j = np.empty((chunk_rows, n), dtype=np.float64)
         rows_i = np.empty((chunk_rows, n), dtype=np.float64)
+        values = self._store.array_view()
+        source: np.ndarray | CondensedStore = (
+            values if values is not None else self._store
+        )
         for j_start in range(0, n, chunk_rows):
             j_stop = min(n, j_start + chunk_rows)
             block_j = rows_j[: j_stop - j_start]
             for offset, j in enumerate(range(j_start, j_stop)):
                 condensed_row_gather(
-                    self._values, j, n, offsets, out=block_j[offset], scratch=scratch
+                    source, j, n, offsets, out=block_j[offset], scratch=scratch
                 )
             for i_start in range(0, n, chunk_rows):
                 i_stop = min(n, i_start + chunk_rows)
@@ -603,7 +946,7 @@ class DissimilarityMatrix:
                     block_i = rows_i[: i_stop - i_start]
                     for offset, i in enumerate(range(i_start, i_stop)):
                         condensed_row_gather(
-                            self._values, i, n, offsets, out=block_i[offset], scratch=scratch
+                            source, i, n, offsets, out=block_i[offset], scratch=scratch
                         )
                 for offset in range(j_stop - j_start):
                     via_j = (

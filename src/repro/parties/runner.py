@@ -178,6 +178,10 @@ def encode_spec(
                 "categorical_digest_size": suite.categorical_digest_size,
                 "fresh_string_masks": suite.fresh_string_masks,
                 "tolerate_faults": suite.tolerate_faults,
+                "store_backend": suite.store_backend,
+                "store_block_entries": suite.store_block_entries,
+                "store_cache_bytes": suite.store_cache_bytes,
+                "store_dir": suite.store_dir,
             },
             "tp_name": tp_name,
             "schema": attrs,

@@ -58,6 +58,9 @@ class ThirdParty(Party):
         self.schema = schema
         self.index = index
         self._suite = suite
+        #: Storage backend for every global matrix this TP holds; resolved
+        #: once so one session never mixes backends across attributes.
+        self._store_spec = suite.store_spec()
         # guarded-by: self._storage_lock
         self._raw: dict[str, DissimilarityMatrix] = {}
         # guarded-by: self._storage_lock
@@ -87,9 +90,22 @@ class ThirdParty(Party):
             with self._storage_lock:
                 if attribute not in self._raw:
                     self._raw[attribute] = DissimilarityMatrix.zeros(
-                        self.index.total_objects
+                        self.index.total_objects, store_spec=self._store_spec
                     )
         return self._raw[attribute]
+
+    def _adopt_backend(self, matrix: DissimilarityMatrix) -> DissimilarityMatrix:
+        """Re-home a protocol-built matrix onto the session's backend.
+
+        The categorical/taxonomy constructors build plain matrices; when
+        the session runs sharded storage, their outputs are converted on
+        publication so every attribute matrix lives on one backend.
+        """
+        if matrix.store_kind == self._store_spec.backend:
+            return matrix
+        return DissimilarityMatrix(
+            matrix.num_objects, matrix.condensed, store_spec=self._store_spec
+        )
 
     def _spec(self, attribute: str) -> AttributeSpec:
         return self.schema.spec(attribute)
@@ -197,6 +213,7 @@ class ThirdParty(Party):
             matrix = cat_protocol.third_party_categorical_matrix(columns, self.index)
         # Build outside, publish under the lock: the matrix construction is
         # O(n^2) and must not serialise unrelated finalize steps.
+        matrix = self._adopt_backend(matrix)
         with self._storage_lock:
             self._raw[attribute] = matrix
 
@@ -391,7 +408,9 @@ class ThirdParty(Party):
         if self._spec(attribute).taxonomy is not None:
             from repro.ext.taxonomy import third_party_taxonomy_matrix
 
-            rebuilt = third_party_taxonomy_matrix(columns, self.index)
+            rebuilt = self._adopt_backend(
+                third_party_taxonomy_matrix(columns, self.index)
+            )
             with self._storage_lock:
                 self._raw[attribute] = rebuilt
             return
@@ -531,7 +550,9 @@ class ThirdParty(Party):
         total = self.index.total_objects
         raw = {
             attr: DissimilarityMatrix(
-                total, np.asarray(condensed, dtype=np.float64)
+                total,
+                np.asarray(condensed, dtype=np.float64),
+                store_spec=self._store_spec,
             )
             for attr, condensed in state["raw"].items()
         }

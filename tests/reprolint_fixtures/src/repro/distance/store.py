@@ -1,0 +1,13 @@
+"""RL503 negative: the storage backend itself is the permitted site."""
+
+import mmap
+
+import numpy as np
+
+
+def open_shard(path, entries):
+    return np.memmap(path, dtype=np.float64, mode="r+", shape=(entries,))
+
+
+def raw_map(handle):
+    return mmap.mmap(handle.fileno(), 0)

@@ -1,0 +1,14 @@
+"""RL503 positives: a feature module mmapping matrix bytes itself."""
+
+import mmap
+
+import numpy as np
+
+
+def load_matrix(path, size):
+    # np.memmap outside distance/store.py: an unmanaged mapping.
+    return np.memmap(path, dtype=np.float64, mode="r", shape=(size,))
+
+
+def map_shard(handle):
+    return mmap.mmap(handle.fileno(), 0)

@@ -15,7 +15,9 @@ point, the diff then shows the cost of the change.
 
 from __future__ import annotations
 
-from repro.core.config import SessionConfig
+import pytest
+
+from repro.core.config import ProtocolSuiteConfig, SessionConfig
 from repro.core.session import ClusteringSession
 from repro.data.alphabet import DNA_ALPHABET
 from repro.data.matrix import AttributeSpec, DataMatrix
@@ -96,13 +98,16 @@ GOLDEN_LINK_BYTES = {
 GOLDEN_TOTAL_BYTES = 5334
 
 
-def _run_tapped_session():
+def _run_tapped_session(suite: ProtocolSuiteConfig | None = None):
     partitions = {
         site: DataMatrix(SCHEMA, rows) for site, rows in PARTITIONS.items()
     }
-    session = ClusteringSession(
-        SessionConfig(num_clusters=2, master_seed=MASTER_SEED), partitions
-    )
+    config = SessionConfig(num_clusters=2, master_seed=MASTER_SEED)
+    if suite is not None:
+        config = SessionConfig(
+            num_clusters=2, master_seed=MASTER_SEED, suite=suite
+        )
+    session = ClusteringSession(config, partitions)
     names = [*sorted(partitions), "TP"]
     taps = {}
     for i, a in enumerate(names):
@@ -134,3 +139,38 @@ class TestGoldenTranscript:
             wire_one = [f.wire for f in taps_one[link].frames]
             wire_two = [f.wire for f in taps_two[link].frames]
             assert wire_one == wire_two, f"non-deterministic frames on {link}"
+
+    @pytest.mark.parametrize("backend", ["memory", "memmap"])
+    def test_float64_backends_leave_wire_bytes_untouched(self, backend):
+        """Storage is invisible on the wire: every frame of a session on
+        a float64 backend is byte-identical to the golden transcript."""
+        suite = ProtocolSuiteConfig(
+            store_backend=backend, store_block_entries=16, store_cache_bytes=512
+        )
+        session, taps = _run_tapped_session(suite)
+        # Reference pinned to the in-memory backend explicitly, so a
+        # REPRO_STORE_BACKEND override (the CI storage matrix) cannot
+        # move the golden side of the comparison.
+        _, golden_taps = _run_tapped_session(
+            ProtocolSuiteConfig(store_backend="memory")
+        )
+        for link in golden_taps:
+            wire = [f.wire for f in taps[link].frames]
+            golden = [f.wire for f in golden_taps[link].frames]
+            assert wire == golden, f"backend {backend} drifted bytes on {link}"
+        assert session.total_bytes() == GOLDEN_TOTAL_BYTES
+
+    def test_float32_backend_keeps_frame_shape(self):
+        """The float32 backend may round stored distances (so published
+        values can move) but must not change the protocol: same links,
+        same frame kinds, same order."""
+        suite = ProtocolSuiteConfig(
+            store_backend="float32", store_block_entries=16
+        )
+        _, taps = _run_tapped_session(suite)
+        assert set(taps) == set(GOLDEN_FRAMES)
+        for link, tap in sorted(taps.items()):
+            kinds = [(f.sender, f.kind) for f in tap.frames]
+            assert kinds == [
+                (sender, kind) for sender, kind, _ in GOLDEN_FRAMES[link]
+            ], f"float32 changed the frame sequence on {link}"

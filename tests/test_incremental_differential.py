@@ -346,3 +346,87 @@ class TestServiceErrorPaths:
         _assert_equivalent(
             service, ClusteringSession(CONFIG, service.partitions())
         )
+
+
+class TestStorageBackendSweep:
+    """The mixed ingest/retire history, re-run per storage backend.
+
+    Tiny blocks and a tiny cache force the sharded backends through
+    their eviction/writeback machinery even at test scale; the float64
+    backends must agree bit for bit with the default run, the float32
+    backend within one rounding per stored value.
+    """
+
+    @staticmethod
+    def _suite(backend: str) -> ProtocolSuiteConfig:
+        return ProtocolSuiteConfig(
+            store_backend=backend, store_block_entries=16, store_cache_bytes=512
+        )
+
+    @staticmethod
+    def _mixed_history(suite: ProtocolSuiteConfig):
+        config = SessionConfig(num_clusters=2, master_seed=41, suite=suite)
+        batch = SessionBatch(config, ["A", "B"])
+        service = batch.service(_partitions())
+        service.ingest(
+            {
+                "A": DataMatrix(SCHEMA, [[50, 5.0, "ACGTGG", "bursa"]]),
+                "B": DataMatrix(
+                    SCHEMA,
+                    [[41, 2.25, "ACGTAT", "istanbul"], [70, 9.25, "TT", "ankara"]],
+                ),
+            },
+            recluster=False,
+        )
+        service.retire({"A": [1], "B": [0, 2]}, recluster=False)
+        service.ingest(
+            {"A": DataMatrix(SCHEMA, [[33, 1.0, "AGGTAC", "bursa"]])},
+            recluster=False,
+        )
+        return service, batch
+
+    @pytest.mark.parametrize("backend", ["memory", "float32", "memmap"])
+    def test_incremental_matches_rebuild_on_backend(self, backend):
+        service, batch = self._mixed_history(self._suite(backend))
+        # The configured backend actually reached the third party.
+        assert service.matrix().store_kind == backend
+        _assert_equivalent(service, batch.session(service.partitions()))
+
+    def test_memmap_is_bit_identical_to_default(self):
+        """The float64 memmap backend changes nothing observable: final
+        matrix, dendrogram, medoids, and the published payload are all
+        bit-identical to the in-memory default."""
+        # Explicitly in-memory: a REPRO_STORE_BACKEND env override (the
+        # CI storage matrix) must not move the reference side.
+        default_service, _ = self._mixed_history(self._suite("memory"))
+        memmap_service, _ = self._mixed_history(self._suite("memmap"))
+        assert memmap_service.matrix() == default_service.matrix()
+        dendro_mm = agglomerative(memmap_service.matrix(), LinkageMethod.AVERAGE)
+        dendro_mem = agglomerative(default_service.matrix(), LinkageMethod.AVERAGE)
+        assert dendro_mm.merges == dendro_mem.merges
+        pam_mm = k_medoids(memmap_service.matrix(), 2)
+        pam_mem = k_medoids(default_service.matrix(), 2)
+        assert (pam_mm.medoids, pam_mm.labels) == (pam_mem.medoids, pam_mem.labels)
+        assert (
+            memmap_service.recluster().to_payload()
+            == default_service.recluster().to_payload()
+        )
+
+    def test_float32_tracks_default_within_rounding(self):
+        default_service, _ = self._mixed_history(self._suite("memory"))
+        f32_service, _ = self._mixed_history(self._suite("float32"))
+        assert f32_service.matrix().allclose(default_service.matrix(), atol=1e-5)
+
+    def test_environment_default_reaches_sessions(self, monkeypatch):
+        """With no explicit ``store_backend``, the session-owned matrices
+        follow ``REPRO_STORE_BACKEND`` -- the hook the CI storage matrix
+        re-points whole runs through -- and stay bit-identical."""
+        from repro.distance.store import ENV_BACKEND
+
+        monkeypatch.setenv(ENV_BACKEND, "memmap")
+        env_service, _ = self._mixed_history(ProtocolSuiteConfig())
+        assert env_service.matrix().store_kind == "memmap"
+        monkeypatch.delenv(ENV_BACKEND)
+        default_service, _ = self._mixed_history(ProtocolSuiteConfig())
+        assert default_service.matrix().store_kind == "memory"
+        assert env_service.matrix() == default_service.matrix()

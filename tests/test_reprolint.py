@@ -52,7 +52,7 @@ def test_rule_catalogue_is_pinned():
         "RL201", "RL202", "RL203", "RL204",
         "RL301", "RL302",
         "RL401", "RL402",
-        "RL501", "RL502",
+        "RL501", "RL502", "RL503",
     }
 
 
@@ -132,6 +132,16 @@ def test_socket_boundary(fixture_result):
     ]
     # The transport layer itself is exempt.
     assert rules_at(fixture_result, "src/repro/network/socket_ok.py") == []
+
+
+def test_storage_boundary(fixture_result):
+    # One finding for the mmap import, one for the np.memmap use.
+    assert rules_at(fixture_result, "src/repro/parties/storage_bad.py") == [
+        "RL503",
+        "RL503",
+    ]
+    # The storage backend itself is exempt.
+    assert rules_at(fixture_result, "src/repro/distance/store.py") == []
 
 
 # -- suppression handling ---------------------------------------------------

@@ -113,6 +113,12 @@ class Config:
         default_factory=lambda: ["src/repro/network"]
     )
 
+    #: Paths allowed to memory-map matrix shards (the condensed storage
+    #: backend).  Everything else must go through a CondensedStore.
+    matrix_storage_allowed: list[str] = field(
+        default_factory=lambda: ["src/repro/distance/store.py"]
+    )
+
     def __post_init__(self) -> None:
         self.paths = [_norm_prefix(p) for p in self.paths]
         self.exclude = [_norm_prefix(p) for p in self.exclude]
@@ -124,6 +130,9 @@ class Config:
             _norm_prefix(p) for p in self.serialization_allowed
         ]
         self.socket_allowed = [_norm_prefix(p) for p in self.socket_allowed]
+        self.matrix_storage_allowed = [
+            _norm_prefix(p) for p in self.matrix_storage_allowed
+        ]
         self.reference_pairs = {
             _norm_prefix(k): _norm_prefix(v) for k, v in self.reference_pairs.items()
         }
@@ -162,6 +171,7 @@ _KNOWN_KEYS = {
     "reference_allowlist",
     "serialization_allowed",
     "socket_allowed",
+    "matrix_storage_allowed",
 }
 
 

@@ -56,6 +56,7 @@ RULES: dict[str, str] = {
     # -- serialization boundary -------------------------------------------
     "RL501": "raw byte packing (`struct`/`pickle`/`to_bytes`) outside the wire codec",
     "RL502": "raw socket / event-loop usage (`socket`/`asyncio`/`selectors`) outside the transport layer",
+    "RL503": "memory-mapped matrix I/O (`mmap`/`np.memmap`) outside the storage backend",
 }
 
 

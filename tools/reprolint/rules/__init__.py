@@ -6,6 +6,7 @@ from reprolint.rules.determinism import DeterminismRules
 from reprolint.rules.locks import LockDisciplineRules
 from reprolint.rules.refcover import ReferenceCoverageRules
 from reprolint.rules.secrecy import SecrecyRules
+from reprolint.rules.storage import StorageBoundaryRules
 from reprolint.rules.wire import SerializationBoundaryRules
 
 #: Every family the engine runs, in reporting order.
@@ -15,6 +16,7 @@ ALL_FAMILIES = (
     LockDisciplineRules,
     ReferenceCoverageRules,
     SerializationBoundaryRules,
+    StorageBoundaryRules,
 )
 
 __all__ = [
@@ -24,4 +26,5 @@ __all__ = [
     "ReferenceCoverageRules",
     "SecrecyRules",
     "SerializationBoundaryRules",
+    "StorageBoundaryRules",
 ]

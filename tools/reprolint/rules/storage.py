@@ -1,0 +1,69 @@
+"""RL503 -- matrix storage boundary.
+
+The condensed storage backend (``distance/store.py``) is the single
+owner of matrix bytes on disk: its shard layout is pinned by the
+conformance suite, its LRU/writeback discipline is what makes the
+n=50k runs fit the RSS gates, and its finalizers are what guarantee
+shard directories are reclaimed.  A feature module that opens its own
+``np.memmap`` (or mmaps a file by hand) creates a second, unmanaged
+mapping: it escapes the cache budget, never flushes through the dirty
+set, and leaks shards past the owner's lifetime.  So ``mmap`` imports
+and ``memmap`` constructions are errors in ``src/`` outside
+``matrix_storage_allowed`` -- route matrix I/O through a
+:class:`~repro.distance.store.CondensedStore`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from reprolint.config import Config
+from reprolint.findings import Finding
+from reprolint.rules.base import Module, RuleFamily, finding
+
+_MMAP_MODULES = {"mmap"}
+_MEMMAP_ATTRS = {"memmap"}
+
+
+class StorageBoundaryRules(RuleFamily):
+    rules = ("RL503",)
+
+    @classmethod
+    def run(cls, module: Module, config: Config, root: Path) -> list[Finding]:
+        # The boundary applies to library code; tests may inspect shard
+        # files directly, so only src-rooted files are in scope.
+        if not module.rel.startswith("src/"):
+            return []
+        if config.path_in(module.rel, config.matrix_storage_allowed):
+            return []
+        out: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _MMAP_MODULES:
+                        out.append(cls._mmap_finding(module, node, alias.name))
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if node.module.split(".")[0] in _MMAP_MODULES:
+                    out.append(cls._mmap_finding(module, node, node.module))
+            elif isinstance(node, ast.Attribute) and node.attr in _MEMMAP_ATTRS:
+                out.append(
+                    finding(
+                        module, node, "RL503",
+                        "`memmap` use outside the storage backend; matrix "
+                        "bytes on disk belong to distance/store.py (use a "
+                        "CondensedStore, or add the path to "
+                        "matrix_storage_allowed with a justification)",
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _mmap_finding(module: Module, node: ast.AST, name: str) -> Finding:
+        return finding(
+            module, node, "RL503",
+            f"`{name}` import outside the storage backend; memory-mapped "
+            "matrix I/O lives in distance/store.py (use a CondensedStore, "
+            "or add the path to matrix_storage_allowed with a "
+            "justification)",
+        )
